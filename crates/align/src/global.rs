@@ -1,0 +1,164 @@
+//! Needleman–Wunsch global alignment with linear gap costs.
+
+use crate::scoring::Scoring;
+
+/// Result of a global alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalResult {
+    /// Optimal alignment score.
+    pub score: i32,
+    /// Aligned column operations, in order.
+    pub ops: Vec<AlignOp>,
+}
+
+/// One alignment column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Both sequences advance, identical bases.
+    Match,
+    /// Both sequences advance, different bases.
+    Mismatch,
+    /// Gap in `b` (consumes a base of `a`).
+    Delete,
+    /// Gap in `a` (consumes a base of `b`).
+    Insert,
+}
+
+/// Optimal global alignment score of `a` vs `b` (linear gaps, score-only,
+/// O(min) rolling rows).
+pub fn global_score(a: &[u8], b: &[u8], s: &Scoring) -> i32 {
+    let (m, n) = (a.len(), b.len());
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * s.gap_extend).collect();
+    let mut cur = vec![0i32; n + 1];
+    for i in 1..=m {
+        cur[0] = i as i32 * s.gap_extend;
+        for j in 1..=n {
+            let diag = prev[j - 1] + s.subst(a[i - 1], b[j - 1]);
+            let up = prev[j] + s.gap_extend;
+            let left = cur[j - 1] + s.gap_extend;
+            cur[j] = diag.max(up).max(left);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Optimal global alignment with full traceback.
+pub fn global_align(a: &[u8], b: &[u8], s: &Scoring) -> GlobalResult {
+    let (m, n) = (a.len(), b.len());
+    let w = n + 1;
+    let mut dp = vec![0i32; (m + 1) * w];
+    // Traceback codes: 0 diag, 1 up (delete), 2 left (insert).
+    let mut tb = vec![0u8; (m + 1) * w];
+    for j in 1..=n {
+        dp[j] = j as i32 * s.gap_extend;
+        tb[j] = 2;
+    }
+    for i in 1..=m {
+        dp[i * w] = i as i32 * s.gap_extend;
+        tb[i * w] = 1;
+        for j in 1..=n {
+            let diag = dp[(i - 1) * w + j - 1] + s.subst(a[i - 1], b[j - 1]);
+            let up = dp[(i - 1) * w + j] + s.gap_extend;
+            let left = dp[i * w + j - 1] + s.gap_extend;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0u8)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            dp[i * w + j] = best;
+            tb[i * w + j] = dir;
+        }
+    }
+    let mut ops = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        match tb[i * w + j] {
+            0 if i > 0 && j > 0 => {
+                ops.push(if a[i - 1] == b[j - 1] && pgasm_seq::is_base_code(a[i - 1]) {
+                    AlignOp::Match
+                } else {
+                    AlignOp::Mismatch
+                });
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                ops.push(AlignOp::Delete);
+                i -= 1;
+            }
+            _ => {
+                ops.push(AlignOp::Insert);
+                j -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    GlobalResult { score: dp[m * w + n], ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_seq::DnaSeq;
+
+    fn s() -> Scoring {
+        Scoring { match_score: 1, mismatch: -1, gap_open: -2, gap_extend: -2 }
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = DnaSeq::from("ACGTACGT");
+        let r = global_align(a.codes(), a.codes(), &s());
+        assert_eq!(r.score, 8);
+        assert!(r.ops.iter().all(|&op| op == AlignOp::Match));
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = DnaSeq::from("ACGT");
+        let b = DnaSeq::from("AGGT");
+        let r = global_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.score, 3 - 1);
+        assert_eq!(r.ops.iter().filter(|&&o| o == AlignOp::Mismatch).count(), 1);
+    }
+
+    #[test]
+    fn single_gap() {
+        let a = DnaSeq::from("ACGT");
+        let b = DnaSeq::from("ACT");
+        let r = global_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.score, 3 - 2);
+        assert_eq!(r.ops.iter().filter(|&&o| o == AlignOp::Delete).count(), 1);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let a = DnaSeq::from("ACG");
+        let r = global_align(a.codes(), &[], &s());
+        assert_eq!(r.score, -6);
+        assert_eq!(r.ops, vec![AlignOp::Delete; 3]);
+        assert_eq!(global_score(&[], &[], &s()), 0);
+    }
+
+    #[test]
+    fn score_matches_traceback_version() {
+        let a = DnaSeq::from("ACGTTGCAAGGCT");
+        let b = DnaSeq::from("AGTTGGCAAGCGT");
+        let sc = s();
+        assert_eq!(global_score(a.codes(), b.codes(), &sc), global_align(a.codes(), b.codes(), &sc).score);
+    }
+
+    #[test]
+    fn ops_consume_both_sequences() {
+        let a = DnaSeq::from("ACGTTGCA");
+        let b = DnaSeq::from("AGTTCA");
+        let r = global_align(a.codes(), b.codes(), &s());
+        let consumed_a = r.ops.iter().filter(|o| !matches!(o, AlignOp::Insert)).count();
+        let consumed_b = r.ops.iter().filter(|o| !matches!(o, AlignOp::Delete)).count();
+        assert_eq!(consumed_a, a.len());
+        assert_eq!(consumed_b, b.len());
+    }
+}

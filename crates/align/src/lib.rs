@@ -1,0 +1,31 @@
+//! # pgasm-align — pairwise alignment substrate
+//!
+//! Dynamic-programming alignment kernels used throughout the framework:
+//!
+//! - [`global`] — Needleman–Wunsch global alignment (linear gap costs).
+//! - [`local`] — Smith–Waterman local alignment.
+//! - [`affine`] — Gotoh's affine-gap global alignment, the "improved
+//!   algorithm for matching biological sequences" the paper cites for
+//!   overlap scoring.
+//! - [`overlap`] — semi-global *suffix–prefix* alignment, the operation
+//!   the clustering phase performs on every selected promising pair
+//!   (§4: "a high quality alignment between a suffix of one and a prefix
+//!   of the other"), plus a banded variant anchored at the maximal match
+//!   that triggered the pair.
+//! - [`wmer`] — the classical fixed-length w-mer lookup-table filter
+//!   (Pearson–Lipman style), implemented as the *baseline* the paper
+//!   argues against: a single maximal match of length ℓ shows up as
+//!   ℓ − w + 1 separate w-matches here.
+//!
+//! All kernels operate on the coded alphabet of `pgasm-seq`; masked bases
+//! ([`pgasm_seq::MASK`]) never match anything, including each other.
+
+pub mod affine;
+pub mod global;
+pub mod local;
+pub mod overlap;
+pub mod scoring;
+pub mod wmer;
+
+pub use overlap::{banded_overlap_align, overlap_align, OverlapResult};
+pub use scoring::{AcceptCriteria, Scoring};

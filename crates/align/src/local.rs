@@ -1,0 +1,117 @@
+//! Smith–Waterman local alignment.
+
+use crate::scoring::Scoring;
+
+/// Result of a local alignment: score and the matched regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalResult {
+    /// Best local score (≥ 0).
+    pub score: i32,
+    /// Half-open range of `a` covered by the optimal local alignment.
+    pub a_range: (usize, usize),
+    /// Half-open range of `b` covered by the optimal local alignment.
+    pub b_range: (usize, usize),
+}
+
+/// Best local alignment of `a` vs `b` (linear gaps). Runs in O(mn) time
+/// and O(mn) space for start-point recovery via a parallel origin table.
+pub fn local_align(a: &[u8], b: &[u8], s: &Scoring) -> LocalResult {
+    let (m, n) = (a.len(), b.len());
+    let w = n + 1;
+    let mut dp = vec![0i32; (m + 1) * w];
+    // Origin of the local path ending at each cell, packed (i << 32 | j).
+    let mut origin = vec![0u64; (m + 1) * w];
+    for j in 0..=n {
+        origin[j] = pack(0, j);
+    }
+    let mut best = LocalResult { score: 0, a_range: (0, 0), b_range: (0, 0) };
+    for i in 1..=m {
+        origin[i * w] = pack(i, 0);
+        for j in 1..=n {
+            let diag = dp[(i - 1) * w + j - 1] + s.subst(a[i - 1], b[j - 1]);
+            let up = dp[(i - 1) * w + j] + s.gap_extend;
+            let left = dp[i * w + j - 1] + s.gap_extend;
+            let (val, org) = if diag >= up && diag >= left {
+                (diag, origin[(i - 1) * w + j - 1])
+            } else if up >= left {
+                (up, origin[(i - 1) * w + j])
+            } else {
+                (left, origin[i * w + j - 1])
+            };
+            if val <= 0 {
+                dp[i * w + j] = 0;
+                origin[i * w + j] = pack(i, j);
+            } else {
+                dp[i * w + j] = val;
+                origin[i * w + j] = org;
+                if val > best.score {
+                    let (oi, oj) = unpack(org);
+                    best = LocalResult { score: val, a_range: (oi, i), b_range: (oj, j) };
+                }
+            }
+        }
+    }
+    best
+}
+
+#[inline]
+fn pack(i: usize, j: usize) -> u64 {
+    ((i as u64) << 32) | j as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_seq::DnaSeq;
+
+    fn s() -> Scoring {
+        Scoring { match_score: 2, mismatch: -3, gap_open: -4, gap_extend: -4 }
+    }
+
+    #[test]
+    fn finds_embedded_match() {
+        let a = DnaSeq::from("TTTTACGTACGTTTTT");
+        let b = DnaSeq::from("GGACGTACGGG");
+        let r = local_align(a.codes(), b.codes(), &s());
+        // Common region is the 7-base ACGTACG (b diverges after it).
+        assert!(r.score >= 2 * 7, "score {}", r.score);
+        let (as_, ae) = r.a_range;
+        assert_eq!(&a.codes()[as_..ae], DnaSeq::from("ACGTACG").codes());
+    }
+
+    #[test]
+    fn disjoint_sequences_score_zero_or_small() {
+        let a = DnaSeq::from("AAAA");
+        let b = DnaSeq::from("TTTT");
+        let r = local_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn identical_full_length() {
+        let a = DnaSeq::from("ACGTGC");
+        let r = local_align(a.codes(), a.codes(), &s());
+        assert_eq!(r.score, 12);
+        assert_eq!(r.a_range, (0, 6));
+        assert_eq!(r.b_range, (0, 6));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = DnaSeq::from("ACGT");
+        let r = local_align(a.codes(), &[], &s());
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn score_never_negative() {
+        let a = DnaSeq::from("ACGTAGCTAG");
+        let b = DnaSeq::from("TGCATGCATG");
+        assert!(local_align(a.codes(), b.codes(), &s()).score >= 0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Semi-global suffix–prefix ("overlap") alignment.
+//!
+//! This is the alignment the clustering phase computes for every selected
+//! promising pair (§4): leading and trailing gaps are free, so the optimal
+//! alignment covers a suffix of one fragment and a prefix of the other
+//! (or a containment). Identity over the aligned columns and the overlap
+//! length feed the [`crate::scoring::AcceptCriteria`] decision.
+//!
+//! Two variants are provided: a full O(mn) DP, and a *banded* DP anchored
+//! at the maximal match that generated the pair — the fast path of the
+//! framework, since the generator hands us the seed's diagonal for free.
+//!
+//! Gap costs are linear (`gap_extend` per column). At the 1–2% error
+//! rates of Sanger-style fragments the accept/reject decision is
+//! insensitive to the affine refinement, which is available separately in
+//! [`crate::affine`] for consumers that need it.
+
+use crate::scoring::Scoring;
+use serde::{Deserialize, Serialize};
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Geometric relationship of the two fragments implied by an overlap
+/// alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlapKind {
+    /// A suffix of `a` aligns to a prefix of `b` (`a` extends left of `b`).
+    SuffixPrefix,
+    /// A suffix of `b` aligns to a prefix of `a` (`b` extends left of `a`).
+    PrefixSuffix,
+    /// `a` is contained within `b`.
+    AContained,
+    /// `b` is contained within `a`.
+    BContained,
+}
+
+/// Result of a suffix–prefix alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapResult {
+    /// Alignment score.
+    pub score: i32,
+    /// Identical columns / aligned columns (0.0 when nothing aligned).
+    pub identity: f64,
+    /// Number of aligned columns.
+    pub overlap_len: usize,
+    /// Half-open range of `a` covered.
+    pub a_range: (usize, usize),
+    /// Half-open range of `b` covered.
+    pub b_range: (usize, usize),
+    /// Geometry of the overlap.
+    pub kind: OverlapKind,
+    /// DP cells evaluated (work accounting for the parallel runtime).
+    pub cells: u64,
+}
+
+impl OverlapResult {
+    fn empty(cells: u64) -> OverlapResult {
+        OverlapResult {
+            score: 0,
+            identity: 0.0,
+            overlap_len: 0,
+            a_range: (0, 0),
+            b_range: (0, 0),
+            kind: OverlapKind::SuffixPrefix,
+            cells,
+        }
+    }
+
+    fn classify(a_len: usize, b_len: usize, a_range: (usize, usize), b_range: (usize, usize)) -> OverlapKind {
+        if a_range.0 == 0 && a_range.1 == a_len {
+            OverlapKind::AContained
+        } else if b_range.0 == 0 && b_range.1 == b_len {
+            OverlapKind::BContained
+        } else if b_range.0 == 0 {
+            OverlapKind::SuffixPrefix
+        } else {
+            OverlapKind::PrefixSuffix
+        }
+    }
+}
+
+/// Full O(mn) suffix–prefix alignment of `a` vs `b`.
+pub fn overlap_align(a: &[u8], b: &[u8], s: &Scoring) -> OverlapResult {
+    overlap_align_quality(a, b, None, s)
+}
+
+/// As [`overlap_align`], with optional *quality-weighted identity*:
+/// every aligned column contributes the minimum phred quality of its
+/// bases (an indel contributes the quality of the consumed base), so
+/// disagreements at low-quality positions — sequencing errors — barely
+/// count, while disagreements at high-quality positions — real
+/// divergence, e.g. between repeat copies — count fully. This is the
+/// quality-aware overlap acceptance that lets CAP3-class assemblers
+/// separate noisy true overlaps (weighted identity ≈ 0.99) from clean
+/// repeat-induced overlaps (≈ copy divergence).
+pub fn overlap_align_quality(
+    a: &[u8],
+    b: &[u8],
+    quals: Option<(&[u8], &[u8])>,
+    s: &Scoring,
+) -> OverlapResult {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return OverlapResult::empty(0);
+    }
+    if let Some((qa, qb)) = quals {
+        assert_eq!(qa.len(), m, "quality track must match sequence length");
+        assert_eq!(qb.len(), n, "quality track must match sequence length");
+    }
+    let w = n + 1;
+    let mut dp = vec![0i32; (m + 1) * w];
+    // 0 = diag, 1 = up, 2 = left, 3 = boundary stop.
+    let mut tb = vec![3u8; (m + 1) * w];
+    for i in 1..=m {
+        for j in 1..=n {
+            let diag = dp[(i - 1) * w + j - 1] + s.subst(a[i - 1], b[j - 1]);
+            let up = dp[(i - 1) * w + j] + s.gap_extend;
+            let left = dp[i * w + j - 1] + s.gap_extend;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0u8)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            dp[i * w + j] = best;
+            tb[i * w + j] = dir;
+        }
+    }
+    // Best end cell on the last row or last column (free trailing gaps).
+    let mut best_score = NEG;
+    let mut end = (0usize, 0usize);
+    for j in 0..=n {
+        if dp[m * w + j] > best_score {
+            best_score = dp[m * w + j];
+            end = (m, j);
+        }
+    }
+    for i in 0..=m {
+        if dp[i * w + n] > best_score {
+            best_score = dp[i * w + n];
+            end = (i, n);
+        }
+    }
+    let (mut i, mut j) = end;
+    let mut cols = 0usize;
+    // Quality-weighted tallies; without quality every weight is 1.0 and
+    // the ratio reduces to plain matches / columns.
+    let (mut w_match, mut w_total) = (0.0f64, 0.0f64);
+    let weight = |qi: Option<usize>, qj: Option<usize>| -> f64 {
+        match quals {
+            None => 1.0,
+            Some((qa, qb)) => {
+                let wa = qi.map(|x| qa[x] as f64);
+                let wb = qj.map(|x| qb[x] as f64);
+                match (wa, wb) {
+                    (Some(x), Some(y)) => x.min(y).max(1.0),
+                    (Some(x), None) | (None, Some(x)) => x.max(1.0),
+                    (None, None) => 1.0,
+                }
+            }
+        }
+    };
+    while i > 0 && j > 0 {
+        match tb[i * w + j] {
+            0 => {
+                cols += 1;
+                let wgt = weight(Some(i - 1), Some(j - 1));
+                w_total += wgt;
+                if a[i - 1] == b[j - 1] && pgasm_seq::is_base_code(a[i - 1]) {
+                    w_match += wgt;
+                }
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                cols += 1;
+                w_total += weight(Some(i - 1), None);
+                i -= 1;
+            }
+            2 => {
+                cols += 1;
+                w_total += weight(None, Some(j - 1));
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    let a_range = (i, end.0);
+    let b_range = (j, end.1);
+    OverlapResult {
+        score: best_score,
+        identity: if w_total == 0.0 { 0.0 } else { w_match / w_total },
+        overlap_len: cols,
+        a_range,
+        b_range,
+        kind: OverlapResult::classify(m, n, a_range, b_range),
+        cells: (m * n) as u64,
+    }
+}
+
+/// Banded suffix–prefix alignment restricted to diagonals
+/// `seed_diag ± band`, where `seed_diag = a_pos − b_pos` of the maximal
+/// match that generated the pair. Runs in O((m + n) · band) time.
+///
+/// With a sufficiently wide band this equals [`overlap_align`]; with the
+/// default band (≈ 2 + expected indels) it is the production fast path.
+pub fn banded_overlap_align(a: &[u8], b: &[u8], seed_diag: i64, band: usize, s: &Scoring) -> OverlapResult {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return OverlapResult::empty(0);
+    }
+    let band = band as i64;
+    let width = (2 * band + 1) as usize;
+    let w = width + 2; // padding column on each side of the band window
+    let row_lo = |i: i64| -> i64 { i - seed_diag - band };
+    let mut dp = vec![NEG; (m + 1) * w];
+    let mut tb = vec![3u8; (m + 1) * w];
+    let mut cells = 0u64;
+    // Row 0: free leading gap in a — dp(0, j) = 0 for in-band j.
+    {
+        let lo = row_lo(0);
+        for off in 0..width as i64 {
+            let j = lo + off;
+            if (0..=n as i64).contains(&j) {
+                dp[(off + 1) as usize] = 0;
+            }
+        }
+    }
+    for i in 1..=m {
+        let lo = row_lo(i as i64);
+        let prev_lo = row_lo(i as i64 - 1);
+        for off in 0..width as i64 {
+            let j = lo + off;
+            if !(0..=n as i64).contains(&j) {
+                continue;
+            }
+            let idx = i * w + (off + 1) as usize;
+            if j == 0 {
+                // Free leading gap in b.
+                dp[idx] = 0;
+                tb[idx] = 3;
+                continue;
+            }
+            cells += 1;
+            // Offsets of (i-1, j-1), (i-1, j), (i, j-1) in their windows.
+            let d_off = (j - 1) - prev_lo; // in row i-1
+            let u_off = j - prev_lo;
+            let l_off = (off + 1) - 1;
+            let diag = get(&dp, (i - 1) * w, d_off, w) + s.subst(a[i - 1], b[j as usize - 1]);
+            let up = get(&dp, (i - 1) * w, u_off, w) + s.gap_extend;
+            let left = dp[i * w + l_off as usize] + s.gap_extend;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0u8)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            dp[idx] = best;
+            tb[idx] = dir;
+        }
+    }
+    // Scan for the best end on the last row and on column n.
+    let mut best_score = NEG;
+    let mut end: Option<(usize, i64)> = None;
+    {
+        let lo = row_lo(m as i64);
+        for off in 0..width as i64 {
+            let j = lo + off;
+            if (0..=n as i64).contains(&j) && dp[m * w + (off + 1) as usize] > best_score {
+                best_score = dp[m * w + (off + 1) as usize];
+                end = Some((m, j));
+            }
+        }
+    }
+    for i in 0..=m {
+        let lo = row_lo(i as i64);
+        let off = n as i64 - lo;
+        if (0..width as i64).contains(&off) && dp[i * w + (off + 1) as usize] > best_score {
+            best_score = dp[i * w + (off + 1) as usize];
+            end = Some((i, n as i64));
+        }
+    }
+    let Some((ei, ej)) = end else {
+        return OverlapResult::empty(cells);
+    };
+    if best_score <= NEG / 2 {
+        return OverlapResult::empty(cells);
+    }
+    // Traceback.
+    let (mut i, mut j) = (ei, ej);
+    let (mut matches, mut cols) = (0usize, 0usize);
+    loop {
+        if i == 0 || j == 0 {
+            break;
+        }
+        let off = j - row_lo(i as i64);
+        let dir = tb[i * w + (off + 1) as usize];
+        match dir {
+            0 => {
+                cols += 1;
+                if a[i - 1] == b[j as usize - 1] && pgasm_seq::is_base_code(a[i - 1]) {
+                    matches += 1;
+                }
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                cols += 1;
+                i -= 1;
+            }
+            2 => {
+                cols += 1;
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    let a_range = (i, ei);
+    let b_range = (j as usize, ej as usize);
+    OverlapResult {
+        score: best_score,
+        identity: if cols == 0 { 0.0 } else { matches as f64 / cols as f64 },
+        overlap_len: cols,
+        a_range,
+        b_range,
+        kind: OverlapResult::classify(m, n, a_range, b_range),
+        cells,
+    }
+}
+
+#[inline]
+fn get(dp: &[i32], row_base: usize, off: i64, w: usize) -> i32 {
+    if (0..(w as i64 - 2)).contains(&off) {
+        dp[row_base + (off + 1) as usize]
+    } else {
+        NEG
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_seq::DnaSeq;
+
+    fn s() -> Scoring {
+        Scoring::DEFAULT
+    }
+
+    #[test]
+    fn perfect_dovetail() {
+        // a: XXXXCCCC, b: CCCCYYYY — suffix of a == prefix of b.
+        let a = DnaSeq::from("ATGAGGTACCCTTGCA");
+        let b = DnaSeq::from("CCTTGCAGGATCGATT");
+        let r = overlap_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.kind, OverlapKind::SuffixPrefix);
+        assert_eq!(r.overlap_len, 7);
+        assert!((r.identity - 1.0).abs() < 1e-12);
+        assert_eq!(r.a_range, (9, 16));
+        assert_eq!(r.b_range, (0, 7));
+    }
+
+    #[test]
+    fn reverse_dovetail() {
+        let a = DnaSeq::from("CCTTGCAGGATCGATT");
+        let b = DnaSeq::from("ATGAGGTACCCTTGCA");
+        let r = overlap_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.kind, OverlapKind::PrefixSuffix);
+        assert_eq!(r.overlap_len, 7);
+    }
+
+    #[test]
+    fn containment() {
+        let a = DnaSeq::from("GGTACCCT");
+        let b = DnaSeq::from("ATGAGGTACCCTTGCA");
+        let r = overlap_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.kind, OverlapKind::AContained);
+        assert_eq!(r.overlap_len, 8);
+        assert!((r.identity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_with_one_error_identity() {
+        // 20-base overlap with a single substitution in the middle.
+        let left = "ATCGGATCGTAGGCTAAGTC";
+        let mut overlap: Vec<u8> = left.bytes().collect();
+        overlap[10] = b'C'; // introduce mismatch vs b's copy (original is 'A')
+        let a_str = format!("TTTTTTTT{}", String::from_utf8(overlap).unwrap());
+        let b_str = format!("{}GGGGGGGG", left);
+        let a = DnaSeq::from(a_str.as_str());
+        let b = DnaSeq::from(b_str.as_str());
+        let r = overlap_align(a.codes(), b.codes(), &s());
+        assert_eq!(r.overlap_len, 20);
+        assert!((r.identity - 0.95).abs() < 1e-9, "identity {}", r.identity);
+    }
+
+    #[test]
+    fn no_overlap_low_identity() {
+        let a = DnaSeq::from("AAAAAAAAAAAAAAA");
+        let b = DnaSeq::from("CCCCCCCCCCCCCCC");
+        let r = overlap_align(a.codes(), b.codes(), &s());
+        assert!(r.overlap_len <= 1, "spurious overlap {:?}", r);
+    }
+
+    #[test]
+    fn masked_bases_do_not_match() {
+        let mut a = DnaSeq::from("TTTTACGTACGT");
+        let mut b = DnaSeq::from("ACGTACGTGGGG");
+        // Perfect 8-base dovetail before masking.
+        let clean = overlap_align(a.codes(), b.codes(), &s());
+        assert_eq!(clean.overlap_len, 8);
+        a.mask_range(4, 12);
+        b.mask_range(0, 8);
+        let masked = overlap_align(a.codes(), b.codes(), &s());
+        assert!(masked.identity < 0.5, "masked overlap should not score: {masked:?}");
+    }
+
+    #[test]
+    fn banded_matches_full_when_band_large() {
+        let a = DnaSeq::from("ATGAGGTACCCTTGCAAGT");
+        let b = DnaSeq::from("CCTTGCAAGTGGATCGATT");
+        let full = overlap_align(a.codes(), b.codes(), &s());
+        // Seed: "CCTTGCAAGT" begins at a[9], b[0] → diag 9.
+        let banded = banded_overlap_align(a.codes(), b.codes(), 9, 64, &s());
+        assert_eq!(banded.score, full.score);
+        assert_eq!(banded.overlap_len, full.overlap_len);
+        assert_eq!(banded.a_range, full.a_range);
+        assert_eq!(banded.b_range, full.b_range);
+    }
+
+    #[test]
+    fn banded_handles_indels_within_band() {
+        // Overlap with one deletion: suffix of a = prefix of b minus one base.
+        let a = DnaSeq::from("TTTTTTATCGGATCGAGGCTAAGTC");
+        let b = DnaSeq::from("ATCGGATCGTAGGCTAAGTCAAAAA");
+        let full = overlap_align(a.codes(), b.codes(), &s());
+        let banded = banded_overlap_align(a.codes(), b.codes(), 6, 8, &s());
+        assert_eq!(banded.score, full.score, "full {full:?} banded {banded:?}");
+    }
+
+    #[test]
+    fn banded_cheaper_than_full() {
+        let a = DnaSeq::from("ATGAGGTACCCTTGCAAGTATGAGGTACCCTTGCAAGT");
+        let b = DnaSeq::from("CCTTGCAAGTGGATCGATTCCTTGCAAGTGGATCGATT");
+        let full = overlap_align(a.codes(), b.codes(), &s());
+        let banded = banded_overlap_align(a.codes(), b.codes(), 0, 4, &s());
+        assert!(banded.cells < full.cells);
+    }
+
+    #[test]
+    fn quality_weighting_discounts_low_quality_mismatches() {
+        // 20-base dovetail with one mismatch planted at overlap column 10.
+        let a = DnaSeq::from("TTTTTTTTATCGGATCGTAGGCTAAGTC");
+        let mut b = DnaSeq::from("ATCGGATCGTAGGCTAAGTCGGGGGGGG");
+        let orig = b.codes()[10];
+        b.codes_mut()[10] = if orig == 1 { 2 } else { 1 };
+        let s = Scoring::DEFAULT;
+        let plain = overlap_align(a.codes(), b.codes(), &s);
+        assert!(plain.identity < 1.0 && plain.identity > 0.9);
+        // Low quality at the mismatch in both reads: weighted identity
+        // rises close to 1.
+        let mut qa = vec![40u8; a.len()];
+        let mut qb = vec![40u8; b.len()];
+        qa[8 + 10] = 2;
+        qb[10] = 2;
+        let weighted = overlap_align_quality(a.codes(), b.codes(), Some((&qa, &qb)), &s);
+        assert!(weighted.identity > 0.99, "weighted {}", weighted.identity);
+        // High quality everywhere: weighted equals plain.
+        let qa_hi = vec![40u8; a.len()];
+        let qb_hi = vec![40u8; b.len()];
+        let hi = overlap_align_quality(a.codes(), b.codes(), Some((&qa_hi, &qb_hi)), &s);
+        assert!((hi.identity - plain.identity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_none_matches_plain() {
+        let a = DnaSeq::from("ATGAGGTACCCTTGCA");
+        let b = DnaSeq::from("CCTTGCAGGATCGATT");
+        let s = Scoring::DEFAULT;
+        let plain = overlap_align(a.codes(), b.codes(), &s);
+        let q = overlap_align_quality(a.codes(), b.codes(), None, &s);
+        assert_eq!(plain, q);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(overlap_align(&[], &[], &s()).overlap_len, 0);
+        assert_eq!(banded_overlap_align(&[], DnaSeq::from("ACG").codes(), 0, 4, &s()).overlap_len, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-column majority-vote consensus.
+
+use crate::{Contig, Placement};
+use pgasm_seq::alphabet::{is_base_code, MASK, SIGMA};
+use pgasm_seq::DnaSeq;
+
+/// Build the consensus sequence for one layout. Each placed read votes
+/// at every column it covers; masked bases abstain. Columns no read
+/// covers (possible after inconsistent-edge rejection) and columns where
+/// every vote abstained emit a masked base.
+pub fn consensus(reads: &[DnaSeq], placements: &[Placement]) -> Contig {
+    let len = placements
+        .iter()
+        .map(|p| p.offset + reads[p.read].len())
+        .max()
+        .unwrap_or(0);
+    let mut votes = vec![[0u32; SIGMA]; len];
+    for p in placements {
+        let oriented;
+        let codes: &[u8] = if p.flipped {
+            oriented = reads[p.read].reverse_complement();
+            oriented.codes()
+        } else {
+            reads[p.read].codes()
+        };
+        for (k, &c) in codes.iter().enumerate() {
+            if is_base_code(c) {
+                votes[p.offset + k][c as usize] += 1;
+            }
+        }
+    }
+    let mut seq = DnaSeq::with_capacity(len);
+    for v in votes {
+        let (best, count) = v
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, &c)| (i as u8, c))
+            .expect("SIGMA > 0");
+        seq.push_code(if count == 0 { MASK } else { best });
+    }
+    Contig { seq, placements: placements.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_read_consensus_is_the_read() {
+        let reads = vec![DnaSeq::from("ACGTACGT")];
+        let c = consensus(&reads, &[Placement { read: 0, offset: 0, flipped: false }]);
+        assert_eq!(c.seq, reads[0]);
+    }
+
+    #[test]
+    fn overlapping_reads_merge() {
+        let reads = vec![DnaSeq::from("ACGTACGT"), DnaSeq::from("ACGTTTTT")];
+        let c = consensus(
+            &reads,
+            &[
+                Placement { read: 0, offset: 0, flipped: false },
+                Placement { read: 1, offset: 4, flipped: false },
+            ],
+        );
+        assert_eq!(c.seq.to_ascii(), b"ACGTACGTTTTT");
+    }
+
+    #[test]
+    fn majority_wins_on_disagreement() {
+        // Three reads cover one column; two vote A, one votes C.
+        let reads = vec![DnaSeq::from("AAA"), DnaSeq::from("AAA"), DnaSeq::from("ACA")];
+        let c = consensus(
+            &reads,
+            &(0..3).map(|i| Placement { read: i, offset: 0, flipped: false }).collect::<Vec<_>>(),
+        );
+        assert_eq!(c.seq.to_ascii(), b"AAA");
+    }
+
+    #[test]
+    fn flipped_read_votes_reverse_complemented() {
+        let reads = vec![DnaSeq::from("ACGT"), DnaSeq::from("ACGT")];
+        // Read 1 flipped: rc(ACGT) = ACGT, self-complementary — use an
+        // asymmetric read instead.
+        let reads2 = vec![DnaSeq::from("AACC"), DnaSeq::from("GGTT")];
+        // rc(GGTT) = AACC, so both vote identically.
+        let c = consensus(
+            &reads2,
+            &[
+                Placement { read: 0, offset: 0, flipped: false },
+                Placement { read: 1, offset: 0, flipped: true },
+            ],
+        );
+        assert_eq!(c.seq.to_ascii(), b"AACC");
+        drop(reads);
+    }
+
+    #[test]
+    fn masked_bases_abstain() {
+        let mut masked = DnaSeq::from("AAAA");
+        masked.mask_range(1, 3);
+        let reads = vec![masked, DnaSeq::from("CCCC")];
+        let c = consensus(
+            &reads,
+            &[
+                Placement { read: 0, offset: 0, flipped: false },
+                Placement { read: 1, offset: 0, flipped: false },
+            ],
+        );
+        // Columns 1–2: only read 1 votes (C); columns 0,3: tie A/C —
+        // `max_by_key` keeps the last maximum, so the higher code (C)
+        // wins ties deterministically.
+        assert_eq!(c.seq.to_ascii(), b"CCCC");
+    }
+
+    #[test]
+    fn uncovered_column_emits_mask() {
+        let reads = vec![DnaSeq::from("AA"), DnaSeq::from("CC")];
+        let c = consensus(
+            &reads,
+            &[
+                Placement { read: 0, offset: 0, flipped: false },
+                Placement { read: 1, offset: 3, flipped: false },
+            ],
+        );
+        assert_eq!(c.seq.to_ascii(), b"AAXCC");
+    }
+}

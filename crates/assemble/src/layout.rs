@@ -1,0 +1,196 @@
+//! Transitive layout of reads onto contig coordinate systems.
+//!
+//! Reads are placed greedily by walking accepted overlap edges from the
+//! strongest down: an edge either founds a contig, extends one, merges
+//! two, or — when its implied placement disagrees with existing
+//! placements beyond a tolerance — is rejected as inconsistent (the
+//! repeat-induced case the paper defers from clustering to assembly).
+
+use crate::overlap::OverlapEdge;
+use crate::{AssemblyConfig, Placement};
+use pgasm_seq::DnaSeq;
+
+/// One laid-out group of reads sharing a coordinate system.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Placements with non-negative offsets.
+    pub placements: Vec<Placement>,
+}
+
+#[derive(Clone, Copy)]
+struct Pos {
+    group: usize,
+    offset: i64,
+    flipped: bool,
+}
+
+/// Lay out `reads` given accepted `edges` (sorted strongest-first).
+/// Returns the layouts and the number of edges rejected as
+/// inconsistent.
+pub fn layout(reads: &[DnaSeq], edges: &[OverlapEdge], config: &AssemblyConfig) -> (Vec<Layout>, usize) {
+    let n = reads.len();
+    // Each read starts alone in its own group at offset 0.
+    let mut pos: Vec<Pos> = (0..n).map(|i| Pos { group: i, offset: 0, flipped: false }).collect();
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut inconsistent = 0usize;
+    // Corroboration ledger for large-group merges: group-pair →
+    // previously seen implied transforms (flip_change, translation).
+    let mut pending: std::collections::HashMap<(usize, usize), Vec<(bool, i64)>> =
+        std::collections::HashMap::new();
+
+    for e in edges {
+        // Implied placement of j relative to i (in i's group frame).
+        let (i, j) = (e.i, e.j);
+        let li = reads[i].len() as i64;
+        let lj = reads[j].len() as i64;
+        let d = e.result.a_range.0 as i64 - e.result.b_range.0 as i64;
+        let pi = pos[i];
+        // Where would j sit if we adopt i's frame?
+        let (j_off, j_flip) = if !pi.flipped {
+            (pi.offset + d, e.rc)
+        } else {
+            (pi.offset + li - lj - d, !e.rc)
+        };
+        let pj = pos[j];
+        if pi.group == pj.group {
+            // Already together: check consistency.
+            let ok = pj.flipped == j_flip && (pj.offset - j_off).unsigned_abs() as usize <= config.offset_tolerance;
+            if !ok {
+                inconsistent += 1;
+            }
+            continue;
+        }
+        // A lone overlap joining two *established* groups is
+        // repeat-suspect (it would fold distant regions onto each
+        // other); demand a second agreeing edge before committing.
+        if config.min_group_evidence > 1
+            && members[pi.group].len() > config.evidence_exempt_size
+            && members[pj.group].len() > config.evidence_exempt_size
+        {
+            // The transform this edge implies for j's group, expressed
+            // canonically for the (min, max) group-id pair: mirror
+            // transforms are self-inverse in the constant, translations
+            // negate.
+            let flip_change = pj.flipped != j_flip;
+            let c = if flip_change {
+                j_off + lj + pj.offset
+            } else {
+                j_off - pj.offset
+            };
+            let (key, canon_c) = if pj.group >= pi.group {
+                ((pi.group, pj.group), c)
+            } else {
+                ((pj.group, pi.group), if flip_change { c } else { -c })
+            };
+            let slot = pending.entry(key).or_default();
+            let corroborated = slot
+                .iter()
+                .any(|&(f, pc)| f == flip_change && (pc - canon_c).unsigned_abs() as usize <= 2 * config.offset_tolerance);
+            if !corroborated {
+                slot.push((flip_change, canon_c));
+                continue;
+            }
+        }
+        // Merge j's group into i's: transform all of j's group so that
+        // j lands at (j_off, j_flip).
+        let from = pj.group;
+        let to = pi.group;
+        // Transformation of a position p in j's old frame to the new
+        // frame. If flip parity changes, the group mirrors around j.
+        let flip_change = pj.flipped != j_flip;
+        let moved = std::mem::take(&mut members[from]);
+        for &r in &moved {
+            let old = pos[r];
+            let lr = reads[r].len() as i64;
+            let (new_off, new_flip) = if !flip_change {
+                (old.offset - pj.offset + j_off, old.flipped)
+            } else {
+                // Mirror r around j's extent in the old frame.
+                let rel_end = (old.offset + lr) - pj.offset; // r's end relative to j's start
+                (j_off + lj - rel_end, !old.flipped)
+            };
+            pos[r] = Pos { group: to, offset: new_off, flipped: new_flip };
+        }
+        members[to].extend(moved);
+    }
+
+    // Emit layouts with offsets normalised to start at 0.
+    let mut out = Vec::new();
+    for group in members.into_iter().filter(|m| !m.is_empty()) {
+        let min = group.iter().map(|&r| pos[r].offset).min().expect("non-empty");
+        let mut placements: Vec<Placement> = group
+            .into_iter()
+            .map(|r| Placement { read: r, offset: (pos[r].offset - min) as usize, flipped: pos[r].flipped })
+            .collect();
+        placements.sort_by_key(|p| (p.offset, p.read));
+        out.push(Layout { placements });
+    }
+    (out, inconsistent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::find_overlaps;
+
+    fn genome() -> String {
+        // 200 deterministic pseudo-random bases.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        (0..200)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_of_three_reads_one_layout() {
+        let g = genome();
+        let reads = vec![
+            DnaSeq::from(&g[0..100]),
+            DnaSeq::from(&g[50..150]),
+            DnaSeq::from(&g[100..200]),
+        ];
+        let cfg = AssemblyConfig::default();
+        let edges = find_overlaps(&reads, None, &cfg);
+        let (layouts, bad) = layout(&reads, &edges, &cfg);
+        assert_eq!(bad, 0);
+        assert_eq!(layouts.len(), 1);
+        let l = &layouts[0];
+        assert_eq!(l.placements.len(), 3);
+        assert_eq!(l.placements[0].offset, 0);
+        assert_eq!(l.placements[1].offset, 50);
+        assert_eq!(l.placements[2].offset, 100);
+        assert!(l.placements.iter().all(|p| !p.flipped));
+    }
+
+    #[test]
+    fn flipped_read_gets_flipped_placement() {
+        let g = genome();
+        let reads = vec![
+            DnaSeq::from(&g[0..100]),
+            DnaSeq::from(&g[50..150]).reverse_complement(),
+        ];
+        let cfg = AssemblyConfig::default();
+        let edges = find_overlaps(&reads, None, &cfg);
+        let (layouts, _) = layout(&reads, &edges, &cfg);
+        assert_eq!(layouts.len(), 1);
+        let l = &layouts[0];
+        let p0 = l.placements.iter().find(|p| p.read == 0).unwrap();
+        let p1 = l.placements.iter().find(|p| p.read == 1).unwrap();
+        assert_ne!(p0.flipped, p1.flipped);
+        assert_eq!((p0.offset as i64 - p1.offset as i64).unsigned_abs(), 50);
+    }
+
+    #[test]
+    fn unconnected_reads_remain_separate() {
+        let g = genome();
+        let reads = vec![DnaSeq::from(&g[0..80]), DnaSeq::from(&g[120..200])];
+        let cfg = AssemblyConfig::default();
+        let edges = find_overlaps(&reads, None, &cfg);
+        assert!(edges.is_empty());
+        let (layouts, _) = layout(&reads, &edges, &cfg);
+        assert_eq!(layouts.len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Pairwise overlap detection within one cluster.
+
+use crate::AssemblyConfig;
+use pgasm_align::overlap::overlap_align_quality;
+use pgasm_align::OverlapResult;
+use pgasm_seq::{DnaSeq, KmerIter, QualityTrack};
+use std::collections::{HashMap, HashSet};
+
+/// One accepted overlap edge between two reads of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapEdge {
+    /// First read (lower index).
+    pub i: usize,
+    /// Second read.
+    pub j: usize,
+    /// Whether the overlap is between `i` forward and `j`
+    /// reverse-complemented.
+    pub rc: bool,
+    /// The alignment of `i` (forward) against `j` in the `rc`
+    /// orientation.
+    pub result: OverlapResult,
+}
+
+/// Find all accepted overlaps among `reads`: candidates are seeded by
+/// shared w-mers (either orientation), then verified by full
+/// suffix–prefix alignment. With quality tracks, the quality-weighted
+/// identity is tested against [`AssemblyConfig::quality_criteria`];
+/// without them, the plain identity against [`AssemblyConfig::criteria`].
+pub fn find_overlaps(reads: &[DnaSeq], quals: Option<&[QualityTrack]>, config: &AssemblyConfig) -> Vec<OverlapEdge> {
+    // Index w-mers of every read in forward orientation.
+    let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, r) in reads.iter().enumerate() {
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (_, k) in KmerIter::new(r.codes(), config.wmer) {
+            if seen.insert(k) {
+                table.entry(k).or_default().push(i);
+            }
+        }
+    }
+    // Candidate pairs: forward–forward via shared word; forward–reverse
+    // via words of rc(j).
+    let mut candidates: HashSet<(usize, usize, bool)> = HashSet::new();
+    for (i, r) in reads.iter().enumerate() {
+        // Forward–forward.
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (_, k) in KmerIter::new(r.codes(), config.wmer) {
+            if !seen.insert(k) {
+                continue;
+            }
+            if let Some(list) = table.get(&k) {
+                for &j in list {
+                    if j > i {
+                        candidates.insert((i, j, false));
+                    }
+                }
+            }
+        }
+        // Forward–reverse: words of rc(i) hitting forward words of j.
+        let rci = r.reverse_complement();
+        let mut seen_rc: HashSet<u64> = HashSet::new();
+        for (_, k) in KmerIter::new(rci.codes(), config.wmer) {
+            if !seen_rc.insert(k) {
+                continue;
+            }
+            if let Some(list) = table.get(&k) {
+                for &j in list {
+                    if j != i {
+                        let (a, b) = (i.min(j), i.max(j));
+                        candidates.insert((a, b, true));
+                    }
+                }
+            }
+        }
+    }
+    // Verify by alignment.
+    let criteria = if quals.is_some() { config.quality_criteria } else { config.criteria };
+    let mut edges = Vec::new();
+    for (i, j, rc) in candidates {
+        let b_owned;
+        let b: &[u8] = if rc {
+            b_owned = reads[j].reverse_complement();
+            b_owned.codes()
+        } else {
+            &reads[j].codes()[..]
+        };
+        let qb_owned;
+        let q: Option<(&[u8], &[u8])> = match quals {
+            None => None,
+            Some(qs) => {
+                let qa = qs[i].values();
+                let qb: &[u8] = if rc {
+                    qb_owned = qs[j].values().iter().rev().copied().collect::<Vec<u8>>();
+                    &qb_owned
+                } else {
+                    qs[j].values()
+                };
+                Some((qa, qb))
+            }
+        };
+        let r = overlap_align_quality(reads[i].codes(), b, q, &config.scoring);
+        if criteria.accepts(r.identity, r.overlap_len) {
+            edges.push(OverlapEdge { i, j, rc, result: r });
+        }
+    }
+    // Deterministic order: best score first (greedy layout quality).
+    edges.sort_by(|a, b| b.result.score.cmp(&a.result.score).then(a.i.cmp(&b.i)).then(a.j.cmp(&b.j)));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AssemblyConfig {
+        AssemblyConfig::default()
+    }
+
+    #[test]
+    fn detects_forward_overlap() {
+        // 60-base overlap between the two reads.
+        let genome = "ATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTCATCGGTTCGTAGGCTAAGTCGGATTTGCAGCATTACGGATCAGGCATCAGGCATTACGAT";
+        let a = DnaSeq::from(&genome[..80]);
+        let b = DnaSeq::from(&genome[20..]);
+        let edges = find_overlaps(&[a, b], None, &cfg());
+        assert_eq!(edges.len(), 1);
+        assert!(!edges[0].rc);
+        assert_eq!(edges[0].result.overlap_len, 60);
+    }
+
+    #[test]
+    fn detects_reverse_overlap() {
+        let genome = "ATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTCATCGGTTCGTAGGCTAAGTCGGATTTGCAGCATTACGGATCAGGCATCAGGCATTACGAT";
+        let a = DnaSeq::from(&genome[..80]);
+        let b = DnaSeq::from(&genome[20..]).reverse_complement();
+        let edges = find_overlaps(&[a, b], None, &cfg());
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].rc);
+    }
+
+    #[test]
+    fn short_or_bad_overlaps_rejected() {
+        // 20-base overlap < min_overlap 40.
+        let a = DnaSeq::from("ATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTC");
+        let b = DnaSeq::from("ATCGGATCGTAGGCTAAGTCGGATTTGCAGCATTACGGAT");
+        let edges = find_overlaps(&[a, b], None, &cfg());
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn edges_sorted_by_score() {
+        let genome = "ATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTCATCGGTTCGTAGGCTAAGTCGGATTTGCAGCATTACGGATCAGGCATCAGGCATTACGATATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTATGTCATCGGTTCGTAGGCTAAGTC";
+        let reads = vec![
+            DnaSeq::from(&genome[..100]),
+            DnaSeq::from(&genome[20..120]),
+            DnaSeq::from(&genome[55..155]),
+        ];
+        let edges = find_overlaps(&reads, None, &cfg());
+        assert!(edges.len() >= 2);
+        for w in edges.windows(2) {
+            assert!(w[0].result.score >= w[1].result.score);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks of the framework's kernels: alignment,
+//! GST construction, pair generation, Union–Find, and the message
+//! substrate. These quantify the constants behind the experiment
+//! binaries (run those via `cargo run --release -p pgasm-bench --bin …`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgasm_align::{banded_overlap_align, overlap_align, Scoring};
+use pgasm_core::UnionFind;
+use pgasm_gst::{GenMode, Gst, GstConfig, PairGenerator};
+use pgasm_seq::{DnaSeq, FragmentStore};
+use pgasm_simgen::genome::{random_dna, Genome, GenomeSpec};
+use pgasm_simgen::sampler::{Sampler, SamplerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn overlapping_reads(n: usize, seed: u64) -> FragmentStore {
+    let genome = Genome::generate(
+        &GenomeSpec { length: n * 120, repeat_fraction: 0.1, repeat_families: 3, repeat_len: (80, 200), repeat_identity: 0.99, islands: 0, island_len: (1, 2) },
+        seed,
+    );
+    let mut sampler = Sampler::new(&genome, SamplerConfig::clean(), seed + 1);
+    sampler.wgs(n).to_store()
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let shared = random_dna(&mut rng, 200);
+    let mut a = random_dna(&mut rng, 300);
+    a.extend_from(&shared);
+    let mut b = shared.clone();
+    b.extend_from(&random_dna(&mut rng, 300));
+    let s = Scoring::DEFAULT;
+    let mut group = c.benchmark_group("alignment");
+    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
+    group.bench_function("overlap_full_500bp", |bencher| {
+        bencher.iter(|| overlap_align(a.codes(), b.codes(), &s))
+    });
+    group.bench_function("overlap_banded_500bp", |bencher| {
+        bencher.iter(|| banded_overlap_align(a.codes(), b.codes(), 300, 24, &s))
+    });
+    group.finish();
+}
+
+fn bench_gst_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gst_build");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let store = overlapping_reads(n, 7).with_reverse_complements();
+        group.throughput(Throughput::Bytes(store.total_len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &store, |bencher, store| {
+            bencher.iter(|| Gst::build(store, GstConfig { w: 11, psi: 20 }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_generation(c: &mut Criterion) {
+    let store = overlapping_reads(400, 9).with_reverse_complements();
+    let mut group = c.benchmark_group("pair_generation");
+    group.sample_size(10);
+    for mode in [GenMode::AllMatches, GenMode::DupElim] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{mode:?}")), &mode, |bencher, &mode| {
+            bencher.iter(|| {
+                let gst = Gst::build(&store, GstConfig { w: 11, psi: 20 });
+                PairGenerator::new(gst, mode, |_, _| false).count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unionfind(c: &mut Criterion) {
+    c.bench_function("unionfind_100k_unions", |bencher| {
+        bencher.iter(|| {
+            let mut uf = UnionFind::new(100_000);
+            for i in 0..99_999u32 {
+                uf.union(i, i + 1);
+            }
+            uf.num_sets()
+        })
+    });
+}
+
+fn bench_mpisim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim");
+    group.sample_size(10);
+    group.bench_function("alltoallv_4ranks_64KiB", |bencher| {
+        bencher.iter(|| {
+            pgasm_mpisim::run(4, |comm| {
+                let bufs: Vec<bytes::Bytes> =
+                    (0..comm.size()).map(|_| bytes::Bytes::from(vec![0u8; 16 * 1024])).collect();
+                comm.all_to_allv(bufs).len()
+            })
+        })
+    });
+    group.bench_function("alltoallv_p2p_4ranks_64KiB", |bencher| {
+        bencher.iter(|| {
+            pgasm_mpisim::run(4, |comm| {
+                let bufs: Vec<bytes::Bytes> =
+                    (0..comm.size()).map(|_| bytes::Bytes::from(vec![0u8; 16 * 1024])).collect();
+                comm.all_to_allv_p2p(bufs).len()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_serial_clustering(c: &mut Criterion) {
+    let store = overlapping_reads(300, 13);
+    let params = pgasm_core::ClusterParams::default();
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(store.total_len() as u64));
+    group.bench_function("serial_300_reads", |bencher| {
+        bencher.iter(|| pgasm_core::cluster_serial(&store, &params))
+    });
+    group.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let genome: Vec<u8> = random_dna(&mut rng, 3_000).to_ascii();
+    let mut reads = Vec::new();
+    let mut at = 0;
+    while at + 400 <= genome.len() {
+        reads.push(DnaSeq::from_ascii(&genome[at..at + 400]));
+        at += 200;
+    }
+    let cfg = pgasm_assemble::AssemblyConfig::default();
+    let mut group = c.benchmark_group("assembler");
+    group.sample_size(20);
+    group.bench_function("cluster_of_14_reads", |bencher| {
+        bencher.iter(|| pgasm_assemble::assemble(&reads, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_gst_build,
+    bench_pair_generation,
+    bench_unionfind,
+    bench_mpisim,
+    bench_serial_clustering,
+    bench_assembler
+);
+criterion_main!(benches);

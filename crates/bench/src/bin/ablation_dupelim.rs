@@ -1,0 +1,4 @@
+//! §5 ablation: duplicate elimination in pair generation.
+fn main() {
+    pgasm_bench::ablations::dup_elim(pgasm_bench::util::env_scale());
+}

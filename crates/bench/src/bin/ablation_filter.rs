@@ -1,0 +1,4 @@
+//! §2/§4 ablation: maximal-match filter vs w-mer lookup table.
+fn main() {
+    pgasm_bench::ablations::filter(pgasm_bench::util::env_scale());
+}

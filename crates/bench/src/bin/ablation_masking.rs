@@ -1,0 +1,4 @@
+//! §9.1 ablation: clustering with and without repeat masking.
+fn main() {
+    pgasm_bench::ablations::masking(pgasm_bench::util::env_scale());
+}

@@ -1,0 +1,4 @@
+//! §4 ablation: pair-ordering heuristic vs reversed/shuffled order.
+fn main() {
+    pgasm_bench::ablations::ordering(pgasm_bench::util::env_scale());
+}

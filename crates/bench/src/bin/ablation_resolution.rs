@@ -1,0 +1,4 @@
+//! §10 extension ablation: geometric resolution of inconsistent overlaps.
+fn main() {
+    pgasm_bench::ablations::resolution(pgasm_bench::util::env_scale());
+}

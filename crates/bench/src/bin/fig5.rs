@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 5: parallel GST construction breakdown.
+fn main() {
+    pgasm_bench::fig5::run(pgasm_bench::util::env_scale());
+}

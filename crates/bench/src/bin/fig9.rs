@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 9: clustering time vs processors.
+fn main() {
+    pgasm_bench::fig9::run(pgasm_bench::util::env_scale());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §8 maize assembly statistics.
+fn main() {
+    pgasm_bench::sec8::run(pgasm_bench::util::env_scale());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 1: promising pairs vs input size.
+fn main() {
+    pgasm_bench::table1::run(pgasm_bench::util::env_scale());
+}

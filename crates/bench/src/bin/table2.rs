@@ -1,0 +1,4 @@
+//! Regenerates paper Table 2: preprocessing by sequencing strategy.
+fn main() {
+    pgasm_bench::table2::run(pgasm_bench::util::env_scale());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 3: WGS + environmental clustering.
+fn main() {
+    pgasm_bench::table3::run(pgasm_bench::util::env_scale());
+}

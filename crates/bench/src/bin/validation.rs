@@ -1,0 +1,4 @@
+//! Regenerates the §9.1 cluster-to-benchmark validation.
+fn main() {
+    pgasm_bench::validation_exp::run(pgasm_bench::util::env_scale());
+}

@@ -1,0 +1,45 @@
+//! # pgasm-core — the cluster-then-assemble framework
+//!
+//! The paper's primary contribution (§3, §4, §7): partition a sequencing
+//! project's fragments into clusters such that fragments of one contig
+//! are never split apart, then assemble each cluster independently with
+//! a conventional serial assembler.
+//!
+//! - [`unionfind`] — the master's cluster store: Union–Find with path
+//!   compression and union by rank ("an array of n integers", §7.1).
+//! - [`clustering`] — the greedy transitive clustering algorithm over
+//!   the on-demand promising-pair stream: align a pair only if its
+//!   fragments are currently in different clusters; merge on success
+//!   (paper Fig. 3). Serial engine + shared statistics.
+//! - [`parallel_gst`] — distributed GST construction (§6): bucket
+//!   suffixes by w-prefix, redistribute, fetch the fragments each rank's
+//!   buckets need through two collective steps, build local subtree
+//!   forests. Reports the measured-computation / modelled-communication
+//!   breakdown of Fig. 5.
+//! - [`master_worker`] — the single-master / many-workers clustering
+//!   runtime (§7, Figs. 6–8): workers generate promising pairs from
+//!   their local GST portions and compute alignments; the master owns
+//!   the Union–Find, the pending-work queue, the idle-worker list, and
+//!   the flow-control formula for the per-worker pair-request size `r`.
+//! - [`pipeline`] — end-to-end convenience: preprocess → cluster →
+//!   per-cluster assembly, with the summary statistics §8 reports.
+//! - [`geometry`] — the §10 future-work extension implemented:
+//!   orientation/offset-aware Union–Find that refuses geometrically
+//!   inconsistent overlaps during cluster formation.
+//! - [`validation`] — ground-truth validation against `simgen`
+//!   provenance (the §9.1 "clusters mapping to a single benchmark
+//!   region" statistic, made exact).
+
+pub mod clustering;
+pub mod geometry;
+pub mod master_worker;
+pub mod parallel_gst;
+pub mod pipeline;
+pub mod unionfind;
+pub mod validation;
+
+pub use clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
+pub use master_worker::{cluster_parallel, MasterWorkerConfig, ParallelClusterReport};
+pub use parallel_gst::{build_distributed_gst, DistributedGstReport};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use unionfind::UnionFind;

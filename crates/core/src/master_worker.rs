@@ -1,0 +1,592 @@
+//! The single-master / multiple-worker parallel clustering runtime
+//! (paper §7, Figs. 6–8).
+//!
+//! Rank 0 is the master: it owns the Union–Find cluster store, the
+//! fixed-capacity `Pending_Work_Buf`, and the `Idle_Workers` list; it
+//! selects which generated pairs still need alignment, dispatches work
+//! in batches of `b`, and regulates each worker's next pair-generation
+//! request `r` so that pair inflow roughly matches alignment outflow
+//! without overflowing the pending buffer.
+//!
+//! Ranks 1..p are workers: each builds its portion of the distributed
+//! GST, then iterates — *compute the previously allocated alignment
+//! batch, generate the `r` pairs the master asked for, report both, and
+//! receive the next allocation*. Pair generation within a rank is in
+//! decreasing maximal-match order, which "roughly approximates the
+//! global sorted order in practice" (§7).
+//!
+//! A worker whose generator is exhausted (*passive*) parks in a blocking
+//! receive; the master keeps it busy with pending alignments from other
+//! workers' pairs, which is the load-balancing behaviour of Fig. 6.
+//!
+//! Substitution note (see DESIGN.md): workers read fragment sequences
+//! for alignment from the shared read-only store; protocol traffic
+//! (pair batches, results, flow control) is what is being modelled and
+//! measured here, and fragment-byte movement is accounted once in the
+//! GST construction phase.
+
+use crate::clustering::{canonical_skip, same_fragment_skip, ClusterParams, ClusterStats, Clustering, PairDecider};
+use crate::parallel_gst::{compute_owners, rank_build_gst, RankGstReport};
+use crate::unionfind::UnionFind;
+use pgasm_gst::{PairGenerator, PromisingPair};
+use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats};
+use pgasm_seq::{FragmentStore, SeqId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+const TAG_W2M: u32 = 1;
+const TAG_M2W: u32 = 2;
+
+/// Master–worker runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MasterWorkerConfig {
+    /// Clustering parameters (GST, scoring, acceptance, mode).
+    pub params: ClusterParams,
+    /// Alignment batch size `b` (pairs per AW message).
+    pub batch: usize,
+    /// Capacity of the master's pending-work buffer (flow-control
+    /// target; the buffer itself degrades gracefully if exceeded).
+    pub pending_cap: usize,
+}
+
+impl Default for MasterWorkerConfig {
+    fn default() -> Self {
+        MasterWorkerConfig { params: ClusterParams::default(), batch: 64, pending_cap: 4096 }
+    }
+}
+
+/// Outcome of a parallel clustering run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelClusterReport {
+    /// The final clustering (identical to the serial result).
+    pub clustering: Clustering,
+    /// Aggregated work statistics.
+    pub stats: ClusterStats,
+    /// Per-rank GST construction reports.
+    pub gst_reports: Vec<RankGstReport>,
+    /// Wall-clock seconds of the GST phase (max over ranks).
+    pub gst_seconds: f64,
+    /// Wall-clock seconds of the clustering phase (max over ranks).
+    pub cluster_seconds: f64,
+    /// Per-worker idle fraction during clustering (blocked time /
+    /// phase time) — the §7.2 idle-percentage metric.
+    pub worker_idle_fraction: Vec<f64>,
+    /// Fraction of the clustering phase the master spent available
+    /// (blocked waiting for requests) — §7.2 reports 90% → 70%.
+    pub master_availability: f64,
+    /// Per-rank traffic during the clustering phase.
+    pub comm: Vec<CommStats>,
+    /// Per-rank thread-CPU seconds spent in the clustering phase
+    /// (rank 0 = master). Immune to core oversubscription, so modelled
+    /// scaling curves remain meaningful on small hosts.
+    pub cpu_seconds: Vec<f64>,
+}
+
+struct RankOutcome {
+    clustering: Option<Clustering>,
+    stats: Option<ClusterStats>,
+    gst_report: RankGstReport,
+    cluster_seconds: f64,
+    idle_fraction: f64,
+    comm: CommStats,
+    cpu_seconds: f64,
+}
+
+fn encode_pair(e: &mut Encoder, p: &PromisingPair) {
+    e.put_u32(p.a.0);
+    e.put_u32(p.b.0);
+    e.put_u32(p.a_pos);
+    e.put_u32(p.b_pos);
+    e.put_u32(p.match_len);
+}
+
+fn decode_pair(d: &mut Decoder) -> PromisingPair {
+    PromisingPair {
+        a: SeqId(d.get_u32()),
+        b: SeqId(d.get_u32()),
+        a_pos: d.get_u32(),
+        b_pos: d.get_u32(),
+        match_len: d.get_u32(),
+    }
+}
+
+/// Run the master–worker clustering on `p ≥ 2` ranks.
+pub fn cluster_parallel(store: &FragmentStore, p: usize, config: &MasterWorkerConfig) -> ParallelClusterReport {
+    assert!(p >= 2, "master–worker needs at least 2 ranks");
+    assert!(!store.is_double_stranded(), "pass the original single-stranded fragments");
+    let n = store.num_fragments();
+    let ds = store.with_reverse_complements();
+    let owner = compute_owners(&ds, p, 1);
+    let (ds, owner, config) = (&ds, &owner, *config);
+
+    let outcomes: Vec<RankOutcome> = pgasm_mpisim::run(p, move |comm| {
+        // Phase 1: distributed GST over worker ranks.
+        let gst_t0 = Instant::now();
+        let (gst, _text, gst_report) = rank_build_gst(comm, ds, owner, config.params.gst, 1);
+        comm.barrier();
+        let gst_wall = gst_t0.elapsed().as_secs_f64();
+        let mut gst_report = gst_report;
+        gst_report.compute_seconds = gst_report.compute_seconds.min(gst_wall);
+
+        // Phase 2: clustering.
+        let before = comm.stats();
+        let cpu0 = thread_cpu_seconds();
+        let t0 = Instant::now();
+        let mut outcome = if comm.rank() == 0 {
+            drop(gst);
+            master_loop(comm, ds, n, &config)
+        } else {
+            worker_loop(comm, ds, gst, &config)
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        let cpu = thread_cpu_seconds() - cpu0;
+        let after = comm.stats();
+        let blocked = ((after.wait_ns + after.barrier_ns) - (before.wait_ns + before.barrier_ns)) as f64 * 1e-9;
+        outcome.gst_report = gst_report;
+        outcome.cluster_seconds = wall;
+        outcome.cpu_seconds = cpu;
+        outcome.idle_fraction = if wall > 0.0 { (blocked / wall).min(1.0) } else { 0.0 };
+        outcome.comm = CommStats {
+            msgs_sent: after.msgs_sent - before.msgs_sent,
+            bytes_sent: after.bytes_sent - before.bytes_sent,
+            msgs_recv: after.msgs_recv - before.msgs_recv,
+            bytes_recv: after.bytes_recv - before.bytes_recv,
+            wait_ns: after.wait_ns - before.wait_ns,
+            barrier_ns: after.barrier_ns - before.barrier_ns,
+        };
+        outcome
+    });
+
+    let master = &outcomes[0];
+    ParallelClusterReport {
+        clustering: master.clustering.clone().expect("master produced the clustering"),
+        stats: master.stats.expect("master aggregated stats"),
+        gst_seconds: outcomes
+            .iter()
+            .map(|o| o.gst_report.compute_seconds)
+            .fold(0.0, f64::max),
+        cluster_seconds: outcomes.iter().map(|o| o.cluster_seconds).fold(0.0, f64::max),
+        worker_idle_fraction: outcomes[1..].iter().map(|o| o.idle_fraction).collect(),
+        master_availability: master.idle_fraction,
+        comm: outcomes.iter().map(|o| o.comm).collect(),
+        cpu_seconds: outcomes.iter().map(|o| o.cpu_seconds).collect(),
+        gst_reports: outcomes.into_iter().map(|o| o.gst_report).collect(),
+    }
+}
+
+/// The master's event loop (paper Fig. 7).
+fn master_loop(comm: &mut Comm, ds: &FragmentStore, n: usize, config: &MasterWorkerConfig) -> RankOutcome {
+    let p = comm.size();
+    let b = config.batch;
+    let mut clusters = MasterClusters::new(n, &config.params);
+    let mut pending: VecDeque<PromisingPair> = VecDeque::with_capacity(config.pending_cap);
+    let mut worker_active = vec![true; p];
+    let mut worker_idle = vec![false; p];
+    let mut outstanding = vec![false; p];
+    let mut stats = ClusterStats::default();
+    let mut selected: u64 = 0;
+
+    let frag_of = |seq: SeqId| ds.seq_to_fragment(seq).0 .0;
+
+    loop {
+        // Termination: every worker passive, nothing pending, nothing
+        // in flight.
+        let done = (1..p).all(|i| !worker_active[i])
+            && pending.is_empty()
+            && !outstanding.iter().any(|&o| o);
+        if done {
+            for i in 1..p {
+                debug_assert!(worker_idle[i], "at termination every worker is parked");
+                let mut e = Encoder::new();
+                e.put_u32(1); // terminate
+                comm.send(i, TAG_M2W, e.finish());
+            }
+            break;
+        }
+
+        let msg = comm.recv(None, Some(TAG_W2M));
+        let i = msg.src;
+        let mut d = Decoder::new(msg.data);
+        let active = d.get_u32() == 1;
+        worker_active[i] = active;
+        outstanding[i] = false;
+
+        // Alignment results: merge clusters for accepted overlaps.
+        let ar_count = d.get_u32();
+        for _ in 0..ar_count {
+            let a = SeqId(d.get_u32());
+            let bq = SeqId(d.get_u32());
+            let accepted = d.get_u32() == 1;
+            let a_start = d.get_u32();
+            let b_start = d.get_u32();
+            let overlap_len = d.get_u32();
+            stats.aligned += 1;
+            if accepted {
+                stats.accepted += 1;
+                clusters.record_accept(ds, a, bq, a_start, b_start, overlap_len, &mut stats);
+            }
+        }
+        stats.dp_cells += d.get_u64();
+
+        // New promising pairs: keep only those whose fragments are in
+        // different clusters *right now*.
+        let np_count = d.get_u32();
+        for _ in 0..np_count {
+            let pair = decode_pair(&mut d);
+            stats.generated += 1;
+            if !clusters.skip_pair(frag_of(pair.a), frag_of(pair.b)) {
+                pending.push_back(pair);
+                selected += 1;
+            }
+        }
+
+        // Dispatch to idle workers first (Fig. 7).
+        for j in 1..p {
+            if worker_idle[j] && !pending.is_empty() {
+                let batch: Vec<PromisingPair> = drain_batch(&mut pending, b);
+                send_allocation(comm, j, 0, &batch, false);
+                worker_idle[j] = false;
+                outstanding[j] = true;
+            }
+        }
+
+        // Reply to the reporter: next batch (if any) + its new r.
+        let batch: Vec<PromisingPair> = drain_batch(&mut pending, b);
+        let r = compute_r(b, config.pending_cap, pending.len(), &worker_active, stats.generated, selected);
+        if batch.is_empty() && !active {
+            worker_idle[i] = true;
+            send_allocation(comm, i, r, &[], false);
+        } else {
+            outstanding[i] = !batch.is_empty();
+            send_allocation(comm, i, r, &batch, false);
+        }
+    }
+
+    RankOutcome {
+        clustering: Some(clusters.finish(&mut stats)),
+        stats: Some(stats),
+        gst_report: RankGstReport::default(),
+        cluster_seconds: 0.0,
+        idle_fraction: 0.0,
+        comm: CommStats::default(),
+        cpu_seconds: 0.0,
+    }
+}
+
+fn drain_batch(pending: &mut VecDeque<PromisingPair>, b: usize) -> Vec<PromisingPair> {
+    let take = b.min(pending.len());
+    pending.drain(..take).collect()
+}
+
+fn send_allocation(comm: &mut Comm, dest: usize, r: usize, batch: &[PromisingPair], terminate: bool) {
+    let mut e = Encoder::with_capacity(8 + batch.len() * 20);
+    e.put_u32(terminate as u32);
+    e.put_u32(r as u32);
+    e.put_u32(batch.len() as u32);
+    for pair in batch {
+        encode_pair(&mut e, pair);
+    }
+    comm.send(dest, TAG_M2W, e.finish());
+}
+
+/// The paper's flow-control rule (§7): request enough pairs that about
+/// `b` of them will be selected for alignment, without overflowing the
+/// pending buffer.
+fn compute_r(b: usize, cap: usize, pending: usize, active: &[bool], generated: u64, selected: u64) -> usize {
+    let p_active = active[1..].iter().filter(|&&a| a).count().max(1);
+    let ratio = if generated < 64 {
+        0.5
+    } else {
+        (selected as f64 / generated as f64).max(0.02)
+    };
+    let by_ratio = (b as f64 / ratio).ceil() as usize;
+    let by_capacity = cap.saturating_sub(pending) / p_active;
+    by_ratio.min(by_capacity).min(8 * b)
+}
+
+/// A worker's event loop (paper Fig. 8).
+fn worker_loop(comm: &mut Comm, ds: &FragmentStore, gst: pgasm_gst::Gst, config: &MasterWorkerConfig) -> RankOutcome {
+    let params = config.params;
+    let canonical = params.canonical_strands;
+    let mut gen = PairGenerator::new(gst, params.mode, move |a, b| {
+        same_fragment_skip(a, b) || (canonical && canonical_skip(a, b))
+    });
+    let decider = PairDecider { store: ds, params };
+    let mut aw: Vec<PromisingPair> = Vec::new();
+    let mut results: Vec<(PromisingPair, bool, u32, u32, u32)> = Vec::new();
+    let mut cells_delta: u64 = 0;
+    let mut r = config.batch;
+    let mut np: Vec<PromisingPair> = Vec::new();
+
+    loop {
+        // Compute the alignments allocated last round.
+        for pair in aw.drain(..) {
+            let r = decider.align_full(&pair);
+            cells_delta += r.cells;
+            let accepted = params.criteria.accepts(r.identity, r.overlap_len);
+            results.push((pair, accepted, r.a_range.0 as u32, r.b_range.0 as u32, r.overlap_len as u32));
+        }
+        // Generate the requested number of new pairs.
+        np.clear();
+        gen.next_batch(r, &mut np);
+        let active = !gen.is_exhausted();
+        // Report.
+        let mut e = Encoder::with_capacity(16 + np.len() * 20 + results.len() * 20);
+        e.put_u32(active as u32);
+        e.put_u32(results.len() as u32);
+        for (pair, accepted, a_start, b_start, overlap_len) in results.drain(..) {
+            e.put_u32(pair.a.0);
+            e.put_u32(pair.b.0);
+            e.put_u32(accepted as u32);
+            e.put_u32(a_start);
+            e.put_u32(b_start);
+            e.put_u32(overlap_len);
+        }
+        e.put_u64(cells_delta);
+        cells_delta = 0;
+        e.put_u32(np.len() as u32);
+        for pair in &np {
+            encode_pair(&mut e, pair);
+        }
+        comm.send(0, TAG_W2M, e.finish());
+        // Receive the next allocation (possibly parking idle first).
+        loop {
+            let m = comm.recv(Some(0), Some(TAG_M2W));
+            let mut d = Decoder::new(m.data);
+            let terminate = d.get_u32() == 1;
+            if terminate {
+                return worker_outcome();
+            }
+            r = d.get_u32() as usize;
+            let count = d.get_u32();
+            aw = (0..count).map(|_| decode_pair(&mut d)).collect();
+            if aw.is_empty() && !active {
+                // Passive with no work: park and wait for an
+                // unsolicited allocation or termination.
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+/// The master's cluster store: plain Union–Find, or the §10
+/// geometry-aware variant when `resolve_inconsistent` is on. In
+/// geometric mode every generated pair is selected for alignment (the
+/// cluster-check shortcut would hide the same-cluster conflicts the
+/// mode exists to catch), accepted edges are buffered, and the
+/// deterministic decreasing-overlap-length resolution runs at the end —
+/// so the parallel result still equals the serial one.
+enum MasterClusters {
+    Plain(UnionFind),
+    Geometric {
+        n: usize,
+        edges: Vec<(u32, u32, crate::geometry::AffineMap, u32)>,
+        tol: i64,
+    },
+}
+
+impl MasterClusters {
+    fn new(n: usize, params: &ClusterParams) -> MasterClusters {
+        if params.resolve_inconsistent {
+            MasterClusters::Geometric { n, edges: Vec::new(), tol: params.geometry_tolerance }
+        } else {
+            MasterClusters::Plain(UnionFind::new(n))
+        }
+    }
+
+    /// Should a generated pair be skipped (already co-clustered)?
+    fn skip_pair(&mut self, a: u32, b: u32) -> bool {
+        match self {
+            MasterClusters::Plain(uf) => uf.same(a, b),
+            // Geometric mode aligns everything.
+            MasterClusters::Geometric { .. } => false,
+        }
+    }
+
+    fn record_accept(
+        &mut self,
+        ds: &FragmentStore,
+        a: SeqId,
+        b: SeqId,
+        a_start: u32,
+        b_start: u32,
+        overlap_len: u32,
+        stats: &mut ClusterStats,
+    ) {
+        let fa = ds.seq_to_fragment(a).0 .0;
+        let fb = ds.seq_to_fragment(b).0 .0;
+        match self {
+            MasterClusters::Plain(uf) => {
+                if uf.union(fa, fb) {
+                    stats.merges += 1;
+                }
+            }
+            MasterClusters::Geometric { edges, .. } => {
+                let edge = crate::geometry::overlap_edge(
+                    matches!(ds.seq_to_fragment(a).1, pgasm_seq::Strand::Reverse),
+                    matches!(ds.seq_to_fragment(b).1, pgasm_seq::Strand::Reverse),
+                    ds.len_of(a),
+                    ds.len_of(b),
+                    a_start as usize,
+                    b_start as usize,
+                );
+                edges.push((fa, fb, edge, overlap_len));
+            }
+        }
+    }
+
+    fn finish(self, stats: &mut ClusterStats) -> Clustering {
+        match self {
+            MasterClusters::Plain(mut uf) => Clustering::from_unionfind(&mut uf),
+            MasterClusters::Geometric { n, edges, tol } => {
+                crate::clustering::apply_geometric_edges(n, edges, tol, stats)
+            }
+        }
+    }
+}
+
+fn worker_outcome() -> RankOutcome {
+    RankOutcome {
+        clustering: None,
+        stats: None,
+        gst_report: RankGstReport::default(),
+        cluster_seconds: 0.0,
+        idle_fraction: 0.0,
+        comm: CommStats::default(),
+        cpu_seconds: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::cluster_serial;
+    use pgasm_align::AcceptCriteria;
+    use pgasm_gst::GstConfig;
+    use pgasm_seq::DnaSeq;
+
+    fn genome(seed: u64, len: usize) -> String {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn tile(g: &str, read: usize, step: usize) -> Vec<DnaSeq> {
+        let b = g.as_bytes();
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at + read <= b.len() {
+            out.push(DnaSeq::from_ascii(&b[at..at + read]));
+            at += step;
+        }
+        out
+    }
+
+    fn test_store() -> FragmentStore {
+        let mut reads = tile(&genome(1, 1500), 200, 90);
+        reads.extend(tile(&genome(2, 1200), 200, 90));
+        reads.extend(tile(&genome(3, 900), 200, 90));
+        // A couple of orphans.
+        reads.push(DnaSeq::from(genome(50, 220).as_str()));
+        reads.push(DnaSeq::from(genome(51, 220).as_str()));
+        FragmentStore::from_seqs(reads)
+    }
+
+    fn config() -> MasterWorkerConfig {
+        MasterWorkerConfig {
+            params: ClusterParams {
+                gst: GstConfig { w: 8, psi: 16 },
+                criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 30 },
+                ..Default::default()
+            },
+            batch: 8,
+            pending_cap: 256,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_partition() {
+        let store = test_store();
+        let (serial, _) = cluster_serial(&store, &config().params);
+        for p in [2usize, 3, 5] {
+            let report = cluster_parallel(&store, p, &config());
+            assert_eq!(report.clustering, serial, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let store = test_store();
+        let report = cluster_parallel(&store, 3, &config());
+        let s = report.stats;
+        assert!(s.generated > 0);
+        assert!(s.aligned <= s.generated);
+        assert!(s.accepted <= s.aligned);
+        assert!(s.merges <= s.accepted);
+        assert!(s.merges as usize <= store.num_fragments() - 1);
+        // Every fragment appears in exactly one cluster.
+        let total: usize = report.clustering.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, store.num_fragments());
+    }
+
+    #[test]
+    fn heuristic_saves_alignments_in_parallel_too() {
+        let store = test_store();
+        let report = cluster_parallel(&store, 3, &config());
+        assert!(
+            report.stats.aligned < report.stats.generated,
+            "cluster-check must skip some alignments: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn report_fields_populated() {
+        let store = test_store();
+        let report = cluster_parallel(&store, 4, &config());
+        assert_eq!(report.worker_idle_fraction.len(), 3);
+        assert_eq!(report.comm.len(), 4);
+        assert_eq!(report.gst_reports.len(), 4);
+        assert!(report.cluster_seconds > 0.0);
+        assert!(report.master_availability >= 0.0 && report.master_availability <= 1.0);
+        // Clustering-phase traffic exists in both directions at the master.
+        assert!(report.comm[0].msgs_recv > 0);
+        assert!(report.comm[0].msgs_sent > 0);
+    }
+
+    #[test]
+    fn single_fragment_terminates() {
+        let store = FragmentStore::from_seqs(vec![DnaSeq::from(genome(9, 300).as_str())]);
+        let report = cluster_parallel(&store, 2, &config());
+        assert_eq!(report.clustering.clusters.len(), 1);
+        assert_eq!(report.stats.generated, 0);
+    }
+
+    #[test]
+    fn geometric_mode_parallel_matches_serial() {
+        let store = test_store();
+        let params = ClusterParams { resolve_inconsistent: true, ..config().params };
+        let (serial, serial_stats) = cluster_serial(&store, &params);
+        for p in [2usize, 4] {
+            let cfg = MasterWorkerConfig { params, batch: 8, pending_cap: 256 };
+            let report = cluster_parallel(&store, p, &cfg);
+            assert_eq!(report.clustering, serial, "p = {p}");
+            assert_eq!(report.stats.aligned, serial_stats.aligned, "geometric mode aligns everything");
+            assert_eq!(report.stats.inconsistent, serial_stats.inconsistent);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn requires_two_ranks() {
+        let store = FragmentStore::from_seqs(vec![DnaSeq::from("ACGT")]);
+        cluster_parallel(&store, 1, &config());
+    }
+}

@@ -1,0 +1,387 @@
+//! Distributed GST construction (paper §6).
+//!
+//! Phases, per rank:
+//!
+//! 1. **Bucket**: enumerate the suffixes of the rank's own fragments and
+//!    bucket them by their w-length prefixes.
+//! 2. **Assign**: bucket sizes are gathered; buckets are assigned to
+//!    builder ranks balancing total suffix counts; the assignment is
+//!    broadcast.
+//! 3. **Redistribute**: suffixes travel to their bucket's builder via
+//!    the paper's customised all-to-all built from p − 1 point-to-point
+//!    rounds (bounding send-buffer space).
+//! 4. **Fetch fragments**: each builder requests the fragment sequences
+//!    its received suffixes refer to "through two collective
+//!    communication steps — the first to request the processors that
+//!    have the required fragments, and the second to service the
+//!    request".
+//! 5. **Build**: each bucket becomes a compacted-trie subtree of the
+//!    conceptual global GST (built depth-first, §6).
+//!
+//! Ownership discipline: a rank reads only its *own* fragments from the
+//! shared store; every foreign byte it uses arrives through a message,
+//! so the traffic counters are exact.
+
+use pgasm_gst::{bucket_suffixes_of, Gst, GstConfig, Suffix, TextSource};
+use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats, CostModel};
+use pgasm_seq::{FragmentStore, SeqId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-rank text access: own fragments come from the shared store,
+/// foreign fragments from the fetched copies.
+pub struct LocalText<'s> {
+    store: &'s FragmentStore,
+    owner: &'s [u32],
+    rank: usize,
+    fetched: HashMap<u32, Vec<u8>>,
+}
+
+impl TextSource for LocalText<'_> {
+    fn seq_codes(&self, seq: u32) -> &[u8] {
+        if self.owner[seq as usize] as usize == self.rank {
+            self.store.get(SeqId(seq))
+        } else {
+            self.fetched
+                .get(&seq)
+                .map(|v| v.as_slice())
+                .expect("fragment was not fetched for a local suffix")
+        }
+    }
+
+    fn num_seqs(&self) -> usize {
+        self.store.num_seqs()
+    }
+}
+
+/// Timing/traffic report of one rank's construction.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RankGstReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Seconds of pure computation (bucketing + trie building).
+    pub compute_seconds: f64,
+    /// Traffic during construction.
+    pub comm: CommStats,
+    /// Suffixes this rank built trees over.
+    pub suffixes_built: usize,
+    /// Foreign fragments fetched.
+    pub fragments_fetched: usize,
+    /// Estimated resident bytes of the local forest.
+    pub memory_bytes: usize,
+}
+
+impl RankGstReport {
+    /// Modelled communication seconds under `model`.
+    pub fn modelled_comm_seconds(&self, model: &CostModel) -> f64 {
+        model.comm_time(&self.comm)
+    }
+}
+
+/// Aggregated report over all ranks (the Fig. 5 data).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DistributedGstReport {
+    /// Per-rank breakdowns.
+    pub per_rank: Vec<RankGstReport>,
+}
+
+impl DistributedGstReport {
+    /// Maximum per-rank computation time (the parallel step completes
+    /// when the slowest rank does).
+    pub fn max_compute_seconds(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.compute_seconds).fold(0.0, f64::max)
+    }
+
+    /// Maximum per-rank modelled communication time.
+    pub fn max_modelled_comm_seconds(&self, model: &CostModel) -> f64 {
+        self.per_rank.iter().map(|r| r.modelled_comm_seconds(model)).fold(0.0, f64::max)
+    }
+}
+
+/// Run inside a rank: build this rank's portion of the distributed GST.
+///
+/// `owner[seq]` gives the rank owning each stored sequence; sequences
+/// owned by this rank are bucketed here. Buckets are assigned to ranks
+/// `first_builder..size` (the master–worker runtime excludes rank 0).
+/// Returns the local forest (suffixes carry *global* sequence ids), the
+/// local text, and the report.
+pub fn rank_build_gst<'s>(
+    comm: &mut Comm,
+    store: &'s FragmentStore,
+    owner: &'s [u32],
+    config: GstConfig,
+    first_builder: usize,
+) -> (Gst, LocalText<'s>, RankGstReport) {
+    let rank = comm.rank();
+    let p = comm.size();
+    let builders = p - first_builder;
+    assert!(builders >= 1, "need at least one builder rank");
+    let stats_before = comm.stats();
+    let mut compute = 0.0f64;
+
+    // Phase 1: bucket own suffixes. Compute is accounted in *thread CPU
+    // time*: ranks may timeshare cores, and wall intervals would then
+    // overstate computation (see `thread_cpu_seconds`).
+    let t = thread_cpu_seconds();
+    let my_seqs: Vec<SeqId> = (0..store.num_seqs() as u32)
+        .filter(|&s| owner[s as usize] as usize == rank)
+        .map(SeqId)
+        .collect();
+    let local_buckets = bucket_suffixes_of(store, &my_seqs, config.w);
+    compute += thread_cpu_seconds() - t;
+
+    // Phase 2: bucket → builder assignment is *static* (a hash of the
+    // bucket key), relying on the paper's observation that for diverse
+    // sequence data the |Σ|^w buckets are close to uniformly occupied
+    // ("a value between 10 and 12 for w can be expected to generate
+    // millions of buckets sufficient to be distributed in a load
+    // balanced manner"). No communication is needed to agree on owners.
+
+    // Phase 3: redistribute suffixes (customised all-to-all, §6).
+    let mut per_dest: Vec<Encoder> = (0..p).map(|_| Encoder::new()).collect();
+    for (key, sufs) in &local_buckets {
+        let dest = bucket_owner(*key, builders, first_builder);
+        let e = &mut per_dest[dest];
+        e.put_u64(*key);
+        e.put_u32(sufs.len() as u32);
+        for s in sufs {
+            e.put_u32(s.seq);
+            e.put_u32(s.pos);
+            e.put_u32(s.rem);
+        }
+    }
+    let received = comm.all_to_allv_p2p(per_dest.into_iter().map(Encoder::finish).collect());
+    let mut my_buckets: HashMap<u64, Vec<Suffix>> = HashMap::new();
+    for payload in received {
+        let mut d = Decoder::new(payload);
+        while !d.is_empty() {
+            let key = d.get_u64();
+            let n = d.get_u32();
+            let bucket = my_buckets.entry(key).or_default();
+            for _ in 0..n {
+                bucket.push(Suffix { seq: d.get_u32(), pos: d.get_u32(), rem: d.get_u32() });
+            }
+        }
+    }
+
+    // Phase 4: fetch foreign fragments (two collective steps).
+    let t = thread_cpu_seconds();
+    let mut needed: Vec<u32> = my_buckets
+        .values()
+        .flat_map(|b| b.iter().map(|s| s.seq))
+        .filter(|&s| owner[s as usize] as usize != rank)
+        .collect();
+    needed.sort_unstable();
+    needed.dedup();
+    compute += thread_cpu_seconds() - t;
+    let mut requests: Vec<Encoder> = (0..p).map(|_| Encoder::new()).collect();
+    for &s in &needed {
+        requests[owner[s as usize] as usize].put_u32(s);
+    }
+    let incoming_requests = comm.all_to_allv(requests.into_iter().map(Encoder::finish).collect());
+    let mut responses: Vec<Encoder> = (0..p).map(|_| Encoder::new()).collect();
+    for (src, payload) in incoming_requests.into_iter().enumerate() {
+        let mut d = Decoder::new(payload);
+        while !d.is_empty() {
+            let s = d.get_u32();
+            debug_assert_eq!(owner[s as usize] as usize, rank, "request sent to wrong owner");
+            responses[src].put_u32(s);
+            responses[src].put_bytes(store.get(SeqId(s)));
+        }
+    }
+    let incoming_frags = comm.all_to_allv(responses.into_iter().map(Encoder::finish).collect());
+    let mut fetched: HashMap<u32, Vec<u8>> = HashMap::new();
+    for payload in incoming_frags {
+        let mut d = Decoder::new(payload);
+        while !d.is_empty() {
+            let s = d.get_u32();
+            fetched.insert(s, d.get_bytes().to_vec());
+        }
+    }
+    let fragments_fetched = fetched.len();
+    let text = LocalText { store, owner, rank, fetched };
+
+    // Phase 5: build the local forest.
+    let t = thread_cpu_seconds();
+    let suffixes_built: usize = my_buckets.values().map(|b| b.len()).sum();
+    let buckets: Vec<Vec<Suffix>> = {
+        let mut keys: Vec<u64> = my_buckets.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| my_buckets.remove(&k).expect("key present")).collect()
+    };
+    let gst = Gst::build_from_buckets(&text, buckets, config);
+    compute += thread_cpu_seconds() - t;
+
+    let after = comm.stats();
+    let comm_delta = CommStats {
+        msgs_sent: after.msgs_sent - stats_before.msgs_sent,
+        bytes_sent: after.bytes_sent - stats_before.bytes_sent,
+        msgs_recv: after.msgs_recv - stats_before.msgs_recv,
+        bytes_recv: after.bytes_recv - stats_before.bytes_recv,
+        wait_ns: after.wait_ns - stats_before.wait_ns,
+        barrier_ns: after.barrier_ns - stats_before.barrier_ns,
+    };
+    let memory_bytes = gst.memory_bytes();
+    (
+        gst,
+        text,
+        RankGstReport {
+            rank,
+            compute_seconds: compute,
+            comm: comm_delta,
+            suffixes_built,
+            fragments_fetched,
+            memory_bytes,
+        },
+    )
+}
+
+/// Driver: build the distributed GST over all sequences of `store`
+/// (already double-stranded if desired) on `p` ranks and report the
+/// construction breakdown. The forests themselves are discarded — this
+/// entry point exists for the Fig. 5 experiment; the clustering runtime
+/// calls [`rank_build_gst`] directly.
+pub fn build_distributed_gst(store: &FragmentStore, p: usize, config: GstConfig) -> DistributedGstReport {
+    let owner = compute_owners(store, p, 0);
+    let owner = &owner;
+    let store = &store;
+    let reports = pgasm_mpisim::run(p, move |comm| {
+        let (_gst, _text, report) = rank_build_gst(comm, store, owner, config, 0);
+        report
+    });
+    DistributedGstReport { per_rank: reports }
+}
+
+/// Static owner of a bucket: a mixed hash of its key spread over the
+/// builder ranks `first_builder..first_builder + builders`.
+#[inline]
+pub fn bucket_owner(key: u64, builders: usize, first_builder: usize) -> usize {
+    // splitmix64 finaliser — decorrelates adjacent w-mer codes.
+    let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    first_builder + (z % builders as u64) as usize
+}
+
+/// Assign each stored sequence an owner rank in `first..p`, balancing
+/// total bases (the paper's initial N/p distribution). Forward/reverse
+/// pairs stay together.
+pub fn compute_owners(store: &FragmentStore, p: usize, first: usize) -> Vec<u32> {
+    assert!(first < p);
+    let parts = store.partition_by_bases(p - first);
+    let mut owner = vec![0u32; store.num_seqs()];
+    for (part, seqs) in parts.iter().enumerate() {
+        for &s in seqs {
+            owner[s.0 as usize] = (part + first) as u32;
+        }
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_gst::{GenMode, PairGenerator};
+    use pgasm_seq::DnaSeq;
+
+    fn genome(seed: u64, len: usize) -> String {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn reads() -> FragmentStore {
+        let g = genome(1, 2000);
+        let b = g.as_bytes();
+        let mut seqs = Vec::new();
+        let mut at = 0;
+        while at + 200 <= b.len() {
+            seqs.push(DnaSeq::from_ascii(&b[at..at + 200]));
+            at += 90;
+        }
+        FragmentStore::from_seqs(seqs)
+    }
+
+    fn all_pairs_sorted(pairs: Vec<pgasm_gst::PromisingPair>) -> Vec<(u32, u32, u32, u32, u32)> {
+        let mut v: Vec<_> = pairs.iter().map(|p| (p.a.0, p.b.0, p.a_pos, p.b_pos, p.match_len)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn distributed_equals_serial_pairs() {
+        // The union of pairs generated from the per-rank forests must
+        // equal the serial GST's pairs (AllMatches mode = exact set).
+        let store = reads().with_reverse_complements();
+        let config = GstConfig { w: 8, psi: 16 };
+        let serial = {
+            let gst = Gst::build(&store, config);
+            all_pairs_sorted(PairGenerator::new(gst, GenMode::AllMatches, |_, _| false).collect())
+        };
+        for p in [1usize, 2, 3, 4] {
+            let owner = compute_owners(&store, p, 0);
+            let owner = &owner;
+            let store_ref = &store;
+            let per_rank = pgasm_mpisim::run(p, move |comm| {
+                let (gst, _text, _rep) = rank_build_gst(comm, store_ref, owner, config, 0);
+                PairGenerator::new(gst, GenMode::AllMatches, |_, _| false).collect::<Vec<_>>()
+            });
+            let mut combined: Vec<_> = per_rank.into_iter().flatten().collect();
+            let combined = all_pairs_sorted(std::mem::take(&mut combined));
+            assert_eq!(combined, serial, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn first_builder_excludes_master() {
+        let store = reads().with_reverse_complements();
+        let config = GstConfig { w: 8, psi: 16 };
+        let owner = compute_owners(&store, 3, 1);
+        // Rank 0 owns nothing.
+        assert!(owner.iter().all(|&o| o >= 1));
+        let owner = &owner;
+        let store_ref = &store;
+        let reports = pgasm_mpisim::run(3, move |comm| {
+            let (gst, _t, rep) = rank_build_gst(comm, store_ref, owner, config, 1);
+            (gst.stats().suffixes, rep)
+        });
+        assert_eq!(reports[0].0, 0, "master must build no suffixes");
+        assert!(reports[1].0 + reports[2].0 > 0);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let store = reads().with_reverse_complements();
+        let report = build_distributed_gst(&store, 4, GstConfig { w: 8, psi: 16 });
+        assert_eq!(report.per_rank.len(), 4);
+        let total_sent: u64 = report.per_rank.iter().map(|r| r.comm.bytes_sent).sum();
+        assert!(total_sent > 0, "distribution must move bytes");
+        // Every rank fetched at least some foreign fragment (suffixes are
+        // spread by content, ownership by position).
+        let fetched: usize = report.per_rank.iter().map(|r| r.fragments_fetched).sum();
+        assert!(fetched > 0);
+        // Thread-CPU-time accounting has ~10 ms granularity, so tiny
+        // builds may legitimately report zero compute.
+        assert!(report.max_compute_seconds() >= 0.0);
+        assert!(report.max_modelled_comm_seconds(&CostModel::BLUEGENE_L) > 0.0);
+    }
+
+    #[test]
+    fn owners_balance_bases() {
+        let store = reads();
+        let owner = compute_owners(&store, 4, 0);
+        let mut loads = [0usize; 4];
+        for (i, &o) in owner.iter().enumerate() {
+            loads[o as usize] += store.len_of(SeqId(i as u32));
+        }
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 400, "imbalanced: {loads:?}");
+    }
+}

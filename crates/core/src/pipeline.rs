@@ -1,0 +1,315 @@
+//! End-to-end cluster-then-assemble pipeline (paper Fig. 1):
+//! preprocessing → parallel clustering → per-cluster serial assembly.
+
+use crate::clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
+use crate::master_worker::{cluster_parallel, MasterWorkerConfig};
+use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig};
+use pgasm_seq::QualityTrack;
+use pgasm_preprocess::{PreprocessConfig, PreprocessStats, Preprocessor};
+use pgasm_seq::{DnaSeq, FragmentStore, SeqId};
+use pgasm_simgen::ReadSet;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Preprocessing settings; `None` runs clustering on the raw reads.
+    pub preprocess: Option<PreprocessConfig>,
+    /// Clustering parameters.
+    pub cluster: ClusterParams,
+    /// Run the clustering phase on this many simulated ranks
+    /// (master–worker); `None` = serial engine.
+    pub parallel_ranks: Option<usize>,
+    /// Master–worker knobs (batch size, buffer capacity).
+    pub master_worker: MasterWorkerConfig,
+    /// Per-cluster assembler settings.
+    pub assembly: AssemblyConfig,
+    /// Threads for the trivially parallel assembly phase.
+    pub assembly_threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        let cluster = ClusterParams::default();
+        PipelineConfig {
+            preprocess: Some(PreprocessConfig::default()),
+            cluster,
+            parallel_ranks: None,
+            master_worker: MasterWorkerConfig { params: cluster, ..Default::default() },
+            assembly: AssemblyConfig::default(),
+            assembly_threads: 4,
+        }
+    }
+}
+
+/// Summary of a pipeline run (the §8 statistics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Preprocessing accounting (when the phase ran).
+    pub preprocess: Option<PreprocessStats>,
+    /// The clustering over the *preprocessed* fragments.
+    pub clustering: Clustering,
+    /// Clustering work statistics.
+    pub cluster_stats: ClusterStats,
+    /// For each surviving fragment, the index of its original read.
+    pub origin: Vec<usize>,
+    /// Per-non-singleton-cluster assemblies (index-parallel with
+    /// `clustering.non_singletons()`).
+    pub assemblies: Vec<Assembly>,
+    /// Seconds in preprocessing.
+    pub preprocess_seconds: f64,
+    /// Seconds in clustering.
+    pub cluster_seconds: f64,
+    /// Seconds in the assembly phase.
+    pub assembly_seconds: f64,
+}
+
+impl PipelineReport {
+    /// Total contigs across all clusters.
+    pub fn total_contigs(&self) -> usize {
+        self.assemblies.iter().map(|a| a.num_contigs()).sum()
+    }
+
+    /// Mean contigs per non-singleton cluster — the paper's §8 quality
+    /// indicator (≈ 1.1 means clusters almost always hold exactly one
+    /// assembly island).
+    pub fn contigs_per_cluster(&self) -> f64 {
+        let n = self.assemblies.len();
+        if n == 0 {
+            0.0
+        } else {
+            // A cluster can assemble into contigs plus leftover
+            // singleton reads; count at least one unit per cluster.
+            self.assemblies
+                .iter()
+                .map(|a| (a.num_contigs() + a.singletons.len()).max(1))
+                .sum::<usize>() as f64
+                / n as f64
+        }
+    }
+}
+
+/// The pipeline runner.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// New pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    /// Run preprocessing (optional) + clustering + per-cluster assembly
+    /// over a read set. `vectors` and `known_repeats` feed the
+    /// preprocessor.
+    pub fn run(&self, reads: &ReadSet, vectors: &[DnaSeq], known_repeats: &[DnaSeq]) -> PipelineReport {
+        // Phase 1: preprocess. The masked view drives clustering; the
+        // unmasked (soft-mask) view feeds the assembler, which aligns
+        // the real bases.
+        let t = Instant::now();
+        let (store, store_unmasked, quals, origin, pp_stats) = match &self.config.preprocess {
+            Some(cfg) => {
+                let pp = Preprocessor::new(cfg.clone(), vectors, known_repeats);
+                let out = pp.run(reads);
+                (out.store, Some(out.store_unmasked), out.quals, out.origin, Some(out.stats))
+            }
+            None => {
+                let store = reads.to_store();
+                let origin = (0..reads.len()).collect();
+                (store, None, reads.quals.clone(), origin, None)
+            }
+        };
+        let preprocess_seconds = t.elapsed().as_secs_f64();
+
+        // Phase 2: cluster.
+        let t = Instant::now();
+        let (clustering, cluster_stats) = match self.config.parallel_ranks {
+            Some(p) => {
+                let mut mw = self.config.master_worker;
+                mw.params = self.config.cluster;
+                let report = cluster_parallel(&store, p, &mw);
+                (report.clustering, report.stats)
+            }
+            None => cluster_serial(&store, &self.config.cluster),
+        };
+        let cluster_seconds = t.elapsed().as_secs_f64();
+
+        // Phase 3: trivially parallel per-cluster assembly over the
+        // soft-masked (original-base) fragments.
+        let t = Instant::now();
+        let assembly_store = store_unmasked.as_ref().unwrap_or(&store);
+        let assemblies = assemble_clusters_q(
+            assembly_store,
+            Some(&quals),
+            &clustering,
+            &self.config.assembly,
+            self.config.assembly_threads,
+        );
+        let assembly_seconds = t.elapsed().as_secs_f64();
+
+        PipelineReport {
+            preprocess: pp_stats,
+            clustering,
+            cluster_stats,
+            origin,
+            assemblies,
+            preprocess_seconds,
+            cluster_seconds,
+            assembly_seconds,
+        }
+    }
+}
+
+/// Assemble every non-singleton cluster, distributing clusters across
+/// `threads` OS threads ("the subsequent assembly tasks are trivially
+/// parallelized by distributing the clusters across multiple
+/// processors", §3).
+pub fn assemble_clusters(
+    store: &FragmentStore,
+    clustering: &Clustering,
+    config: &AssemblyConfig,
+    threads: usize,
+) -> Vec<Assembly> {
+    assemble_clusters_q(store, None, clustering, config, threads)
+}
+
+/// As [`assemble_clusters`], with optional per-fragment qualities
+/// (index-parallel with the store) enabling quality-weighted overlap
+/// acceptance.
+pub fn assemble_clusters_q(
+    store: &FragmentStore,
+    quals: Option<&[QualityTrack]>,
+    clustering: &Clustering,
+    config: &AssemblyConfig,
+    threads: usize,
+) -> Vec<Assembly> {
+    let clusters: Vec<&Vec<u32>> = clustering.non_singletons().collect();
+    let threads = threads.clamp(1, clusters.len().max(1));
+    let mut results: Vec<Option<Assembly>> = vec![None; clusters.len()];
+    let chunk = clusters.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slot_chunk, cluster_chunk) in results.chunks_mut(chunk).zip(clusters.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, members) in slot_chunk.iter_mut().zip(cluster_chunk) {
+                    let reads: Vec<DnaSeq> = members.iter().map(|&f| store.get_seq(SeqId(f))).collect();
+                    let cluster_quals: Option<Vec<QualityTrack>> = quals
+                        .map(|qs| members.iter().map(|&f| qs[f as usize].clone()).collect());
+                    *slot = Some(assemble_with_quality(&reads, cluster_quals.as_deref(), config));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("every cluster assembled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_simgen::genome::{Genome, GenomeSpec};
+    use pgasm_simgen::sampler::{Sampler, SamplerConfig};
+    use pgasm_simgen::vector::VECTOR_SEQ;
+
+    fn island_genome(seed: u64) -> Genome {
+        Genome::generate(
+            &GenomeSpec {
+                length: 20_000,
+                repeat_fraction: 0.0,
+                repeat_families: 0,
+                repeat_len: (50, 60),
+                repeat_identity: 1.0,
+                islands: 4,
+                island_len: (1_500, 2_500),
+            },
+            seed,
+        )
+    }
+
+    fn fast_config(parallel: Option<usize>) -> PipelineConfig {
+        use pgasm_align::AcceptCriteria;
+        use pgasm_gst::GstConfig;
+        let cluster = ClusterParams {
+            gst: GstConfig { w: 10, psi: 20 },
+            criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 40 },
+            ..Default::default()
+        };
+        PipelineConfig {
+            preprocess: None,
+            cluster,
+            parallel_ranks: parallel,
+            master_worker: MasterWorkerConfig { params: cluster, batch: 16, pending_cap: 512 },
+            assembly: AssemblyConfig::default(),
+            assembly_threads: 2,
+        }
+    }
+
+    fn island_reads(seed: u64) -> ReadSet {
+        let genome = island_genome(seed);
+        let mut sampler = Sampler::new(&genome, SamplerConfig::clean(), seed + 1);
+        // Dense island coverage only: gene-enriched reads with full bias.
+        let mut cfg = SamplerConfig::clean();
+        cfg.island_bias = 1.0;
+        sampler = Sampler::new(&genome, cfg, seed + 1);
+        sampler.enriched(160, pgasm_simgen::ReadKind::Mf)
+    }
+
+    #[test]
+    fn pipeline_clusters_and_assembles_islands() {
+        let reads = island_reads(10);
+        let report = Pipeline::new(fast_config(None)).run(&reads, &[], &[]);
+        // Island-only sampling: a handful of clusters, assembled into
+        // about one contig each.
+        let nc = report.clustering.num_non_singletons();
+        assert!(nc >= 2 && nc <= 12, "clusters {nc}");
+        assert!(!report.assemblies.is_empty());
+        let cpc = report.contigs_per_cluster();
+        assert!(cpc >= 1.0 && cpc < 2.0, "contigs/cluster {cpc}");
+        assert_eq!(report.origin.len(), reads.len());
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_serial() {
+        let reads = island_reads(20);
+        let serial = Pipeline::new(fast_config(None)).run(&reads, &[], &[]);
+        let parallel = Pipeline::new(fast_config(Some(3))).run(&reads, &[], &[]);
+        assert_eq!(serial.clustering, parallel.clustering);
+        assert_eq!(serial.total_contigs(), parallel.total_contigs());
+    }
+
+    #[test]
+    fn preprocessing_phase_integrates() {
+        let genome = island_genome(30);
+        let mut cfg = SamplerConfig::default_scaled();
+        cfg.island_bias = 1.0;
+        let mut sampler = Sampler::new(&genome, cfg, 31);
+        let reads = sampler.enriched(120, pgasm_simgen::ReadKind::Hc);
+        let mut config = fast_config(None);
+        config.preprocess = Some(pgasm_preprocess::PreprocessConfig {
+            stat_repeats: None,
+            ..Default::default()
+        });
+        let report = Pipeline::new(config).run(&reads, &[DnaSeq::from(VECTOR_SEQ)], &genome.repeat_library);
+        let pp = report.preprocess.expect("preprocessing ran");
+        let before: usize = pp.before.values().map(|v| v.0).sum();
+        let after: usize = pp.after.values().map(|v| v.0).sum();
+        assert_eq!(before, 120);
+        assert!(after > 60, "too many reads lost: {after}");
+        assert!(report.clustering.num_non_singletons() >= 1);
+    }
+
+    #[test]
+    fn assembly_threads_do_not_change_results() {
+        let reads = island_reads(40);
+        let mut one = fast_config(None);
+        one.assembly_threads = 1;
+        let mut many = fast_config(None);
+        many.assembly_threads = 8;
+        let a = Pipeline::new(one).run(&reads, &[], &[]);
+        let b = Pipeline::new(many).run(&reads, &[], &[]);
+        assert_eq!(a.total_contigs(), b.total_contigs());
+        let lens_a: Vec<usize> = a.assemblies.iter().flat_map(|x| x.contigs.iter().map(|c| c.seq.len())).collect();
+        let lens_b: Vec<usize> = b.assemblies.iter().flat_map(|x| x.contigs.iter().map(|c| c.seq.len())).collect();
+        assert_eq!(lens_a, lens_b);
+    }
+}

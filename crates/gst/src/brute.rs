@@ -1,0 +1,141 @@
+//! Exhaustive maximal-match oracle.
+//!
+//! O(L²) per sequence pair — only usable at test scale, where it defines
+//! ground truth for Definition 1 of the paper: α is a *maximal match*
+//! between fragments f and g iff it occurs at (k, l), cannot be extended
+//! to the right (mismatch, mask, or end of either sequence), and cannot
+//! be extended to the left (`k = 1`, `l = 1`, mismatch, or mask).
+
+use pgasm_seq::alphabet::is_base_code;
+use pgasm_seq::FragmentStore;
+
+/// One maximal match occurrence between two sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MaxMatch {
+    /// Lower sequence id.
+    pub a: u32,
+    /// Higher sequence id.
+    pub b: u32,
+    /// Match start in `a`.
+    pub a_pos: u32,
+    /// Match start in `b`.
+    pub b_pos: u32,
+    /// Match length.
+    pub len: u32,
+}
+
+#[inline]
+fn eq(x: u8, y: u8) -> bool {
+    x == y && is_base_code(x)
+}
+
+/// All maximal matches of length ≥ `psi` between sequences `a` and `b`
+/// (given as code slices), reported as (a_pos, b_pos, len).
+pub fn maximal_matches(a: &[u8], b: &[u8], psi: usize) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::new();
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            if !eq(a[i], b[j]) {
+                continue;
+            }
+            // Left-maximal?
+            if i > 0 && j > 0 && eq(a[i - 1], b[j - 1]) {
+                continue;
+            }
+            // Extend right.
+            let mut len = 0usize;
+            while i + len < a.len() && j + len < b.len() && eq(a[i + len], b[j + len]) {
+                len += 1;
+            }
+            if len >= psi {
+                out.push((i as u32, j as u32, len as u32));
+            }
+        }
+    }
+    out
+}
+
+/// All cross-sequence maximal matches of length ≥ `psi` in a store,
+/// sorted for set comparison.
+pub fn all_maximal_matches(store: &FragmentStore, psi: usize) -> Vec<MaxMatch> {
+    let n = store.num_seqs();
+    let mut out = Vec::new();
+    for ai in 0..n {
+        for bi in ai + 1..n {
+            let a = store.get(pgasm_seq::SeqId(ai as u32));
+            let b = store.get(pgasm_seq::SeqId(bi as u32));
+            for (ap, bp, len) in maximal_matches(a, b, psi) {
+                out.push(MaxMatch { a: ai as u32, b: bi as u32, a_pos: ap, b_pos: bp, len });
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The distinct sequence pairs having at least one maximal match ≥ psi.
+pub fn distinct_pairs(matches: &[MaxMatch]) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = matches.iter().map(|m| (m.a, m.b)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_seq::DnaSeq;
+
+    #[test]
+    fn finds_single_shared_region() {
+        let a = DnaSeq::from("TTTACGTACGAA");
+        let b = DnaSeq::from("GGACGTACGCC");
+        let m = maximal_matches(a.codes(), b.codes(), 5);
+        assert_eq!(m, vec![(3, 2, 7)]); // ACGTACG
+    }
+
+    #[test]
+    fn left_maximality_enforced() {
+        // Shared "XACGT" where the preceding char matches too: only the
+        // longer occurrence is maximal.
+        let a = DnaSeq::from("GACGTT");
+        let b = DnaSeq::from("GACGTA");
+        let m = maximal_matches(a.codes(), b.codes(), 3);
+        assert_eq!(m, vec![(0, 0, 5)]); // GACGT only, not ACGT
+    }
+
+    #[test]
+    fn mask_breaks_matches() {
+        let mut a = DnaSeq::from("ACGTACGT");
+        let b = DnaSeq::from("ACGTACGT");
+        // The full match plus the two period-4 off-diagonal matches.
+        assert_eq!(maximal_matches(a.codes(), b.codes(), 4), vec![(0, 0, 8), (0, 4, 4), (4, 0, 4)]);
+        a.mask_range(4, 5);
+        let mut m = maximal_matches(a.codes(), b.codes(), 4);
+        m.sort_unstable();
+        // The diagonal match is cut to 4 by the mask; the (4,0) match
+        // loses its first base to the mask and falls below psi.
+        assert_eq!(m, vec![(0, 0, 4), (0, 4, 4)]);
+    }
+
+    #[test]
+    fn multiple_distinct_matches_between_one_pair() {
+        let a = DnaSeq::from("AAACGTACGTTTTGGGCCCGGG");
+        let b = DnaSeq::from("CCACGTACGTAAAGGGCCCTTT");
+        let m = maximal_matches(a.codes(), b.codes(), 6);
+        assert!(m.contains(&(2, 2, 8)), "ACGTACGT: {m:?}");
+        assert!(m.contains(&(13, 13, 6)), "GGGCCC: {m:?}");
+    }
+
+    #[test]
+    fn store_level_enumeration() {
+        let st = FragmentStore::from_seqs(vec![
+            DnaSeq::from("AAACGTACGTTT"),
+            DnaSeq::from("CCACGTACGTGG"),
+            DnaSeq::from("TTTTTTTTTTTT"),
+        ]);
+        let all = all_maximal_matches(&st, 6);
+        let pairs = distinct_pairs(&all);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+}

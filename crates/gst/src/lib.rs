@@ -1,0 +1,35 @@
+//! # pgasm-gst — generalized suffix tree and promising-pair generation
+//!
+//! Implements §5–§6 of the paper:
+//!
+//! - [`suffix`] — suffix enumeration and bucketing by w-length prefixes,
+//!   shared by the serial builder and the parallel construction driver
+//!   in `pgasm-core`.
+//! - [`tree`] — the generalized suffix tree (GST) over a fragment set
+//!   (typically fragments *and* their reverse complements), stored as a
+//!   forest of compacted tries, one per w-prefix bucket, built
+//!   depth-first by character partitioning. The portion of the GST above
+//!   string-depth `w` is never materialised ("the top portion of the GST
+//!   is not needed for pair generation").
+//! - [`pairs`] — the on-demand *promising pair* generator: fragment
+//!   pairs sharing a maximal match of length ≥ ψ, produced in
+//!   non-increasing order of maximal-match length, O(1) time per pair,
+//!   linear space, via `lsets` (partitions of subtree suffixes by
+//!   preceding character) processed bottom-up in decreasing string-depth
+//!   order. Supports the paper's *duplicate elimination* refinement that
+//!   generates each fragment pair at most once per node.
+//! - [`brute`] — an exhaustive O(L²) maximal-match oracle used by tests
+//!   and benches to verify generator completeness.
+//!
+//! Masked bases (repeats, vector) never match; exact matches therefore
+//! never cross a masked position, which is modelled by enumerating
+//! suffixes per *unmasked run* and bounding each suffix at its run end.
+
+pub mod brute;
+pub mod pairs;
+pub mod suffix;
+pub mod tree;
+
+pub use pairs::{GenMode, PairGenerator, PromisingPair};
+pub use suffix::{bucket_suffixes, bucket_suffixes_of, enumerate_suffixes, Suffix};
+pub use tree::{Gst, GstConfig, GstStats, TextSource};

@@ -1,0 +1,486 @@
+//! The generalized suffix tree, stored as an arena forest.
+//!
+//! One compacted trie per w-prefix bucket, built depth-first by
+//! character partitioning (§6: "partition all suffixes in the bucket into
+//! at most |Σ| sub-buckets based on their respective (w+1)-th characters
+//! … recursively applied … until all suffixes are separated or their
+//! lengths exhausted"). Suffixes that exhaust at the same point form a
+//! *leaf* holding several suffixes — the arena equivalent of the classic
+//! per-string `$` terminator leaves.
+//!
+//! Every node at string-depth ≥ ψ carries `lsets`: per preceding
+//! character class (A, C, G, T, or λ for "no left extension possible"),
+//! an index-linked list of the suffixes in its subtree. Lists support
+//! O(1) concatenation, which the pair generator relies on for its O(1)
+//! amortised per-pair bound (paper Lemma 2).
+
+use crate::suffix::Suffix;
+use pgasm_seq::alphabet::{is_base_code, SIGMA};
+use pgasm_seq::FragmentStore;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "no node / no suffix / no slot".
+pub const NONE: u32 = u32::MAX;
+
+/// Number of lset character classes: the four bases plus λ.
+pub const NUM_CLASSES: usize = SIGMA + 1;
+
+/// Index of the λ class (suffix starts at position 0 or follows a masked
+/// base, so it cannot be extended to the left).
+pub const LAMBDA: usize = SIGMA;
+
+/// Configuration of GST construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GstConfig {
+    /// Prefix length used for bucketing (paper: w ≈ 11; must satisfy
+    /// `w ≤ psi`).
+    pub w: usize,
+    /// Minimum maximal-match length ψ for a pair to be *promising*.
+    pub psi: usize,
+}
+
+impl GstConfig {
+    /// Validates the `w ≤ psi` requirement.
+    pub fn validated(self) -> GstConfig {
+        assert!(self.w >= 1 && self.w <= 31, "w must be in 1..=31");
+        assert!(self.psi >= self.w, "psi ({}) must be ≥ w ({})", self.psi, self.w);
+        self
+    }
+}
+
+impl Default for GstConfig {
+    fn default() -> Self {
+        // Paper: w = 11 empirically appropriate; ψ = 20 is a typical
+        // promising-pair cutoff at fragment scale.
+        GstConfig { w: 11, psi: 20 }
+    }
+}
+
+/// Anything that can hand out the code slice of a sequence. Implemented
+/// by [`FragmentStore`] and by the per-rank local text of the parallel
+/// driver.
+pub trait TextSource {
+    /// Code slice of sequence `seq`.
+    fn seq_codes(&self, seq: u32) -> &[u8];
+    /// Number of sequences addressable (bounds the duplicate-elimination
+    /// marker array).
+    fn num_seqs(&self) -> usize;
+}
+
+impl TextSource for FragmentStore {
+    fn seq_codes(&self, seq: u32) -> &[u8] {
+        self.get(pgasm_seq::SeqId(seq))
+    }
+
+    fn num_seqs(&self) -> usize {
+        FragmentStore::num_seqs(self)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    /// String depth (path-label length) of this node.
+    pub depth: u32,
+    /// First child, or NONE for a leaf.
+    pub first_child: u32,
+    /// Next sibling in the parent's child list.
+    pub next_sibling: u32,
+    /// lset slot index, or NONE when depth < ψ.
+    pub lset: u32,
+}
+
+/// Construction and traversal statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GstStats {
+    /// Buckets (subtrees) built.
+    pub buckets: usize,
+    /// Total nodes in the forest.
+    pub nodes: usize,
+    /// Total leaves.
+    pub leaves: usize,
+    /// Suffix entries indexed.
+    pub suffixes: usize,
+    /// Maximum string depth observed.
+    pub max_depth: usize,
+    /// Nodes eligible for pair generation (depth ≥ ψ).
+    pub eligible_nodes: usize,
+}
+
+/// The generalized suffix tree forest over a set of sequences.
+pub struct Gst {
+    pub(crate) config: GstConfig,
+    pub(crate) nodes: Vec<Node>,
+    /// Per suffix entry: owning sequence.
+    pub(crate) suf_seq: Vec<u32>,
+    /// Per suffix entry: start position.
+    pub(crate) suf_pos: Vec<u32>,
+    /// Per suffix entry: linked-list next pointer within its lset.
+    pub(crate) suf_next: Vec<u32>,
+    /// lset list heads per slot, per class.
+    pub(crate) lset_head: Vec<[u32; NUM_CLASSES]>,
+    /// lset list tails per slot, per class.
+    pub(crate) lset_tail: Vec<[u32; NUM_CLASSES]>,
+    /// Node ids with depth ≥ ψ in processing order: decreasing depth,
+    /// ties broken by decreasing creation index so children precede
+    /// parents (an exhausted-suffix leaf shares its parent's depth).
+    pub(crate) order: Vec<u32>,
+    pub(crate) num_seqs: usize,
+    stats: GstStats,
+}
+
+impl Gst {
+    /// Build the GST over every sequence of `store` (serial path).
+    pub fn build(store: &FragmentStore, config: GstConfig) -> Gst {
+        let buckets = crate::suffix::bucket_suffixes(store, config.w);
+        let bucket_vec: Vec<Vec<Suffix>> = buckets.into_iter().map(|(_, v)| v).collect();
+        Gst::build_from_buckets(store, bucket_vec, config)
+    }
+
+    /// Build from pre-bucketed suffixes (the per-rank parallel path).
+    /// Each bucket's suffixes must share their first `w` characters.
+    pub fn build_from_buckets<T: TextSource>(text: &T, buckets: Vec<Vec<Suffix>>, config: GstConfig) -> Gst {
+        let config = config.validated();
+        let total_suffixes: usize = buckets.iter().map(|b| b.len()).sum();
+        let mut gst = Gst {
+            config,
+            nodes: Vec::with_capacity(total_suffixes * 2),
+            suf_seq: Vec::with_capacity(total_suffixes),
+            suf_pos: Vec::with_capacity(total_suffixes),
+            suf_next: Vec::with_capacity(total_suffixes),
+            lset_head: Vec::new(),
+            lset_tail: Vec::new(),
+            order: Vec::new(),
+            num_seqs: text.num_seqs(),
+            stats: GstStats::default(),
+        };
+        gst.stats.buckets = buckets.len();
+        for bucket in buckets {
+            if bucket.len() < 2 {
+                continue;
+            }
+            gst.build_bucket(text, bucket);
+        }
+        gst.stats.nodes = gst.nodes.len();
+        gst.stats.suffixes = gst.suf_seq.len();
+        gst.stats.leaves = gst.nodes.iter().filter(|n| n.first_child == NONE).count();
+        gst.stats.max_depth = gst.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0);
+        gst.finish_order();
+        gst
+    }
+
+    /// Construction/size statistics.
+    pub fn stats(&self) -> GstStats {
+        self.stats
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> GstConfig {
+        self.config
+    }
+
+    /// Estimated resident bytes of the forest (paper §7.1 reports
+    /// ~80 bytes per input character for their implementation; this
+    /// reports ours for the same comparison).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.suf_seq.len() * 12
+            + self.lset_head.len() * std::mem::size_of::<[u32; NUM_CLASSES]>() * 2
+            + self.order.len() * 4
+    }
+
+    fn build_bucket<T: TextSource>(&mut self, text: &T, suffixes: Vec<Suffix>) {
+        let w = self.config.w as u32;
+        self.build_rec(text, suffixes, w);
+    }
+
+    /// Recursively build the subtree for `sufs`, which all share their
+    /// first `depth` characters. Returns the subtree root node id.
+    fn build_rec<T: TextSource>(&mut self, text: &T, mut sufs: Vec<Suffix>, mut depth: u32) -> u32 {
+        loop {
+            if sufs.len() == 1 {
+                let s = sufs[0];
+                return self.new_leaf(text, s.rem, &sufs);
+            }
+            // Partition by the character at `depth` (or exhaustion).
+            let mut groups: [Vec<Suffix>; SIGMA] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+            let mut exhausted: Vec<Suffix> = Vec::new();
+            for &s in &sufs {
+                if s.rem == depth {
+                    exhausted.push(s);
+                } else {
+                    let c = text.seq_codes(s.seq)[(s.pos + depth) as usize];
+                    debug_assert!(is_base_code(c), "suffix runs past its unmasked run");
+                    groups[c as usize].push(s);
+                }
+            }
+            let nonempty = groups.iter().filter(|g| !g.is_empty()).count();
+            if exhausted.is_empty() && nonempty == 1 {
+                // Path compression: single outgoing edge, extend depth.
+                sufs = groups.into_iter().find(|g| !g.is_empty()).expect("nonempty == 1");
+                depth += 1;
+                continue;
+            }
+            if nonempty == 0 {
+                // All suffixes identical and exhausted: one leaf.
+                return self.new_leaf(text, depth, &exhausted);
+            }
+            // Branching point (or exhaustion alongside continuation):
+            // create an internal node at `depth`.
+            let node = self.new_internal(depth);
+            let mut last_child = NONE;
+            if !exhausted.is_empty() {
+                let leaf = self.new_leaf(text, depth, &exhausted);
+                self.attach_child(node, leaf, &mut last_child);
+            }
+            for g in groups {
+                if !g.is_empty() {
+                    let child = self.build_rec(text, g, depth + 1);
+                    self.attach_child(node, child, &mut last_child);
+                }
+            }
+            return node;
+        }
+    }
+
+    fn attach_child(&mut self, parent: u32, child: u32, last_child: &mut u32) {
+        if *last_child == NONE {
+            self.nodes[parent as usize].first_child = child;
+        } else {
+            self.nodes[*last_child as usize].next_sibling = child;
+        }
+        *last_child = child;
+    }
+
+    fn new_internal(&mut self, depth: u32) -> u32 {
+        let lset = self.alloc_lset(depth);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { depth, first_child: NONE, next_sibling: NONE, lset });
+        id
+    }
+
+    /// Create a leaf at string-depth `depth` holding `sufs` (all with
+    /// `rem == depth`-equivalent content). The leaf's lsets are built
+    /// immediately from the suffixes' preceding characters (paper S3).
+    fn new_leaf<T: TextSource>(&mut self, text: &T, depth: u32, sufs: &[Suffix]) -> u32 {
+        let lset = self.alloc_lset(depth);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { depth, first_child: NONE, next_sibling: NONE, lset });
+        if lset != NONE {
+            for &s in sufs {
+                let entry = self.suf_seq.len() as u32;
+                self.suf_seq.push(s.seq);
+                self.suf_pos.push(s.pos);
+                self.suf_next.push(NONE);
+                let class = self.preceding_class(text, s);
+                self.lset_push(lset, class, entry);
+            }
+        }
+        id
+    }
+
+    /// The lset class of a suffix: its preceding character, or λ when at
+    /// position 0 or preceded by a masked base (no left extension is
+    /// possible in either case, which is what left-maximality needs).
+    fn preceding_class<T: TextSource>(&self, text: &T, s: Suffix) -> usize {
+        if s.pos == 0 {
+            return LAMBDA;
+        }
+        let c = text.seq_codes(s.seq)[(s.pos - 1) as usize];
+        if is_base_code(c) {
+            c as usize
+        } else {
+            LAMBDA
+        }
+    }
+
+    fn alloc_lset(&mut self, depth: u32) -> u32 {
+        if (depth as usize) < self.config.psi {
+            return NONE;
+        }
+        let slot = self.lset_head.len() as u32;
+        self.lset_head.push([NONE; NUM_CLASSES]);
+        self.lset_tail.push([NONE; NUM_CLASSES]);
+        slot
+    }
+
+    pub(crate) fn lset_push(&mut self, slot: u32, class: usize, entry: u32) {
+        let s = slot as usize;
+        let tail = self.lset_tail[s][class];
+        if tail == NONE {
+            self.lset_head[s][class] = entry;
+        } else {
+            self.suf_next[tail as usize] = entry;
+        }
+        self.lset_tail[s][class] = entry;
+        self.suf_next[entry as usize] = NONE;
+    }
+
+    /// O(1) concatenation of child list (slot `from`, class) onto slot
+    /// `to` — paper: "the lsets at each node are maintained as linked
+    /// lists to allow constant time union operations".
+    pub(crate) fn lset_concat(&mut self, to: u32, from: u32, class: usize) {
+        let (t, f) = (to as usize, from as usize);
+        let fh = self.lset_head[f][class];
+        if fh == NONE {
+            return;
+        }
+        let tt = self.lset_tail[t][class];
+        if tt == NONE {
+            self.lset_head[t][class] = fh;
+        } else {
+            self.suf_next[tt as usize] = fh;
+        }
+        self.lset_tail[t][class] = self.lset_tail[f][class];
+        self.lset_head[f][class] = NONE;
+        self.lset_tail[f][class] = NONE;
+    }
+
+    /// Children of a node, in attachment order.
+    pub(crate) fn children(&self, node: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut c = self.nodes[node as usize].first_child;
+        while c != NONE {
+            out.push(c);
+            c = self.nodes[c as usize].next_sibling;
+        }
+        out
+    }
+
+    /// Counting sort of eligible nodes by decreasing depth, ties by
+    /// decreasing creation index (children were created after parents).
+    fn finish_order(&mut self) {
+        let max_depth = self.stats.max_depth;
+        let psi = self.config.psi;
+        if max_depth < psi {
+            self.order = Vec::new();
+            return;
+        }
+        let mut by_depth: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.depth as usize >= psi {
+                by_depth[n.depth as usize].push(i as u32);
+            }
+        }
+        let mut order = Vec::new();
+        for d in (psi..=max_depth).rev() {
+            // Reverse creation order within equal depth.
+            order.extend(by_depth[d].iter().rev().copied());
+        }
+        self.stats.eligible_nodes = order.len();
+        self.order = order;
+    }
+
+    /// Iterate the eligible nodes in processing order (for tests).
+    pub fn processing_order(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.order.iter().map(move |&id| (id, self.nodes[id as usize].depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_seq::DnaSeq;
+
+    fn store(seqs: &[&str]) -> FragmentStore {
+        FragmentStore::from_seqs(seqs.iter().map(|s| DnaSeq::from(*s)))
+    }
+
+    #[test]
+    fn empty_store_builds_empty_forest() {
+        let st = store(&[]);
+        let g = Gst::build(&st, GstConfig { w: 3, psi: 3 });
+        assert_eq!(g.stats().nodes, 0);
+        assert_eq!(g.processing_order().count(), 0);
+    }
+
+    #[test]
+    fn shared_prefix_creates_branching_node() {
+        let st = store(&["ACGTAAA", "ACGTTTT"]);
+        let g = Gst::build(&st, GstConfig { w: 3, psi: 3 });
+        let s = g.stats();
+        assert!(s.nodes > 0);
+        assert!(s.max_depth >= 4, "ACGT shared: depth ≥ 4, got {}", s.max_depth);
+        // There must be an internal node at depth exactly 4 (ACGT) with
+        // two children (A… and T…).
+        let found = (0..g.nodes.len() as u32).any(|i| {
+            let n = &g.nodes[i as usize];
+            n.depth == 4 && n.first_child != NONE && g.children(i).len() == 2
+        });
+        assert!(found, "expected a binary branching node at depth 4");
+    }
+
+    #[test]
+    fn order_is_decreasing_depth_children_first() {
+        let st = store(&["ACGTACGTAA", "ACGTACGTTT", "CGTACGTAAG"]);
+        let g = Gst::build(&st, GstConfig { w: 3, psi: 3 });
+        let order: Vec<(u32, u32)> = g.processing_order().collect();
+        assert!(!order.is_empty());
+        for win in order.windows(2) {
+            assert!(win[0].1 >= win[1].1, "depth order violated: {win:?}");
+        }
+        // Every child must appear before its parent.
+        let position: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &(id, _))| (id, i)).collect();
+        for (&id, &pos) in &position {
+            for c in g.children(id) {
+                if let Some(&cpos) = position.get(&c) {
+                    assert!(cpos < pos, "child {c} after parent {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lsets_partition_by_preceding_char() {
+        // "AACGT" and "CACGT" and "ACGT": suffix ACGT preceded by A, C, λ.
+        let st = store(&["AACGT", "CACGT", "ACGT"]);
+        let g = Gst::build(&st, GstConfig { w: 4, psi: 4 });
+        // Find the node whose subtree holds all three ACGT suffixes: the
+        // bucket of ACGT. It has depth 4 and three suffixes exhausted.
+        let mut found = false;
+        for (id, _) in g.processing_order() {
+            let n = &g.nodes[id as usize];
+            if n.lset == NONE {
+                continue;
+            }
+            let slot = n.lset as usize;
+            let count_class = |class: usize| {
+                let mut c = 0;
+                let mut e = g.lset_head[slot][class];
+                while e != NONE {
+                    c += 1;
+                    e = g.suf_next[e as usize];
+                }
+                c
+            };
+            if n.depth == 4 && n.first_child == NONE && count_class(0) + count_class(1) + count_class(LAMBDA) == 3 {
+                assert_eq!(count_class(0), 1, "one suffix preceded by A");
+                assert_eq!(count_class(1), 1, "one suffix preceded by C");
+                assert_eq!(count_class(LAMBDA), 1, "one suffix at position 0");
+                found = true;
+            }
+        }
+        assert!(found, "expected the ACGT leaf with 3 partitioned suffixes");
+    }
+
+    #[test]
+    fn psi_limits_eligible_nodes() {
+        let st = store(&["ACGTACGTAA", "ACGTACGTTT"]);
+        let low = Gst::build(&st, GstConfig { w: 3, psi: 3 });
+        let high = Gst::build(&st, GstConfig { w: 3, psi: 8 });
+        assert!(high.stats().eligible_nodes < low.stats().eligible_nodes);
+    }
+
+    #[test]
+    #[should_panic(expected = "psi")]
+    fn psi_must_be_at_least_w() {
+        GstConfig { w: 11, psi: 5 }.validated();
+    }
+
+    #[test]
+    fn memory_estimate_nonzero() {
+        let st = store(&["ACGTACGTAA", "ACGTACGTTT"]);
+        let g = Gst::build(&st, GstConfig { w: 3, psi: 3 });
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Ranks, point-to-point messaging, and collectives.
+
+use crate::model::CommStats;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Tags at or above this value are reserved for collectives.
+pub const RESERVED_TAG_BASE: u32 = 0xFFFF_0000;
+
+const TAG_BCAST: u32 = RESERVED_TAG_BASE;
+const TAG_GATHER: u32 = RESERVED_TAG_BASE + 1;
+const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 2;
+const TAG_ALLTOALL_P2P: u32 = RESERVED_TAG_BASE + 3;
+const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 4;
+
+/// One received message.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag.
+    pub tag: u32,
+    /// Payload.
+    pub data: Bytes,
+}
+
+/// A rank's communicator handle. All methods take `&mut self`: a rank is
+/// single-threaded, exactly like an MPI process.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    backlog: VecDeque<Msg>,
+    barrier: Arc<Barrier>,
+    stats: CommStats,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of this rank's traffic statistics.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Asynchronous send (like `MPI_Isend` with unbounded buffering).
+    ///
+    /// # Panics
+    /// Panics on a reserved tag or an out-of-range destination.
+    pub fn send(&mut self, dest: usize, tag: u32, data: Bytes) {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is reserved for collectives");
+        self.send_raw(dest, tag, data);
+    }
+
+    fn send_raw(&mut self, dest: usize, tag: u32, data: Bytes) {
+        assert!(dest < self.size, "destination {dest} out of range");
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        let msg = Msg { src: self.rank, tag, data };
+        if dest == self.rank {
+            // Self-sends bypass the channel. This also means a rank holds
+            // no sender to itself, so when every *other* rank exits (or
+            // panics), its channel disconnects and a blocked `recv`
+            // fails fast instead of deadlocking the scope join.
+            self.backlog.push_back(msg);
+        } else {
+            self.senders[dest]
+                .send(msg)
+                .expect("receiving rank exited before communication completed");
+        }
+    }
+
+    /// Blocking receive matching the given source and/or tag (`None` is
+    /// a wildcard). Non-matching messages are buffered for later
+    /// receives, preserving per-sender FIFO order.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Msg {
+        if let Some(i) = self.backlog_find(src, tag) {
+            let m = self.backlog.remove(i).expect("index valid");
+            self.note_recv(&m);
+            return m;
+        }
+        let start = Instant::now();
+        loop {
+            let m = self.receiver.recv().expect("all ranks exited");
+            if matches(&m, src, tag) {
+                self.stats.wait_ns += start.elapsed().as_nanos() as u64;
+                self.note_recv(&m);
+                return m;
+            }
+            self.backlog.push_back(m);
+        }
+    }
+
+    /// Non-blocking receive; `None` when no matching message is queued.
+    pub fn try_recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Option<Msg> {
+        if let Some(i) = self.backlog_find(src, tag) {
+            let m = self.backlog.remove(i).expect("index valid");
+            self.note_recv(&m);
+            return Some(m);
+        }
+        while let Ok(m) = self.receiver.try_recv() {
+            if matches(&m, src, tag) {
+                self.note_recv(&m);
+                return Some(m);
+            }
+            self.backlog.push_back(m);
+        }
+        None
+    }
+
+    fn backlog_find(&self, src: Option<usize>, tag: Option<u32>) -> Option<usize> {
+        self.backlog.iter().position(|m| matches(m, src, tag))
+    }
+
+    fn note_recv(&mut self, m: &Msg) {
+        self.stats.msgs_recv += 1;
+        self.stats.bytes_recv += m.data.len() as u64;
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&mut self) {
+        let start = Instant::now();
+        self.barrier.wait();
+        self.stats.barrier_ns += start.elapsed().as_nanos() as u64;
+    }
+
+    /// Broadcast from `root`: the root passes `Some(data)`, everyone
+    /// receives the payload.
+    pub fn broadcast(&mut self, root: usize, data: Option<Bytes>) -> Bytes {
+        if self.rank == root {
+            let data = data.expect("root must supply broadcast data");
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send_raw(dest, TAG_BCAST, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(Some(root), Some(TAG_BCAST)).data
+        }
+    }
+
+    /// Gather to `root`: returns `Some(payloads_by_rank)` at the root,
+    /// `None` elsewhere.
+    pub fn gather(&mut self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        if self.rank == root {
+            let mut out: Vec<Option<Bytes>> = vec![None; self.size];
+            out[root] = Some(data);
+            // Per-source receives: see all_to_allv_tagged for why
+            // wildcard receives would race consecutive collectives.
+            for src in 0..self.size {
+                if src != root {
+                    let m = self.recv(Some(src), Some(TAG_GATHER));
+                    out[src] = Some(m.data);
+                }
+            }
+            Some(out.into_iter().map(|b| b.expect("all ranks gathered")).collect())
+        } else {
+            self.send_raw(root, TAG_GATHER, data);
+            None
+        }
+    }
+
+    /// Collective all-to-all with per-destination payloads; returns the
+    /// payloads received, indexed by source.
+    pub fn all_to_allv(&mut self, bufs: Vec<Bytes>) -> Vec<Bytes> {
+        self.all_to_allv_tagged(bufs, TAG_ALLTOALL)
+    }
+
+    /// The paper's customised `Alltoallv` (§6): `p − 1` explicit
+    /// point-to-point rounds, rank `r` exchanging with `r ± round`, which
+    /// bounds the space committed to send buffers to one destination at
+    /// a time. Traffic totals match [`Comm::all_to_allv`]; only the
+    /// schedule differs.
+    pub fn all_to_allv_p2p(&mut self, mut bufs: Vec<Bytes>) -> Vec<Bytes> {
+        assert_eq!(bufs.len(), self.size);
+        let mut out: Vec<Option<Bytes>> = vec![None; self.size];
+        out[self.rank] = Some(std::mem::take(&mut bufs[self.rank]));
+        for round in 1..self.size {
+            let to = (self.rank + round) % self.size;
+            let from = (self.rank + self.size - round) % self.size;
+            self.send_raw(to, TAG_ALLTOALL_P2P, std::mem::take(&mut bufs[to]));
+            let m = self.recv(Some(from), Some(TAG_ALLTOALL_P2P));
+            out[from] = Some(m.data);
+        }
+        out.into_iter().map(|b| b.expect("complete exchange")).collect()
+    }
+
+    fn all_to_allv_tagged(&mut self, mut bufs: Vec<Bytes>, tag: u32) -> Vec<Bytes> {
+        assert_eq!(bufs.len(), self.size, "one payload per destination required");
+        let mut out: Vec<Option<Bytes>> = vec![None; self.size];
+        out[self.rank] = Some(std::mem::take(&mut bufs[self.rank]));
+        for dest in 0..self.size {
+            if dest != self.rank {
+                self.send_raw(dest, tag, std::mem::take(&mut bufs[dest]));
+            }
+        }
+        // Receive per explicit source: per-sender FIFO then keeps two
+        // back-to-back collectives on the same tag from interleaving
+        // (a wildcard receive could consume a fast rank's *next*-round
+        // payload as this round's).
+        for src in 0..self.size {
+            if src != self.rank {
+                let m = self.recv(Some(src), Some(tag));
+                out[src] = Some(m.data);
+            }
+        }
+        out.into_iter().map(|b| b.expect("complete exchange")).collect()
+    }
+
+    /// All-reduce of a `u64` by summation.
+    pub fn allreduce_sum(&mut self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// All-reduce of a `u64` by maximum.
+    pub fn allreduce_max(&mut self, value: u64) -> u64 {
+        self.allreduce(value, u64::max)
+    }
+
+    fn allreduce(&mut self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        // Gather to rank 0, reduce, broadcast back.
+        let payload = Bytes::copy_from_slice(&value.to_le_bytes());
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let m = self.recv(Some(src), Some(TAG_REDUCE));
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&m.data);
+                acc = op(acc, u64::from_le_bytes(buf));
+            }
+            let out = Bytes::copy_from_slice(&acc.to_le_bytes());
+            for dest in 1..self.size {
+                self.send_raw(dest, TAG_REDUCE, out.clone());
+            }
+            acc
+        } else {
+            self.send_raw(0, TAG_REDUCE, payload);
+            let m = self.recv(Some(0), Some(TAG_REDUCE));
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&m.data);
+            u64::from_le_bytes(buf)
+        }
+    }
+}
+
+#[inline]
+fn matches(m: &Msg, src: Option<usize>, tag: Option<u32>) -> bool {
+    src.map_or(true, |s| s == m.src) && tag.map_or(true, |t| t == m.tag)
+}
+
+/// Launch `p` ranks, run `f` on each, and return the per-rank results in
+/// rank order. Panics in any rank propagate.
+pub fn run<T, F>(p: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Send + Sync,
+{
+    assert!(p > 0, "at least one rank required");
+    let mut txs = Vec::with_capacity(p);
+    let mut rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(p));
+    let f = &f;
+    // A rank must not hold a sender to itself (see `send_raw`); give it a
+    // dangling sender whose receiver is dropped immediately.
+    let (dangling_tx, _) = unbounded::<Msg>();
+    let comms: Vec<Comm> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| {
+            let mut senders = txs.clone();
+            senders[rank] = dangling_tx.clone();
+            Comm {
+                rank,
+                size: p,
+                senders,
+                receiver,
+                backlog: VecDeque::new(),
+                barrier: barrier.clone(),
+                stats: CommStats::default(),
+            }
+        })
+        .collect();
+    drop(txs);
+    drop(dangling_tx);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| scope.spawn(move || f(&mut comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Preserve the original panic payload (message) of the
+                // failing rank.
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run(1, |c| c.rank() + c.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let out = run(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, Bytes::copy_from_slice(&[c.rank() as u8]));
+            let m = c.recv(Some(prev), Some(7));
+            m.data[0] as usize
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, Bytes::from_static(b"first"));
+                c.send(1, 2, Bytes::from_static(b"second"));
+                0
+            } else {
+                // Receive tag 2 before tag 1; the tag-1 message must be
+                // buffered and still be deliverable.
+                let b = c.recv(Some(0), Some(2));
+                let a = c.recv(Some(0), Some(1));
+                assert_eq!(&b.data[..], b"second");
+                assert_eq!(&a.data[..], b"first");
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+                c.send(1, 5, Bytes::from_static(b"x"));
+                c.barrier();
+                true
+            } else {
+                assert!(c.try_recv(None, None).is_none());
+                c.barrier();
+                c.barrier();
+                // Message must be in flight or queued now.
+                let mut got = None;
+                for _ in 0..1000 {
+                    got = c.try_recv(Some(0), Some(5));
+                    if got.is_some() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                got.is_some()
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn broadcast_delivers_everywhere() {
+        let out = run(4, |c| {
+            let data = if c.rank() == 2 { Some(Bytes::from_static(b"hello")) } else { None };
+            let got = c.broadcast(2, data);
+            got.to_vec()
+        });
+        for r in out {
+            assert_eq!(r, b"hello");
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run(4, |c| {
+            let payload = Bytes::copy_from_slice(&[c.rank() as u8 * 10]);
+            c.gather(0, payload).map(|v| v.iter().map(|b| b[0]).collect::<Vec<u8>>())
+        });
+        assert_eq!(out[0], Some(vec![0, 10, 20, 30]));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn alltoallv_exchanges_payloads() {
+        let p = 4;
+        let out = run(p, |c| {
+            let bufs: Vec<Bytes> = (0..c.size())
+                .map(|d| Bytes::copy_from_slice(&[(c.rank() * 10 + d) as u8]))
+                .collect();
+            let got = c.all_to_allv(bufs);
+            got.iter().map(|b| b[0]).collect::<Vec<u8>>()
+        });
+        for (rank, row) in out.iter().enumerate() {
+            let expect: Vec<u8> = (0..p).map(|src| (src * 10 + rank) as u8).collect();
+            assert_eq!(row, &expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn p2p_alltoallv_matches_collective() {
+        let p = 5;
+        let direct = run(p, |c| {
+            let bufs: Vec<Bytes> = (0..c.size())
+                .map(|d| Bytes::copy_from_slice(&[(c.rank() * c.size() + d) as u8; 3]))
+                .collect();
+            c.all_to_allv(bufs).iter().map(|b| b.to_vec()).collect::<Vec<_>>()
+        });
+        let rounds = run(p, |c| {
+            let bufs: Vec<Bytes> = (0..c.size())
+                .map(|d| Bytes::copy_from_slice(&[(c.rank() * c.size() + d) as u8; 3]))
+                .collect();
+            c.all_to_allv_p2p(bufs).iter().map(|b| b.to_vec()).collect::<Vec<_>>()
+        });
+        assert_eq!(direct, rounds);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let sums = run(4, |c| c.allreduce_sum(c.rank() as u64 + 1));
+        assert_eq!(sums, vec![10, 10, 10, 10]);
+        let maxes = run(4, |c| c.allreduce_max((c.rank() as u64) * 7));
+        assert_eq!(maxes, vec![21, 21, 21, 21]);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let stats = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, Bytes::from_static(b"12345"));
+            } else {
+                c.recv(Some(0), Some(3));
+            }
+            c.stats()
+        });
+        assert_eq!(stats[0].msgs_sent, 1);
+        assert_eq!(stats[0].bytes_sent, 5);
+        assert_eq!(stats[1].msgs_recv, 1);
+        assert_eq!(stats[1].bytes_recv, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tags_rejected() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                // Panics in `send` before anything is transmitted; rank 1
+                // exits immediately so the panic propagates cleanly.
+                c.send(1, RESERVED_TAG_BASE, Bytes::new());
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_is_received() {
+        let out = run(2, |c| {
+            let me = c.rank();
+            c.send(me, 9, Bytes::copy_from_slice(&[me as u8]));
+            c.recv(Some(me), Some(9)).data[0]
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn blocked_recv_fails_when_peer_panics() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                panic!("rank 0 died");
+            } else {
+                // Must not hang: rank 0's exit disconnects the channel.
+                c.recv(Some(0), None);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run(4, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

@@ -1,0 +1,29 @@
+//! # pgasm-mpisim — distributed-memory message-passing substrate
+//!
+//! The paper runs on a 1024-node IBM BlueGene/L over MPI. This crate
+//! simulates that environment on one machine: each *rank* is an OS
+//! thread whose data is private by ownership, and all inter-rank sharing
+//! flows through explicit byte messages — so the programming model (and
+//! the traffic) is exactly that of a distributed-memory code.
+//!
+//! Provided:
+//!
+//! - [`comm`] — point-to-point `send`/`recv` with source/tag matching,
+//!   barriers, and the collectives the paper uses: broadcast, gather,
+//!   `alltoallv`, and the *custom* `alltoallv` built from `p − 1`
+//!   point-to-point rounds that §6 introduces to bound send-buffer
+//!   space.
+//! - [`codec`] — a small length-prefixed binary codec for message
+//!   payloads (no external serialization framework needed).
+//! - [`model`] — per-rank traffic statistics and an α–β (latency ×
+//!   bandwidth) communication cost model with BlueGene/L parameters, so
+//!   experiments can report *modelled* network time next to measured
+//!   compute time, reproducing the communication/computation breakdown
+//!   of the paper's Fig. 5.
+
+pub mod codec;
+pub mod comm;
+pub mod model;
+
+pub use comm::{run, Comm, Msg};
+pub use model::{thread_cpu_seconds, CommStats, CostModel};

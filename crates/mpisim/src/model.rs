@@ -1,0 +1,141 @@
+//! Traffic statistics and the α–β communication cost model.
+//!
+//! The simulator's ranks exchange messages over shared memory, so
+//! *measured* communication time on the host says little about a real
+//! interconnect. Instead every rank counts its traffic exactly
+//! ([`CommStats`]) and experiments convert the counts into modelled
+//! network time with a latency/bandwidth model parameterised for the
+//! BlueGene/L — reproducing the communication/computation breakdown the
+//! paper reports (Fig. 5) in a hardware-independent way.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-rank communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
+    /// Nanoseconds blocked in `recv` waiting for a matching message.
+    pub wait_ns: u64,
+    /// Nanoseconds blocked in barriers.
+    pub barrier_ns: u64,
+}
+
+impl CommStats {
+    /// Component-wise sum (for aggregating ranks).
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+            wait_ns: self.wait_ns + other.wait_ns,
+            barrier_ns: self.barrier_ns + other.barrier_ns,
+        }
+    }
+
+    /// Total seconds this rank spent blocked (wait + barrier) — the
+    /// measured idle time used for §7.2's idle-percentage analysis.
+    pub fn blocked_seconds(&self) -> f64 {
+        (self.wait_ns + self.barrier_ns) as f64 * 1e-9
+    }
+}
+
+/// CPU time consumed by the *calling thread* so far, in seconds.
+///
+/// Ranks are threads that may timeshare a smaller number of physical
+/// cores; wall-clock intervals then overstate a rank's computation.
+/// Thread CPU time is immune to oversubscription, so per-rank compute
+/// costs stay meaningful on any host. Linux-specific
+/// (`/proc/thread-self/stat`, utime + stime at the conventional 100 Hz
+/// tick); returns 0.0 if the proc file cannot be read.
+pub fn thread_cpu_seconds() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
+        return 0.0;
+    };
+    // The comm field "(...)" may contain spaces; parse after the last ')'.
+    let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // After the comm field: state is index 0, utime index 11, stime 12.
+    let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (utime + stime) as f64 / 100.0
+}
+
+/// α–β interconnect model: a message of `b` bytes costs
+/// `latency + b / bandwidth` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-message latency α, seconds.
+    pub latency_s: f64,
+    /// Link bandwidth β, bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl CostModel {
+    /// BlueGene/L-class torus parameters (co-processor mode): ≈ 4 µs
+    /// short-message latency, ≈ 150 MB/s effective point-to-point
+    /// bandwidth — the regime of the paper's 2005/2006 runs.
+    pub const BLUEGENE_L: CostModel = CostModel { latency_s: 4.0e-6, bandwidth_bytes_per_s: 150.0e6 };
+
+    /// A contemporary commodity cluster (for sensitivity comparisons):
+    /// ≈ 1.5 µs latency, ≈ 10 GB/s.
+    pub const MODERN_CLUSTER: CostModel = CostModel { latency_s: 1.5e-6, bandwidth_bytes_per_s: 10.0e9 };
+
+    /// Modelled seconds to send the recorded traffic.
+    pub fn send_time(&self, stats: &CommStats) -> f64 {
+        stats.msgs_sent as f64 * self.latency_s + stats.bytes_sent as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Modelled seconds for one rank's full traffic (send + receive; a
+    /// rank pays latency on both ends in co-processor mode).
+    pub fn comm_time(&self, stats: &CommStats) -> f64 {
+        (stats.msgs_sent + stats.msgs_recv) as f64 * self.latency_s
+            + (stats.bytes_sent + stats.bytes_recv) as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = CommStats { msgs_sent: 1, bytes_sent: 10, msgs_recv: 2, bytes_recv: 20, wait_ns: 5, barrier_ns: 7 };
+        let b = CommStats { msgs_sent: 3, bytes_sent: 30, msgs_recv: 4, bytes_recv: 40, wait_ns: 1, barrier_ns: 2 };
+        let m = a.merged(b);
+        assert_eq!(m.msgs_sent, 4);
+        assert_eq!(m.bytes_recv, 60);
+        assert_eq!(m.barrier_ns, 9);
+    }
+
+    #[test]
+    fn cost_scales_with_traffic() {
+        let model = CostModel::BLUEGENE_L;
+        let small = CommStats { msgs_sent: 1, bytes_sent: 1000, ..Default::default() };
+        let large = CommStats { msgs_sent: 1, bytes_sent: 1_000_000, ..Default::default() };
+        assert!(model.comm_time(&large) > model.comm_time(&small) * 100.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let model = CostModel::BLUEGENE_L;
+        let chatty = CommStats { msgs_sent: 10_000, bytes_sent: 10_000, ..Default::default() };
+        let bulky = CommStats { msgs_sent: 1, bytes_sent: 10_000, ..Default::default() };
+        assert!(model.comm_time(&chatty) > 10.0 * model.comm_time(&bulky));
+    }
+
+    #[test]
+    fn blocked_seconds_converts_ns() {
+        let s = CommStats { wait_ns: 1_500_000_000, barrier_ns: 500_000_000, ..Default::default() };
+        assert!((s.blocked_seconds() - 2.0).abs() < 1e-9);
+    }
+}

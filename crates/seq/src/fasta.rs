@@ -1,0 +1,174 @@
+//! Minimal FASTA / FASTQ-lite reading and writing.
+//!
+//! The examples and benchmark harness persist synthetic datasets as
+//! standard FASTA so they can be inspected with ordinary bio tooling.
+//! The "FASTQ-lite" variant carries the quality track the Lucy-style
+//! trimmer needs.
+
+use crate::dna::DnaSeq;
+use crate::quality::QualityTrack;
+use std::io::{self, BufRead, Write};
+
+/// One FASTA record: a header line (without `>`) and a sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastaRecord {
+    /// Header text following `>`.
+    pub header: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// One FASTQ record: header, sequence, and per-base quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastqRecord {
+    /// Header text following `@`.
+    pub header: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+    /// Phred qualities, one per base.
+    pub qual: QualityTrack,
+}
+
+/// Read all FASTA records from a reader.
+pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
+    let mut records = Vec::new();
+    let mut header: Option<String> = None;
+    let mut seq = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if let Some(h) = line.strip_prefix('>') {
+            if let Some(prev) = header.take() {
+                records.push(FastaRecord { header: prev, seq: DnaSeq::from_ascii(&seq) });
+                seq.clear();
+            }
+            header = Some(h.to_string());
+        } else if header.is_some() {
+            seq.extend_from_slice(line.as_bytes());
+        } else if !line.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "sequence data before first FASTA header"));
+        }
+    }
+    if let Some(prev) = header.take() {
+        records.push(FastaRecord { header: prev, seq: DnaSeq::from_ascii(&seq) });
+    }
+    Ok(records)
+}
+
+/// Write FASTA records, wrapping sequence lines at `width` characters.
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastaRecord], width: usize) -> io::Result<()> {
+    let width = width.max(1);
+    for r in records {
+        writeln!(w, ">{}", r.header)?;
+        let ascii = r.seq.to_ascii();
+        for chunk in ascii.chunks(width) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Read FASTQ records (strict 4-line form).
+pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
+    let mut lines = reader.lines();
+    let mut records = Vec::new();
+    while let Some(h) = lines.next() {
+        let h = h?;
+        if h.trim().is_empty() {
+            continue;
+        }
+        let header = h
+            .strip_prefix('@')
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "FASTQ record must start with @"))?
+            .to_string();
+        let seq_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing sequence line"))??;
+        let plus = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing + line"))??;
+        if !plus.starts_with('+') {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "expected + separator"));
+        }
+        let qual_line = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing quality line"))??;
+        if qual_line.len() != seq_line.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "quality/sequence length mismatch"));
+        }
+        let qual = QualityTrack::from_values(qual_line.bytes().map(|b| b.saturating_sub(33)).collect());
+        records.push(FastqRecord { header, seq: DnaSeq::from_ascii(seq_line.as_bytes()), qual });
+    }
+    Ok(records)
+}
+
+/// Write FASTQ records (phred+33).
+pub fn write_fastq<W: Write>(mut w: W, records: &[FastqRecord]) -> io::Result<()> {
+    for r in records {
+        writeln!(w, "@{}", r.header)?;
+        w.write_all(&r.seq.to_ascii())?;
+        w.write_all(b"\n+\n")?;
+        let q: Vec<u8> = r.qual.values().iter().map(|&v| v.saturating_add(33).min(126)).collect();
+        w.write_all(&q)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn fasta_roundtrip() {
+        let records = vec![
+            FastaRecord { header: "frag1 test".into(), seq: DnaSeq::from("ACGTACGTACGT") },
+            FastaRecord { header: "frag2".into(), seq: DnaSeq::from("GG") },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 5).unwrap();
+        let back = read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fasta_multiline_sequences() {
+        let text = ">a\nACG\nTAC\n>b\nGG\n";
+        let recs = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.to_ascii(), b"ACGTAC");
+        assert_eq!(recs[1].header, "b");
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_data() {
+        assert!(read_fasta(Cursor::new("ACGT\n")).is_err());
+    }
+
+    #[test]
+    fn fastq_roundtrip() {
+        let records = vec![FastqRecord {
+            header: "r1".into(),
+            seq: DnaSeq::from("ACGT"),
+            qual: QualityTrack::from_values(vec![30, 31, 32, 33]),
+        }];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let back = read_fastq(Cursor::new(buf)).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fastq_length_mismatch_rejected() {
+        let text = "@r\nACGT\n+\n!!\n";
+        assert!(read_fastq(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn fastq_missing_plus_rejected() {
+        let text = "@r\nACGT\nXXXX\n!!!!\n";
+        assert!(read_fastq(Cursor::new(text)).is_err());
+    }
+}

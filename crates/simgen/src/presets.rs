@@ -1,0 +1,133 @@
+//! Ready-made datasets mirroring the paper's three evaluation inputs at
+//! configurable (reduced) scale.
+
+use crate::community::{Community, CommunitySpec};
+use crate::genome::{Genome, GenomeSpec};
+use crate::sampler::{ReadSet, Sampler, SamplerConfig};
+use crate::ReadKind;
+
+/// A complete synthetic dataset: reads plus the reference(s) they came
+/// from (kept for ground-truth validation).
+pub struct Dataset {
+    /// Human-readable name.
+    pub name: String,
+    /// The sampled reads.
+    pub reads: ReadSet,
+    /// Source genomes (one for single-genome projects).
+    pub genomes: Vec<Genome>,
+}
+
+impl Dataset {
+    /// Total read bases.
+    pub fn total_bases(&self) -> usize {
+        self.reads.total_bases()
+    }
+}
+
+/// Maize-like data (§8): a highly repetitive genome (≈ 65% repeat
+/// coverage, high copy identity) with sparse gene islands, sampled by
+/// the four strategies in roughly the paper's Table 2 proportions
+/// (MF 13%, HC 14%, BAC 36%, WGS 37% of fragments).
+///
+/// `genome_len` scales the genome; `n_reads` the project size.
+pub fn maize_like(genome_len: usize, n_reads: usize, seed: u64) -> Dataset {
+    let spec = GenomeSpec {
+        length: genome_len,
+        repeat_fraction: 0.70,
+        repeat_families: (genome_len / 12_000).clamp(4, 60),
+        repeat_len: (80, 1_500),
+        repeat_identity: 0.985,
+        islands: (genome_len / 8_000).max(3),
+        island_len: (1_500, 4_000),
+        };
+    let genome = Genome::generate(&spec, seed);
+    let config = SamplerConfig::default_scaled();
+    let mut sampler = Sampler::new(&genome, config, seed.wrapping_add(1));
+    let n_mf = n_reads * 13 / 100;
+    let n_hc = n_reads * 14 / 100;
+    let n_bac = n_reads * 36 / 100;
+    let n_wgs = n_reads - n_mf - n_hc - n_bac;
+    let mut reads = sampler.enriched(n_mf, ReadKind::Mf);
+    reads.extend(sampler.enriched(n_hc, ReadKind::Hc));
+    let reads_per_clone = 12usize;
+    reads.extend(sampler.bac((n_bac / reads_per_clone).max(1), reads_per_clone));
+    reads.extend(sampler.wgs(n_wgs));
+    Dataset { name: format!("maize-like ({} bp genome, {} reads)", genome_len, reads.len()), reads, genomes: vec![genome] }
+}
+
+/// Drosophila-like data (§9.1): a moderately repetitive genome
+/// (≈ 12% repeats) under uniform WGS at the paper's 8.8× coverage.
+pub fn drosophila_like(genome_len: usize, coverage: f64, seed: u64) -> Dataset {
+    let spec = GenomeSpec {
+        length: genome_len,
+        repeat_fraction: 0.12,
+        repeat_families: (genome_len / 40_000).clamp(2, 20),
+        repeat_len: (100, 1_000),
+        repeat_identity: 0.98,
+        islands: 0,
+        island_len: (1, 2),
+    };
+    let genome = Genome::generate(&spec, seed);
+    let config = SamplerConfig::default_scaled();
+    let avg_len = (config.read_len.0 + config.read_len.1) / 2;
+    let n = ((genome_len as f64 * coverage) / avg_len as f64).ceil() as usize;
+    let mut sampler = Sampler::new(&genome, config, seed.wrapping_add(1));
+    let reads = sampler.wgs(n);
+    Dataset { name: format!("drosophila-like ({} bp genome, {:.1}x)", genome_len, coverage), reads, genomes: vec![genome] }
+}
+
+/// Sargasso-like environmental data (§9.2): many species, power-law
+/// abundances, uniform WGS within each.
+pub fn sargasso_like(species: usize, n_reads: usize, seed: u64) -> Dataset {
+    let spec = CommunitySpec {
+        species,
+        genome_len: (15_000, 60_000),
+        abundance_alpha: 1.0,
+        repeat_fraction: 0.03,
+    };
+    let community = Community::generate(&spec, seed);
+    let reads = community.sample_wgs(n_reads, &SamplerConfig::default_scaled(), seed.wrapping_add(1));
+    Dataset {
+        name: format!("sargasso-like ({} species, {} reads)", species, reads.len()),
+        reads,
+        genomes: community.genomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maize_like_composition() {
+        let d = maize_like(60_000, 400, 1);
+        assert!(d.reads.len() >= 380 && d.reads.len() <= 420, "{}", d.reads.len());
+        let mf = d.reads.provenance.iter().filter(|p| p.kind == ReadKind::Mf).count();
+        let wgs = d.reads.provenance.iter().filter(|p| p.kind == ReadKind::Wgs).count();
+        let bac = d.reads.provenance.iter().filter(|p| p.kind == ReadKind::Bac).count();
+        assert!(mf > 0 && wgs > 0 && bac > 0);
+        assert!(d.genomes[0].repeat_coverage() > 0.4, "maize must be repeat-rich");
+    }
+
+    #[test]
+    fn drosophila_like_coverage() {
+        let d = drosophila_like(40_000, 6.0, 2);
+        let cov = d.total_bases() as f64 / 40_000.0;
+        assert!(cov > 4.5 && cov < 8.0, "coverage {cov}");
+        assert!(d.genomes[0].repeat_coverage() < 0.25);
+    }
+
+    #[test]
+    fn sargasso_like_species() {
+        let d = sargasso_like(8, 300, 3);
+        assert_eq!(d.genomes.len(), 8);
+        assert_eq!(d.reads.len(), 300);
+    }
+
+    #[test]
+    fn deterministic_presets() {
+        let a = maize_like(30_000, 100, 9);
+        let b = maize_like(30_000, 100, 9);
+        assert_eq!(a.reads.seqs, b.reads.seqs);
+    }
+}

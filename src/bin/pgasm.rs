@@ -1,0 +1,265 @@
+//! `pgasm` — command-line interface to the cluster-then-assemble
+//! pipeline.
+//!
+//! ```text
+//! pgasm generate --kind maize --out reads.fastq [--genome-out g.fasta]
+//! pgasm cluster  --reads reads.fastq [--ranks 4] [--out clusters.txt]
+//! pgasm assemble --reads reads.fastq --out contigs.fasta
+//! ```
+//!
+//! Reads are FASTQ (quality drives Lucy-style trimming); `generate`
+//! produces synthetic projects with the maize/drosophila/sargasso
+//! presets so the whole pipeline can be driven without external data.
+
+use pgasm::cluster::{ClusterParams, Pipeline, PipelineConfig};
+use pgasm::preprocess::PreprocessConfig;
+use pgasm::seq::fasta::{write_fasta, write_fastq, FastaRecord, FastqRecord};
+use pgasm::seq::DnaSeq;
+use pgasm::simgen::vector::VECTOR_SEQ;
+use pgasm::simgen::{presets, ReadSet};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&opts),
+        "cluster" => cluster(&opts),
+        "assemble" => assemble(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pgasm — parallel cluster-then-assemble genome assembly
+
+USAGE:
+  pgasm generate --kind <maize|drosophila|sargasso> --out <reads.fastq>
+                 [--genome-out <genome.fasta>] [--scale <f64>] [--seed <u64>]
+  pgasm cluster  --reads <reads.fastq> [--out <clusters.txt>] [--ranks <p>]
+                 [--w <n>] [--psi <n>] [--min-identity <f>] [--min-overlap <n>]
+                 [--no-preprocess]
+  pgasm assemble --reads <reads.fastq> --out <contigs.fasta> [same options]
+
+generate writes a synthetic sequencing project (reads as FASTQ; optionally
+the reference genome(s) as FASTA). cluster runs preprocessing + clustering
+and writes one cluster per line. assemble additionally runs the per-cluster
+serial assembler and writes contigs as FASTA.";
+
+#[derive(Default)]
+struct Opts {
+    flags: HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "no-preprocess" {
+                    flags.insert(name.to_string(), "true".to_string());
+                    i += 1;
+                } else {
+                    let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.insert(name.to_string(), value.clone());
+                    i += 2;
+                }
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(Opts { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn generate(opts: &Opts) -> Result<(), String> {
+    let kind = opts.require("kind")?;
+    let out = opts.require("out")?.to_string();
+    let scale: f64 = opts.parse_or("scale", 1.0)?;
+    let seed: u64 = opts.parse_or("seed", 42)?;
+    let dataset = match kind {
+        "maize" => presets::maize_like((200_000.0 * scale) as usize, (400.0 * scale) as usize, seed),
+        "drosophila" => presets::drosophila_like((100_000.0 * scale) as usize, 8.8, seed),
+        "sargasso" => presets::sargasso_like(((16.0 * scale) as usize).max(2), (1_500.0 * scale) as usize, seed),
+        other => return Err(format!("unknown --kind '{other}' (maize|drosophila|sargasso)")),
+    };
+    let records: Vec<FastqRecord> = dataset
+        .reads
+        .seqs
+        .iter()
+        .zip(&dataset.reads.quals)
+        .zip(&dataset.reads.provenance)
+        .enumerate()
+        .map(|(i, ((seq, qual), prov))| FastqRecord {
+            header: format!(
+                "read{} kind={} genome={} span={}..{}{}",
+                i,
+                prov.kind.label(),
+                prov.genome,
+                prov.start,
+                prov.end,
+                if prov.reverse { " strand=-" } else { " strand=+" }
+            ),
+            seq: seq.clone(),
+            qual: qual.clone(),
+        })
+        .collect();
+    let f = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    write_fastq(BufWriter::new(f), &records).map_err(|e| format!("write {out}: {e}"))?;
+    println!("{}: wrote {} reads ({} bp) to {out}", dataset.name, records.len(), dataset.total_bases());
+    if let Some(gpath) = opts.get("genome-out") {
+        let grecords: Vec<FastaRecord> = dataset
+            .genomes
+            .iter()
+            .enumerate()
+            .map(|(i, g)| FastaRecord { header: format!("genome{} len={}", i, g.len()), seq: g.seq.clone() })
+            .collect();
+        let f = File::create(gpath).map_err(|e| format!("create {gpath}: {e}"))?;
+        write_fasta(BufWriter::new(f), &grecords, 80).map_err(|e| format!("write {gpath}: {e}"))?;
+        println!("wrote {} genome(s) to {gpath}", grecords.len());
+    }
+    Ok(())
+}
+
+fn read_reads(path: &str) -> Result<ReadSet, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let records = pgasm::seq::fasta::read_fastq(BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"))?;
+    let mut reads = ReadSet::default();
+    for r in records {
+        reads.provenance.push(pgasm::simgen::Provenance {
+            genome: 0,
+            start: 0,
+            end: r.seq.len() as u32,
+            reverse: false,
+            kind: pgasm::simgen::ReadKind::Wgs,
+        });
+        reads.seqs.push(r.seq);
+        reads.quals.push(r.qual);
+    }
+    if reads.is_empty() {
+        return Err(format!("{path}: no reads"));
+    }
+    Ok(reads)
+}
+
+fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
+    let mut cluster = ClusterParams::default();
+    cluster.gst.w = opts.parse_or("w", cluster.gst.w)?;
+    cluster.gst.psi = opts.parse_or("psi", cluster.gst.psi)?;
+    cluster.criteria.min_identity = opts.parse_or("min-identity", cluster.criteria.min_identity)?;
+    cluster.criteria.min_overlap = opts.parse_or("min-overlap", cluster.criteria.min_overlap)?;
+    let ranks: usize = opts.parse_or("ranks", 0)?;
+    let preprocess = if opts.get("no-preprocess").is_some() {
+        None
+    } else {
+        Some(PreprocessConfig::default())
+    };
+    Ok(PipelineConfig {
+        preprocess,
+        cluster,
+        parallel_ranks: if ranks >= 2 { Some(ranks) } else { None },
+        assembly_threads: 4,
+        ..Default::default()
+    })
+}
+
+fn run_pipeline(opts: &Opts) -> Result<(pgasm::cluster::PipelineReport, ReadSet), String> {
+    let reads = read_reads(opts.require("reads")?)?;
+    let config = pipeline_config(opts)?;
+    let pipeline = Pipeline::new(config);
+    let report = pipeline.run(&reads, &[DnaSeq::from(VECTOR_SEQ)], &[]);
+    Ok((report, reads))
+}
+
+fn cluster(opts: &Opts) -> Result<(), String> {
+    let (report, _reads) = run_pipeline(opts)?;
+    let s = report.cluster_stats;
+    println!(
+        "clustered {} fragments: {} clusters, {} singletons (largest {:.1}%)",
+        report.origin.len(),
+        report.clustering.num_non_singletons(),
+        report.clustering.num_singletons(),
+        report.clustering.max_cluster_fraction() * 100.0
+    );
+    println!(
+        "pairs: {} generated, {} aligned ({:.0}% savings), {} accepted",
+        s.generated,
+        s.aligned,
+        s.savings() * 100.0,
+        s.accepted
+    );
+    if let Some(out) = opts.get("out") {
+        use std::io::Write;
+        let mut f = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);
+        for cluster in &report.clustering.clusters {
+            let reads: Vec<String> = cluster.iter().map(|&frag| format!("read{}", report.origin[frag as usize])).collect();
+            writeln!(f, "{}", reads.join("\t")).map_err(|e| format!("write {out}: {e}"))?;
+        }
+        println!("wrote cluster membership to {out}");
+    }
+    Ok(())
+}
+
+fn assemble(opts: &Opts) -> Result<(), String> {
+    let out = opts.require("out")?.to_string();
+    let (report, _reads) = run_pipeline(opts)?;
+    let mut records = Vec::new();
+    for (ci, assembly) in report.assemblies.iter().enumerate() {
+        for (j, contig) in assembly.contigs.iter().enumerate() {
+            records.push(FastaRecord {
+                header: format!("contig_{ci}_{j} len={} reads={}", contig.seq.len(), contig.placements.len()),
+                seq: contig.seq.clone(),
+            });
+        }
+    }
+    let f = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    write_fasta(BufWriter::new(f), &records, 80).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "assembled {} clusters into {} contigs ({} bp total, {:.2} contigs/cluster); wrote {out}",
+        report.assemblies.len(),
+        records.len(),
+        records.iter().map(|r| r.seq.len()).sum::<usize>(),
+        report.contigs_per_cluster()
+    );
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Property tests for the alignment kernels and the scaffolder.
+
+use pgasm::align::overlap::{overlap_align_quality, OverlapKind};
+use pgasm::align::{banded_overlap_align, overlap_align, Scoring};
+use pgasm::assemble::scaffold::{scaffold, MateLink, ReadPlacement, ScaffoldConfig};
+use pgasm::seq::DnaSeq;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, len).prop_map(DnaSeq::from_codes)
+}
+
+/// A pair of sequences sharing a planted suffix–prefix overlap.
+fn overlapping_pair() -> impl Strategy<Value = (DnaSeq, DnaSeq, usize)> {
+    (dna(30..80), dna(20..60), dna(30..80)).prop_map(|(left, shared, right)| {
+        let mut a = left;
+        a.extend_from(&shared);
+        let mut b = shared.clone();
+        b.extend_from(&right);
+        (a, b, shared.len())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identity is always a fraction; ranges lie within the sequences;
+    /// the overlap length bounds both spans.
+    #[test]
+    fn overlap_result_wellformed((a, b, _) in overlapping_pair()) {
+        let r = overlap_align(a.codes(), b.codes(), &Scoring::DEFAULT);
+        prop_assert!((0.0..=1.0).contains(&r.identity));
+        prop_assert!(r.a_range.0 <= r.a_range.1 && r.a_range.1 <= a.len());
+        prop_assert!(r.b_range.0 <= r.b_range.1 && r.b_range.1 <= b.len());
+        prop_assert!(r.a_range.1 - r.a_range.0 <= r.overlap_len);
+        prop_assert!(r.b_range.1 - r.b_range.0 <= r.overlap_len);
+    }
+
+    /// A planted overlap is found with identity 1.0 and at least the
+    /// shared length.
+    #[test]
+    fn planted_overlap_found((a, b, shared) in overlapping_pair()) {
+        let r = overlap_align(a.codes(), b.codes(), &Scoring::DEFAULT);
+        prop_assert!(r.overlap_len >= shared, "found {} < planted {shared}", r.overlap_len);
+        prop_assert!(r.identity > 0.99);
+        prop_assert!(matches!(r.kind, OverlapKind::SuffixPrefix | OverlapKind::AContained | OverlapKind::BContained));
+    }
+
+    /// A band wider than both sequences makes the banded DP equal the
+    /// full DP, for any seed diagonal near the true one.
+    #[test]
+    fn wide_band_equals_full((a, b, shared) in overlapping_pair(), wobble in -3i64..=3) {
+        let s = Scoring::DEFAULT;
+        let full = overlap_align(a.codes(), b.codes(), &s);
+        let diag = (a.len() - shared) as i64 + wobble;
+        let band = (a.len() + b.len()) as usize;
+        let banded = banded_overlap_align(a.codes(), b.codes(), diag, band, &s);
+        prop_assert_eq!(full.score, banded.score);
+        prop_assert_eq!(full.overlap_len, banded.overlap_len);
+        prop_assert_eq!(full.a_range, banded.a_range);
+        prop_assert_eq!(full.b_range, banded.b_range);
+    }
+
+    /// Swapping the inputs mirrors the geometry: suffix–prefix becomes
+    /// prefix–suffix and the ranges swap.
+    #[test]
+    fn swap_symmetry((a, b, _) in overlapping_pair()) {
+        let s = Scoring::DEFAULT;
+        let ab = overlap_align(a.codes(), b.codes(), &s);
+        let ba = overlap_align(b.codes(), a.codes(), &s);
+        prop_assert_eq!(ab.score, ba.score);
+        prop_assert_eq!(ab.overlap_len, ba.overlap_len);
+        prop_assert_eq!(ab.a_range, ba.b_range);
+        prop_assert_eq!(ab.b_range, ba.a_range);
+    }
+
+    /// Uniform qualities leave identity exactly where the unweighted
+    /// computation puts it (weights cancel).
+    #[test]
+    fn uniform_quality_is_neutral((a, b, _) in overlapping_pair(), q in 5u8..50) {
+        let s = Scoring::DEFAULT;
+        let plain = overlap_align(a.codes(), b.codes(), &s);
+        let qa = vec![q; a.len()];
+        let qb = vec![q; b.len()];
+        let weighted = overlap_align_quality(a.codes(), b.codes(), Some((&qa, &qb)), &s);
+        prop_assert!((plain.identity - weighted.identity).abs() < 1e-9);
+        prop_assert_eq!(plain.overlap_len, weighted.overlap_len);
+    }
+}
+
+/// Random scaffolding scenario: contigs laid on a line with random
+/// gaps and orientations, mates sampled across each junction.
+fn scaffold_scenario() -> impl Strategy<Value = (Vec<usize>, Vec<bool>, Vec<i64>)> {
+    (
+        proptest::collection::vec(600usize..2_000, 2..6),
+        proptest::collection::vec(any::<bool>(), 5),
+        proptest::collection::vec(50i64..400, 5),
+    )
+        .prop_map(|(lens, flips, gaps)| {
+            let n = lens.len();
+            (lens, flips[..n].to_vec(), gaps[..n.saturating_sub(1)].to_vec())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mates across every junction reconstruct the true contig order,
+    /// orientations (up to global flip), and gaps (within tolerance).
+    #[test]
+    fn scaffold_recovers_layout((lens, flips, gaps) in scaffold_scenario()) {
+        let n = lens.len();
+        // Genome offsets of each contig.
+        let mut starts = vec![0i64; n];
+        for i in 1..n {
+            starts[i] = starts[i - 1] + lens[i - 1] as i64 + gaps[i - 1];
+        }
+        // For each junction, two mate pairs: read1 near the end of
+        // contig i (genome-forward), read2 inside contig i+1 (genome-
+        // reverse read). Translate genome placements into each contig's
+        // own frame per its orientation flag.
+        let read_len = 100usize;
+        let mut placements: HashMap<usize, ReadPlacement> = HashMap::new();
+        let mut links = Vec::new();
+        let mut rid = 0usize;
+        let place = |contig: usize, genome_off: i64, genome_fwd_read: bool,
+                     lens: &[usize], flips: &[bool], starts: &[i64]| -> ReadPlacement {
+            let off_in_contig = (genome_off - starts[contig]) as usize;
+            // A genome-forward read appears unflipped in a genome-forward
+            // contig; everything inverts when the contig was assembled
+            // reverse-complemented (flips[contig]).
+            let (offset, flipped) = if !flips[contig] {
+                (off_in_contig, !genome_fwd_read)
+            } else {
+                (lens[contig] - off_in_contig - read_len, genome_fwd_read)
+            };
+            ReadPlacement { contig, offset, flipped, len: read_len }
+        };
+        for j in 0..n - 1 {
+            for k in 0..2 {
+                // read1 starts read_len*(k+2) before contig j's end.
+                let r1_genome = starts[j] + lens[j] as i64 - (read_len as i64) * (k as i64 + 2);
+                // insert spans the junction into contig j+1.
+                let r2_genome_end = starts[j + 1] + (read_len as i64) * (k as i64 + 2);
+                let insert = (r2_genome_end - r1_genome) as u32;
+                let p1 = place(j, r1_genome, true, &lens, &flips, &starts);
+                // read2 is the genome-reverse read ending at r2_genome_end.
+                let p2 = place(j + 1, r2_genome_end - read_len as i64, false, &lens, &flips, &starts);
+                placements.insert(rid, p1);
+                placements.insert(rid + 1, p2);
+                links.push(MateLink { read1: rid, read2: rid + 1, insert });
+                rid += 2;
+            }
+        }
+        let scaffolds = scaffold(&lens, &placements, &links, &ScaffoldConfig::default());
+        prop_assert_eq!(scaffolds.len(), 1, "all contigs must chain: {:?}", scaffolds);
+        let s = &scaffolds[0];
+        prop_assert_eq!(s.parts.len(), n);
+        let order: Vec<usize> = s.parts.iter().map(|p| p.contig).collect();
+        let forward: Vec<usize> = (0..n).collect();
+        let reverse: Vec<usize> = (0..n).rev().collect();
+        prop_assert!(order == forward || order == reverse, "order {:?}", order);
+        if order == forward {
+            for (j, part) in s.parts.iter().enumerate().skip(1) {
+                let err = (part.gap_before - gaps[j - 1]).abs();
+                prop_assert!(err <= 2, "gap {} vs true {}", part.gap_before, gaps[j - 1]);
+            }
+            // Orientation recovered relative to ground truth (global
+            // flip allowed; compare the pattern).
+            let got: Vec<bool> = s.parts.iter().map(|p| p.flipped).collect();
+            let expect: Vec<bool> = flips.clone();
+            let inverted: Vec<bool> = flips.iter().map(|f| !f).collect();
+            prop_assert!(got == expect || got == inverted, "flips {:?} vs {:?}", got, expect);
+        }
+    }
+}

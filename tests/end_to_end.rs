@@ -1,0 +1,173 @@
+//! End-to-end integration: simgen → preprocess → cluster → assemble →
+//! validate, across crates, with realistic artefacts (errors, vector,
+//! repeats) at test scale.
+
+use pgasm::align::AcceptCriteria;
+use pgasm::cluster::validation::validate_clusters;
+use pgasm::cluster::{ClusterParams, Pipeline, PipelineConfig};
+use pgasm::gst::GstConfig;
+use pgasm::preprocess::PreprocessConfig;
+use pgasm::seq::DnaSeq;
+use pgasm::simgen::genome::{Genome, GenomeSpec};
+use pgasm::simgen::sampler::{Sampler, SamplerConfig};
+use pgasm::simgen::vector::VECTOR_SEQ;
+use pgasm::simgen::ReadKind;
+
+fn test_params() -> ClusterParams {
+    ClusterParams {
+        gst: GstConfig { w: 10, psi: 18 },
+        criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 35 },
+        ..Default::default()
+    }
+}
+
+fn island_genome(seed: u64, repeats: bool) -> Genome {
+    Genome::generate(
+        &GenomeSpec {
+            length: 16_000,
+            repeat_fraction: if repeats { 0.25 } else { 0.0 },
+            repeat_families: 2,
+            repeat_len: (120, 400),
+            repeat_identity: 0.99,
+            islands: 3,
+            island_len: (1_200, 2_000),
+        },
+        seed,
+    )
+}
+
+#[test]
+fn clean_island_pipeline_reconstructs_regions() {
+    let genome = island_genome(1, false);
+    let mut cfg = SamplerConfig::clean();
+    cfg.island_bias = 1.0;
+    cfg.read_len = (150, 250);
+    let mut sampler = Sampler::new(&genome, cfg, 2);
+    let reads = sampler.enriched(90, ReadKind::Mf);
+    let pipeline = Pipeline::new(PipelineConfig {
+        preprocess: None,
+        cluster: test_params(),
+        parallel_ranks: None,
+        assembly_threads: 2,
+        ..Default::default()
+    });
+    let report = pipeline.run(&reads, &[], &[]);
+    assert!(report.clustering.num_non_singletons() >= 2);
+    // Every contig from clean reads is a genome substring.
+    let fwd = String::from_utf8(genome.seq.to_ascii()).unwrap();
+    let rc = String::from_utf8(genome.seq.reverse_complement().to_ascii()).unwrap();
+    let mut checked = 0;
+    for a in &report.assemblies {
+        for contig in &a.contigs {
+            let s = String::from_utf8(contig.seq.to_ascii()).unwrap();
+            assert!(fwd.contains(&s) || rc.contains(&s), "contig is not a genome substring");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "expected at least two contigs, got {checked}");
+    // Ground truth: every cluster maps to one region.
+    let v = validate_clusters(&report.clustering, &report.origin, &reads.provenance, 1_000);
+    assert!(v.specificity() > 0.99, "specificity {}", v.specificity());
+}
+
+#[test]
+fn noisy_reads_with_vector_still_cluster() {
+    let genome = island_genome(3, true);
+    let mut cfg = SamplerConfig::default_scaled();
+    cfg.island_bias = 1.0;
+    cfg.read_len = (150, 250);
+    let mut sampler = Sampler::new(&genome, cfg, 4);
+    let reads = sampler.enriched(80, ReadKind::Hc);
+    let pipeline = Pipeline::new(PipelineConfig {
+        preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+        cluster: test_params(),
+        parallel_ranks: None,
+        assembly_threads: 2,
+        ..Default::default()
+    });
+    let report = pipeline.run(&reads, &[DnaSeq::from(VECTOR_SEQ)], &genome.repeat_library);
+    let pp = report.preprocess.as_ref().expect("preprocessing ran");
+    let survivors: usize = pp.after.values().map(|v| v.0).sum();
+    assert!(survivors >= 40, "too few survivors: {survivors}");
+    assert!(report.clustering.num_non_singletons() >= 1);
+    // Clusters must still be single-region despite errors and masking.
+    let v = validate_clusters(&report.clustering, &report.origin, &reads.provenance, 1_500);
+    assert!(v.specificity() >= 0.8, "specificity {}", v.specificity());
+}
+
+#[test]
+fn parallel_pipeline_equals_serial_with_artifacts() {
+    let genome = island_genome(5, true);
+    let mut cfg = SamplerConfig::default_scaled();
+    cfg.island_bias = 1.0;
+    cfg.read_len = (150, 250);
+    let mut sampler = Sampler::new(&genome, cfg, 6);
+    let reads = sampler.enriched(60, ReadKind::Mf);
+    let make = |ranks: Option<usize>| {
+        Pipeline::new(PipelineConfig {
+            preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+            cluster: test_params(),
+            parallel_ranks: ranks,
+            assembly_threads: 1,
+            ..Default::default()
+        })
+        .run(&reads, &[DnaSeq::from(VECTOR_SEQ)], &genome.repeat_library)
+    };
+    let serial = make(None);
+    let parallel = make(Some(3));
+    assert_eq!(serial.clustering, parallel.clustering);
+    assert_eq!(serial.total_contigs(), parallel.total_contigs());
+}
+
+#[test]
+fn repeat_masking_prevents_chaining() {
+    // Reads from two distinct islands joined only by a shared repeat
+    // must end up in different clusters when masking is on.
+    let mut genome_seq = pgasm::seq::DnaSeq::new();
+    let g1 = Genome::generate(
+        &GenomeSpec { length: 3_000, repeat_fraction: 0.0, repeat_families: 0, repeat_len: (10, 20), repeat_identity: 1.0, islands: 0, island_len: (1, 2) },
+        10,
+    );
+    let repeat = Genome::generate(
+        &GenomeSpec { length: 400, repeat_fraction: 0.0, repeat_families: 0, repeat_len: (10, 20), repeat_identity: 1.0, islands: 0, island_len: (1, 2) },
+        11,
+    );
+    let g2 = Genome::generate(
+        &GenomeSpec { length: 3_000, repeat_fraction: 0.0, repeat_families: 0, repeat_len: (10, 20), repeat_identity: 1.0, islands: 0, island_len: (1, 2) },
+        12,
+    );
+    // Layout: [island1][repeat]....gap....[repeat][island2]
+    genome_seq.extend_from(&g1.seq);
+    genome_seq.extend_from(&repeat.seq);
+    genome_seq.extend_from(&g2.seq);
+    genome_seq.extend_from(&repeat.seq);
+    genome_seq.extend_from(&g1.seq.reverse_complement());
+    let genome = Genome {
+        seq: genome_seq,
+        repeats: vec![],
+        islands: vec![],
+        repeat_library: vec![repeat.seq.clone()],
+    };
+    let mut cfg = SamplerConfig::clean();
+    cfg.read_len = (150, 250);
+    let mut sampler = Sampler::new(&genome, cfg, 13);
+    let reads = sampler.wgs(120);
+    let run = |known: &[DnaSeq]| {
+        Pipeline::new(PipelineConfig {
+            preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+            cluster: test_params(),
+            parallel_ranks: None,
+            assembly_threads: 1,
+            ..Default::default()
+        })
+        .run(&reads, &[], known)
+    };
+    let masked = run(std::slice::from_ref(&repeat.seq));
+    let unmasked = run(&[]);
+    assert!(
+        masked.clustering.max_cluster_fraction() < unmasked.clustering.max_cluster_fraction(),
+        "masking should shrink the largest cluster: {} vs {}",
+        masked.clustering.max_cluster_fraction(),
+        unmasked.clustering.max_cluster_fraction()
+    );
+}
