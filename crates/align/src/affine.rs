@@ -17,8 +17,8 @@ pub fn affine_global_score(a: &[u8], b: &[u8], s: &Scoring) -> i32 {
     let mut x_prev = vec![NEG; n + 1];
     let mut y_prev = vec![NEG; n + 1];
     m_prev[0] = 0;
-    for j in 1..=n {
-        y_prev[j] = s.gap_open + j as i32 * s.gap_extend;
+    for (j, y) in y_prev.iter_mut().enumerate().skip(1) {
+        *y = s.gap_open + j as i32 * s.gap_extend;
     }
     let mut m_cur = vec![NEG; n + 1];
     let mut x_cur = vec![NEG; n + 1];

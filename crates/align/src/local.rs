@@ -21,8 +21,8 @@ pub fn local_align(a: &[u8], b: &[u8], s: &Scoring) -> LocalResult {
     let mut dp = vec![0i32; (m + 1) * w];
     // Origin of the local path ending at each cell, packed (i << 32 | j).
     let mut origin = vec![0u64; (m + 1) * w];
-    for j in 0..=n {
-        origin[j] = pack(0, j);
+    for (j, o) in origin.iter_mut().enumerate().take(n + 1) {
+        *o = pack(0, j);
     }
     let mut best = LocalResult { score: 0, a_range: (0, 0), b_range: (0, 0) };
     for i in 1..=m {

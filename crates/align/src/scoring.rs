@@ -101,6 +101,6 @@ mod tests {
 
     #[test]
     fn clustering_less_stringent_than_assembly() {
-        assert!(AcceptCriteria::CLUSTERING.min_identity < AcceptCriteria::ASSEMBLY.min_identity);
+        const { assert!(AcceptCriteria::CLUSTERING.min_identity < AcceptCriteria::ASSEMBLY.min_identity) }
     }
 }

@@ -71,7 +71,11 @@ impl WmerTable {
     /// regenerations the paper criticises), invoking `f` per generation.
     /// Pairs between a sequence and itself are skipped; `skip` lets the
     /// caller exclude e.g. pairs of the two strands of one fragment.
-    pub fn for_each_pair(&self, mut skip: impl FnMut(SeqId, SeqId) -> bool, mut f: impl FnMut(WmerPair)) -> WmerFilterStats {
+    pub fn for_each_pair(
+        &self,
+        mut skip: impl FnMut(SeqId, SeqId) -> bool,
+        mut f: impl FnMut(WmerPair),
+    ) -> WmerFilterStats {
         let mut stats = WmerFilterStats::default();
         let mut seen: HashMap<(u32, u32), ()> = HashMap::new();
         for occs in self.table.values() {

@@ -9,11 +9,7 @@ use pgasm_seq::DnaSeq;
 /// covers (possible after inconsistent-edge rejection) and columns where
 /// every vote abstained emit a masked base.
 pub fn consensus(reads: &[DnaSeq], placements: &[Placement]) -> Contig {
-    let len = placements
-        .iter()
-        .map(|p| p.offset + reads[p.read].len())
-        .max()
-        .unwrap_or(0);
+    let len = placements.iter().map(|p| p.offset + reads[p.read].len()).max().unwrap_or(0);
     let mut votes = vec![[0u32; SIGMA]; len];
     for p in placements {
         let oriented;
@@ -31,12 +27,8 @@ pub fn consensus(reads: &[DnaSeq], placements: &[Placement]) -> Contig {
     }
     let mut seq = DnaSeq::with_capacity(len);
     for v in votes {
-        let (best, count) = v
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .map(|(i, &c)| (i as u8, c))
-            .expect("SIGMA > 0");
+        let (best, count) =
+            v.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, &c)| (i as u8, c)).expect("SIGMA > 0");
         seq.push_code(if count == 0 { MASK } else { best });
     }
     Contig { seq, placements: placements.to_vec() }

@@ -46,15 +46,13 @@ pub fn layout(reads: &[DnaSeq], edges: &[OverlapEdge], config: &AssemblyConfig) 
         let d = e.result.a_range.0 as i64 - e.result.b_range.0 as i64;
         let pi = pos[i];
         // Where would j sit if we adopt i's frame?
-        let (j_off, j_flip) = if !pi.flipped {
-            (pi.offset + d, e.rc)
-        } else {
-            (pi.offset + li - lj - d, !e.rc)
-        };
+        let (j_off, j_flip) =
+            if !pi.flipped { (pi.offset + d, e.rc) } else { (pi.offset + li - lj - d, !e.rc) };
         let pj = pos[j];
         if pi.group == pj.group {
             // Already together: check consistency.
-            let ok = pj.flipped == j_flip && (pj.offset - j_off).unsigned_abs() as usize <= config.offset_tolerance;
+            let ok = pj.flipped == j_flip
+                && (pj.offset - j_off).unsigned_abs() as usize <= config.offset_tolerance;
             if !ok {
                 inconsistent += 1;
             }
@@ -72,20 +70,16 @@ pub fn layout(reads: &[DnaSeq], edges: &[OverlapEdge], config: &AssemblyConfig) 
             // transforms are self-inverse in the constant, translations
             // negate.
             let flip_change = pj.flipped != j_flip;
-            let c = if flip_change {
-                j_off + lj + pj.offset
-            } else {
-                j_off - pj.offset
-            };
+            let c = if flip_change { j_off + lj + pj.offset } else { j_off - pj.offset };
             let (key, canon_c) = if pj.group >= pi.group {
                 ((pi.group, pj.group), c)
             } else {
                 ((pj.group, pi.group), if flip_change { c } else { -c })
             };
             let slot = pending.entry(key).or_default();
-            let corroborated = slot
-                .iter()
-                .any(|&(f, pc)| f == flip_change && (pc - canon_c).unsigned_abs() as usize <= 2 * config.offset_tolerance);
+            let corroborated = slot.iter().any(|&(f, pc)| {
+                f == flip_change && (pc - canon_c).unsigned_abs() as usize <= 2 * config.offset_tolerance
+            });
             if !corroborated {
                 slot.push((flip_change, canon_c));
                 continue;
@@ -147,11 +141,7 @@ mod tests {
     #[test]
     fn chain_of_three_reads_one_layout() {
         let g = genome();
-        let reads = vec![
-            DnaSeq::from(&g[0..100]),
-            DnaSeq::from(&g[50..150]),
-            DnaSeq::from(&g[100..200]),
-        ];
+        let reads = vec![DnaSeq::from(&g[0..100]), DnaSeq::from(&g[50..150]), DnaSeq::from(&g[100..200])];
         let cfg = AssemblyConfig::default();
         let edges = find_overlaps(&reads, None, &cfg);
         let (layouts, bad) = layout(&reads, &edges, &cfg);
@@ -168,10 +158,7 @@ mod tests {
     #[test]
     fn flipped_read_gets_flipped_placement() {
         let g = genome();
-        let reads = vec![
-            DnaSeq::from(&g[0..100]),
-            DnaSeq::from(&g[50..150]).reverse_complement(),
-        ];
+        let reads = vec![DnaSeq::from(&g[0..100]), DnaSeq::from(&g[50..150]).reverse_complement()];
         let cfg = AssemblyConfig::default();
         let edges = find_overlaps(&reads, None, &cfg);
         let (layouts, _) = layout(&reads, &edges, &cfg);

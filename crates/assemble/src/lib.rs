@@ -162,7 +162,7 @@ pub fn assemble_with_quality(
             contigs.push(consensus::consensus(reads, &l.placements));
         }
     }
-    contigs.sort_by(|a, b| b.seq.len().cmp(&a.seq.len()));
+    contigs.sort_by_key(|c| std::cmp::Reverse(c.seq.len()));
     Assembly { contigs, singletons, inconsistent_edges: inconsistent }
 }
 
@@ -216,7 +216,8 @@ mod tests {
         reads.extend(tile(&g2, 300, 150));
         let asm = assemble(&reads, &AssemblyConfig::default());
         assert_eq!(asm.num_contigs(), 2);
-        let seqs: Vec<String> = asm.contigs.iter().map(|c| String::from_utf8(c.seq.to_ascii()).unwrap()).collect();
+        let seqs: Vec<String> =
+            asm.contigs.iter().map(|c| String::from_utf8(c.seq.to_ascii()).unwrap()).collect();
         assert!(seqs.contains(&g1));
         assert!(seqs.contains(&g2));
     }

@@ -26,7 +26,11 @@ pub struct OverlapEdge {
 /// suffix–prefix alignment. With quality tracks, the quality-weighted
 /// identity is tested against [`AssemblyConfig::quality_criteria`];
 /// without them, the plain identity against [`AssemblyConfig::criteria`].
-pub fn find_overlaps(reads: &[DnaSeq], quals: Option<&[QualityTrack]>, config: &AssemblyConfig) -> Vec<OverlapEdge> {
+pub fn find_overlaps(
+    reads: &[DnaSeq],
+    quals: Option<&[QualityTrack]>,
+    config: &AssemblyConfig,
+) -> Vec<OverlapEdge> {
     // Index w-mers of every read in forward orientation.
     let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
     for (i, r) in reads.iter().enumerate() {
@@ -81,7 +85,7 @@ pub fn find_overlaps(reads: &[DnaSeq], quals: Option<&[QualityTrack]>, config: &
             b_owned = reads[j].reverse_complement();
             b_owned.codes()
         } else {
-            &reads[j].codes()[..]
+            reads[j].codes()
         };
         let qb_owned;
         let q: Option<(&[u8], &[u8])> = match quals {

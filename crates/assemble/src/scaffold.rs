@@ -186,9 +186,8 @@ pub fn scaffold(
 
     // Greedy end-joining.
     let n = contig_lens.len();
-    let mut chains: Vec<Option<Chain>> = (0..n)
-        .map(|c| Some(Chain { parts: vec![(c, false)], gaps: vec![] }))
-        .collect();
+    let mut chains: Vec<Option<Chain>> =
+        (0..n).map(|c| Some(Chain { parts: vec![(c, false)], gaps: vec![] })).collect();
     let mut where_is: Vec<usize> = (0..n).collect();
     for e in edges {
         let (ca, cb) = (where_is[e.a], where_is[e.b]);
@@ -307,10 +306,8 @@ mod tests {
         placements.insert(1, place(1, 200, true, 100));
         placements.insert(2, place(0, 850, false, 100));
         placements.insert(3, place(1, 250, true, 100));
-        let links = vec![
-            MateLink { read1: 0, read2: 1, insert: 700 },
-            MateLink { read1: 2, read2: 3, insert: 700 },
-        ];
+        let links =
+            vec![MateLink { read1: 0, read2: 1, insert: 700 }, MateLink { read1: 2, read2: 3, insert: 700 }];
         (lens, placements, links)
     }
 
@@ -403,10 +400,8 @@ mod tests {
         placements.insert(1, place(1, 200, true, 100));
         placements.insert(2, place(0, 1000 - 850 - 100, true, 100));
         placements.insert(3, place(1, 250, true, 100));
-        let links = vec![
-            MateLink { read1: 0, read2: 1, insert: 700 },
-            MateLink { read1: 2, read2: 3, insert: 700 },
-        ];
+        let links =
+            vec![MateLink { read1: 0, read2: 1, insert: 700 }, MateLink { read1: 2, read2: 3, insert: 700 }];
         let scaffolds = scaffold(&lens, &placements, &links, &ScaffoldConfig::default());
         assert_eq!(scaffolds.len(), 1, "{scaffolds:?}");
         let s = &scaffolds[0];

@@ -1,28 +1,78 @@
-//! Criterion micro-benchmarks of the framework's kernels: alignment,
-//! GST construction, pair generation, Union–Find, and the message
-//! substrate. These quantify the constants behind the experiment
-//! binaries (run those via `cargo run --release -p pgasm-bench --bin …`).
+//! Micro-benchmarks of the framework's kernels: alignment, GST
+//! construction, pair generation, Union–Find, the message substrate,
+//! serial clustering, and the assembler. These quantify the constants
+//! behind the experiment binaries (run those via
+//! `cargo run --release -p pgasm-bench --bin …`).
+//!
+//! Self-contained harness (`harness = false`): each kernel runs a
+//! fixed iteration count under a telemetry span and reports mean wall
+//! and thread-CPU time per iteration; the full run is also written to
+//! `BENCH_kernels.json` as a `RunReport`. Run with
+//! `cargo bench -p pgasm-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pgasm_align::{banded_overlap_align, overlap_align, Scoring};
 use pgasm_core::UnionFind;
 use pgasm_gst::{GenMode, Gst, GstConfig, PairGenerator};
 use pgasm_seq::{DnaSeq, FragmentStore};
 use pgasm_simgen::genome::{random_dna, Genome, GenomeSpec};
 use pgasm_simgen::sampler::{Sampler, SamplerConfig};
+use pgasm_telemetry::{RunContext, RunReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn overlapping_reads(n: usize, seed: u64) -> FragmentStore {
     let genome = Genome::generate(
-        &GenomeSpec { length: n * 120, repeat_fraction: 0.1, repeat_families: 3, repeat_len: (80, 200), repeat_identity: 0.99, islands: 0, island_len: (1, 2) },
+        &GenomeSpec {
+            length: n * 120,
+            repeat_fraction: 0.1,
+            repeat_families: 3,
+            repeat_len: (80, 200),
+            repeat_identity: 0.99,
+            islands: 0,
+            island_len: (1, 2),
+        },
         seed,
     );
     let mut sampler = Sampler::new(&genome, SamplerConfig::clean(), seed + 1);
     sampler.wgs(n).to_store()
 }
 
-fn bench_alignment(c: &mut Criterion) {
+struct Harness {
+    ctx: RunContext,
+    rows: Vec<(String, u64, f64, f64)>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness { ctx: RunContext::new("kernels"), rows: Vec::new() }
+    }
+
+    /// Run `f` once to warm up, then `iters` times under one span;
+    /// record mean per-iteration wall and CPU seconds.
+    fn bench<T>(&mut self, name: &str, iters: u64, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        self.ctx.push(name);
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let (wall, cpu) = self.ctx.pop();
+        self.ctx.add(&format!("{name}_iters"), iters);
+        self.rows.push((name.to_string(), iters, wall / iters as f64, cpu / iters as f64));
+    }
+
+    fn finish(self) -> RunReport {
+        println!("{:<32} {:>6} {:>14} {:>14}", "kernel", "iters", "wall/iter", "cpu/iter");
+        for (name, iters, wall, cpu) in &self.rows {
+            println!("{name:<32} {iters:>6} {:>12.3}µs {:>12.3}µs", wall * 1e6, cpu * 1e6);
+        }
+        self.ctx.finish()
+    }
+}
+
+fn main() {
+    let mut h = Harness::new();
+
+    // Alignment: full and banded DP over a planted 200 bp overlap.
     let mut rng = StdRng::seed_from_u64(1);
     let shared = random_dna(&mut rng, 200);
     let mut a = random_dna(&mut rng, 300);
@@ -30,94 +80,55 @@ fn bench_alignment(c: &mut Criterion) {
     let mut b = shared.clone();
     b.extend_from(&random_dna(&mut rng, 300));
     let s = Scoring::DEFAULT;
-    let mut group = c.benchmark_group("alignment");
-    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
-    group.bench_function("overlap_full_500bp", |bencher| {
-        bencher.iter(|| overlap_align(a.codes(), b.codes(), &s))
-    });
-    group.bench_function("overlap_banded_500bp", |bencher| {
-        bencher.iter(|| banded_overlap_align(a.codes(), b.codes(), 300, 24, &s))
-    });
-    group.finish();
-}
+    h.bench("alignment/overlap_full_500bp", 20, || overlap_align(a.codes(), b.codes(), &s));
+    h.bench("alignment/overlap_banded_500bp", 20, || banded_overlap_align(a.codes(), b.codes(), 300, 24, &s));
 
-fn bench_gst_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gst_build");
-    group.sample_size(10);
+    // GST construction at two scales.
     for n in [100usize, 400] {
         let store = overlapping_reads(n, 7).with_reverse_complements();
-        group.throughput(Throughput::Bytes(store.total_len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &store, |bencher, store| {
-            bencher.iter(|| Gst::build(store, GstConfig { w: 11, psi: 20 }))
-        });
+        h.bench(&format!("gst_build/{n}_reads"), 10, || Gst::build(&store, GstConfig { w: 11, psi: 20 }));
     }
-    group.finish();
-}
 
-fn bench_pair_generation(c: &mut Criterion) {
+    // Pair generation, both modes.
     let store = overlapping_reads(400, 9).with_reverse_complements();
-    let mut group = c.benchmark_group("pair_generation");
-    group.sample_size(10);
     for mode in [GenMode::AllMatches, GenMode::DupElim] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{mode:?}")), &mode, |bencher, &mode| {
-            bencher.iter(|| {
-                let gst = Gst::build(&store, GstConfig { w: 11, psi: 20 });
-                PairGenerator::new(gst, mode, |_, _| false).count()
-            })
+        h.bench(&format!("pair_generation/{mode:?}"), 10, || {
+            let gst = Gst::build(&store, GstConfig { w: 11, psi: 20 });
+            PairGenerator::new(gst, mode, |_, _| false).count()
         });
     }
-    group.finish();
-}
 
-fn bench_unionfind(c: &mut Criterion) {
-    c.bench_function("unionfind_100k_unions", |bencher| {
-        bencher.iter(|| {
-            let mut uf = UnionFind::new(100_000);
-            for i in 0..99_999u32 {
-                uf.union(i, i + 1);
-            }
-            uf.num_sets()
+    // Union–Find chain unions.
+    h.bench("unionfind/100k_unions", 10, || {
+        let mut uf = UnionFind::new(100_000);
+        for i in 0..99_999u32 {
+            uf.union(i, i + 1);
+        }
+        uf.num_sets()
+    });
+
+    // Message substrate: all-to-all over 4 simulated ranks.
+    h.bench("mpisim/alltoallv_4ranks_64KiB", 10, || {
+        pgasm_mpisim::run(4, |comm| {
+            let bufs: Vec<bytes::Bytes> =
+                (0..comm.size()).map(|_| bytes::Bytes::from(vec![0u8; 16 * 1024])).collect();
+            comm.all_to_allv(bufs).len()
         })
     });
-}
-
-fn bench_mpisim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mpisim");
-    group.sample_size(10);
-    group.bench_function("alltoallv_4ranks_64KiB", |bencher| {
-        bencher.iter(|| {
-            pgasm_mpisim::run(4, |comm| {
-                let bufs: Vec<bytes::Bytes> =
-                    (0..comm.size()).map(|_| bytes::Bytes::from(vec![0u8; 16 * 1024])).collect();
-                comm.all_to_allv(bufs).len()
-            })
+    h.bench("mpisim/alltoallv_p2p_4ranks_64KiB", 10, || {
+        pgasm_mpisim::run(4, |comm| {
+            let bufs: Vec<bytes::Bytes> =
+                (0..comm.size()).map(|_| bytes::Bytes::from(vec![0u8; 16 * 1024])).collect();
+            comm.all_to_allv_p2p(bufs).len()
         })
     });
-    group.bench_function("alltoallv_p2p_4ranks_64KiB", |bencher| {
-        bencher.iter(|| {
-            pgasm_mpisim::run(4, |comm| {
-                let bufs: Vec<bytes::Bytes> =
-                    (0..comm.size()).map(|_| bytes::Bytes::from(vec![0u8; 16 * 1024])).collect();
-                comm.all_to_allv_p2p(bufs).len()
-            })
-        })
-    });
-    group.finish();
-}
 
-fn bench_serial_clustering(c: &mut Criterion) {
+    // Serial clustering end to end on a small instance.
     let store = overlapping_reads(300, 13);
     let params = pgasm_core::ClusterParams::default();
-    let mut group = c.benchmark_group("clustering");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(store.total_len() as u64));
-    group.bench_function("serial_300_reads", |bencher| {
-        bencher.iter(|| pgasm_core::cluster_serial(&store, &params))
-    });
-    group.finish();
-}
+    h.bench("clustering/serial_300_reads", 10, || pgasm_core::cluster_serial(&store, &params));
 
-fn bench_assembler(c: &mut Criterion) {
+    // Assembler on one mid-sized cluster.
     let mut rng = StdRng::seed_from_u64(21);
     let genome: Vec<u8> = random_dna(&mut rng, 3_000).to_ascii();
     let mut reads = Vec::new();
@@ -127,22 +138,12 @@ fn bench_assembler(c: &mut Criterion) {
         at += 200;
     }
     let cfg = pgasm_assemble::AssemblyConfig::default();
-    let mut group = c.benchmark_group("assembler");
-    group.sample_size(20);
-    group.bench_function("cluster_of_14_reads", |bencher| {
-        bencher.iter(|| pgasm_assemble::assemble(&reads, &cfg))
-    });
-    group.finish();
-}
+    h.bench("assembler/cluster_of_14_reads", 20, || pgasm_assemble::assemble(&reads, &cfg));
 
-criterion_group!(
-    benches,
-    bench_alignment,
-    bench_gst_build,
-    bench_pair_generation,
-    bench_unionfind,
-    bench_mpisim,
-    bench_serial_clustering,
-    bench_assembler
-);
-criterion_main!(benches);
+    let report = h.finish();
+    let path = std::path::Path::new("BENCH_kernels.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -8,7 +8,6 @@ use pgasm_core::{cluster_serial, UnionFind};
 use pgasm_gst::{GenMode, Gst, PairGenerator, PromisingPair};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// SEC91a — repeat masking on/off (paper §9.1).
 ///
@@ -18,13 +17,19 @@ use std::time::Instant;
 /// largest cluster holds 6.76%.
 pub fn masking(scale: f64) -> [(bool, f64, u64, u64, f64); 2] {
     let params = datasets::default_params();
-    let mut out = [(false, 0.0, 0, 0, 0.0); 2];
-    for (slot, mask) in [true, false].into_iter().enumerate() {
-        let prepared = datasets::drosophila((80_000.0 * scale) as usize, 6.0, 21, mask);
-        let t = Instant::now();
-        let (clustering, stats) = cluster_serial(&prepared.store, &params);
-        let secs = t.elapsed().as_secs_f64();
-        out[slot] = (mask, clustering.max_cluster_fraction(), stats.generated, stats.aligned, secs);
+    let (mut out, run_report) = with_run_report("ablation_masking", |ctx| {
+        let mut out = [(false, 0.0, 0, 0, 0.0); 2];
+        for (slot, mask) in [true, false].into_iter().enumerate() {
+            let prepared = datasets::drosophila((80_000.0 * scale) as usize, 6.0, 21, mask);
+            let arm = if mask { "masked" } else { "unmasked" };
+            let (clustering, stats) = ctx.scope(arm, |_| cluster_serial(&prepared.store, &params));
+            out[slot] = (mask, clustering.max_cluster_fraction(), stats.generated, stats.aligned, 0.0);
+        }
+        out
+    });
+    // Arm timings come from the folded run report's spans.
+    for (mask, _, _, _, secs) in out.iter_mut() {
+        *secs = run_report.wall(if *mask { "masked" } else { "unmasked" });
     }
     let rows: Vec<Vec<String>> = out
         .iter()
@@ -63,7 +68,8 @@ pub fn ordering(scale: f64) -> [(String, u64); 3] {
     // Materialise the full pair stream once (sorted order).
     let gst = Gst::build(&ds, params.gst);
     let pairs: Vec<PromisingPair> =
-        PairGenerator::new(gst, params.mode, |a, b| same_fragment_skip(a, b) || canonical_skip(a, b)).collect();
+        PairGenerator::new(gst, params.mode, |a, b| same_fragment_skip(a, b) || canonical_skip(a, b))
+            .collect();
     let decider = PairDecider { store: &ds, params };
     let run_order = |pairs: &[PromisingPair]| -> (u64, Vec<Vec<u32>>) {
         let mut uf = UnionFind::new(n);
@@ -81,19 +87,25 @@ pub fn ordering(scale: f64) -> [(String, u64); 3] {
         }
         (aligned, uf.sets())
     };
-    let (sorted_aligned, sorted_sets) = run_order(&pairs);
-    let mut reversed: Vec<PromisingPair> = pairs.iter().rev().copied().collect();
-    let (reversed_aligned, reversed_sets) = run_order(&reversed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    reversed.shuffle(&mut rng);
-    let (shuffled_aligned, shuffled_sets) = run_order(&reversed);
-    assert_eq!(sorted_sets, reversed_sets, "ordering must not change the clustering");
-    assert_eq!(sorted_sets, shuffled_sets, "ordering must not change the clustering");
-    let out = [
-        ("decreasing match length (paper)".to_string(), sorted_aligned),
-        ("reversed".to_string(), reversed_aligned),
-        ("shuffled".to_string(), shuffled_aligned),
-    ];
+    let (out, _run_report) = with_run_report("ablation_ordering", |ctx| {
+        let (sorted_aligned, sorted_sets) = ctx.scope("sorted", |_| run_order(&pairs));
+        let mut reversed: Vec<PromisingPair> = pairs.iter().rev().copied().collect();
+        let (reversed_aligned, reversed_sets) = ctx.scope("reversed", |_| run_order(&reversed));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        reversed.shuffle(&mut rng);
+        let (shuffled_aligned, shuffled_sets) = ctx.scope("shuffled", |_| run_order(&reversed));
+        assert_eq!(sorted_sets, reversed_sets, "ordering must not change the clustering");
+        assert_eq!(sorted_sets, shuffled_sets, "ordering must not change the clustering");
+        ctx.set("pairs_generated", pairs.len() as u64);
+        ctx.set("aligned_sorted", sorted_aligned);
+        ctx.set("aligned_reversed", reversed_aligned);
+        ctx.set("aligned_shuffled", shuffled_aligned);
+        [
+            ("decreasing match length (paper)".to_string(), sorted_aligned),
+            ("reversed".to_string(), reversed_aligned),
+            ("shuffled".to_string(), shuffled_aligned),
+        ]
+    });
     let rows: Vec<Vec<String>> = out
         .iter()
         .map(|(name, aligned)| {
@@ -142,17 +154,20 @@ pub fn dup_elim(scale: f64) -> [(GenMode, u64); 2] {
     let store = sampler.wgs((genome.len() as f64 * 4.0 / 450.0) as usize).to_store();
     let params = datasets::default_params();
     let ds = store.with_reverse_complements();
-    let mut out = [(GenMode::AllMatches, 0u64); 2];
-    for (slot, mode) in [GenMode::AllMatches, GenMode::DupElim].into_iter().enumerate() {
-        let gst = Gst::build(&ds, params.gst);
-        let count =
-            PairGenerator::new(gst, mode, |a, b| same_fragment_skip(a, b) || canonical_skip(a, b)).count();
-        out[slot] = (mode, count as u64);
-    }
-    let rows: Vec<Vec<String>> = out
-        .iter()
-        .map(|(mode, count)| vec![format!("{mode:?}"), fmt_count(*count)])
-        .collect();
+    let (out, _run_report) = with_run_report("ablation_dupelim", |ctx| {
+        let mut out = [(GenMode::AllMatches, 0u64); 2];
+        for (slot, mode) in [GenMode::AllMatches, GenMode::DupElim].into_iter().enumerate() {
+            let count = ctx.scope(&format!("{mode:?}"), |_| {
+                let gst = Gst::build(&ds, params.gst);
+                PairGenerator::new(gst, mode, |a, b| same_fragment_skip(a, b) || canonical_skip(a, b)).count()
+            });
+            ctx.set(&format!("pairs_{mode:?}"), count as u64);
+            out[slot] = (mode, count as u64);
+        }
+        out
+    });
+    let rows: Vec<Vec<String>> =
+        out.iter().map(|(mode, count)| vec![format!("{mode:?}"), fmt_count(*count)]).collect();
     print_table("ABL2: duplicate elimination in pair generation", &["mode", "pairs generated"], &rows);
     out
 }
@@ -190,14 +205,21 @@ pub fn resolution(scale: f64) -> [(String, f64, u64, u64); 2] {
     let prepared = P { store };
     let base = datasets::default_params();
     let resolved = pgasm_core::ClusterParams { resolve_inconsistent: true, ..base };
-    let mut out: [(String, f64, u64, u64); 2] = std::array::from_fn(|_| (String::new(), 0.0, 0, 0));
-    for (slot, (name, params)) in [("baseline (paper)", base), ("geometric resolution (§10)", resolved)]
-        .into_iter()
-        .enumerate()
-    {
-        let (clustering, stats) = cluster_serial(&prepared.store, &params);
-        out[slot] = (name.to_string(), clustering.max_cluster_fraction(), stats.aligned, stats.inconsistent);
-    }
+    let (out, _run_report) = with_run_report("ablation_resolution", |ctx| {
+        let mut out: [(String, f64, u64, u64); 2] = std::array::from_fn(|_| (String::new(), 0.0, 0, 0));
+        for (slot, (name, span, params)) in
+            [("baseline (paper)", "baseline", base), ("geometric resolution (§10)", "geometric", resolved)]
+                .into_iter()
+                .enumerate()
+        {
+            let (clustering, stats) = ctx.scope(span, |_| cluster_serial(&prepared.store, &params));
+            ctx.set(&format!("{span}_aligned"), stats.aligned);
+            ctx.set(&format!("{span}_inconsistent"), stats.inconsistent);
+            out[slot] =
+                (name.to_string(), clustering.max_cluster_fraction(), stats.aligned, stats.inconsistent);
+        }
+        out
+    });
     let rows: Vec<Vec<String>> = out
         .iter()
         .map(|(name, frac, aligned, inconsistent)| {
@@ -233,16 +255,27 @@ pub fn filter(scale: f64) -> (u64, u64, u64) {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         same_fragment_skip(lo, hi) || canonical_skip(lo, hi)
     };
-    let wstats = table.count_pairs(skip);
-    // Ours.
-    let gst = Gst::build(&ds, params.gst);
-    let ours = PairGenerator::new(gst, GenMode::DupElim, |a, b| same_fragment_skip(a, b) || canonical_skip(a, b))
-        .count() as u64;
+    let ((wstats, ours), _run_report) = with_run_report("ablation_filter", |ctx| {
+        let wstats = ctx.scope("wmer_table", |_| table.count_pairs(skip));
+        let ours = ctx.scope("maximal_matches", |_| {
+            let gst = Gst::build(&ds, params.gst);
+            PairGenerator::new(gst, GenMode::DupElim, |a, b| same_fragment_skip(a, b) || canonical_skip(a, b))
+                .count() as u64
+        });
+        ctx.set("wmer_pair_generations", wstats.pair_generations);
+        ctx.set("wmer_distinct_pairs", wstats.distinct_pairs);
+        ctx.set("maximal_match_pairs", ours);
+        (wstats, ours)
+    });
     print_table(
         "ABL3: candidate-pair filters (same w)",
         &["filter", "pair generations", "distinct pairs"],
         &[
-            vec![format!("w-mer lookup table (w={w})"), fmt_count(wstats.pair_generations), fmt_count(wstats.distinct_pairs)],
+            vec![
+                format!("w-mer lookup table (w={w})"),
+                fmt_count(wstats.pair_generations),
+                fmt_count(wstats.distinct_pairs),
+            ],
             vec![format!("maximal matches (psi={})", params.gst.psi), fmt_count(ours), "—".into()],
         ],
     );

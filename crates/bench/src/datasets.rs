@@ -36,11 +36,7 @@ impl Prepared {
 /// ψ = 20 promising-pair cutoff, duplicate elimination on, lenient
 /// clustering acceptance.
 pub fn default_params() -> ClusterParams {
-    ClusterParams {
-        gst: GstConfig { w: 11, psi: 20 },
-        mode: GenMode::DupElim,
-        ..ClusterParams::default()
-    }
+    ClusterParams { gst: GstConfig { w: 11, psi: 20 }, mode: GenMode::DupElim, ..ClusterParams::default() }
 }
 
 fn preprocess(name: &str, reads: ReadSet, genomes: Vec<Genome>, stat: bool) -> Prepared {
@@ -75,12 +71,7 @@ pub fn maize(read_bp: usize, seed: u64) -> Prepared {
     let n_reads = (read_bp / 500).max(20);
     let genome_len = read_bp.max(10_000);
     let d = presets::maize_like(genome_len, n_reads, seed);
-    let known: Vec<DnaSeq> = d.genomes[0]
-        .repeat_library
-        .iter()
-        .filter(|r| r.len() >= 300)
-        .cloned()
-        .collect();
+    let known: Vec<DnaSeq> = d.genomes[0].repeat_library.iter().filter(|r| r.len() >= 300).cloned().collect();
     let config = PreprocessConfig {
         stat_repeats: None,
         // Reads whose longest clean stretch cannot seed a real overlap

@@ -11,7 +11,6 @@ use crate::datasets;
 use crate::util::*;
 use pgasm_core::{cluster_serial, ClusterStats, Clustering};
 use pgasm_gst::Gst;
-use std::time::Instant;
 
 /// One dataset row.
 pub struct Row {
@@ -34,31 +33,45 @@ pub struct Row {
 /// Run the experiment.
 pub fn run(scale: f64) -> Vec<Row> {
     let params = datasets::default_params();
-    let mut rows = Vec::new();
     // Drosophila-like WGS: genome at scale, paper's 8.8x coverage
     // trimmed to ~6.6x surviving (the paper's 1.37 of 1.81 Gbp).
     let dro = datasets::drosophila((150_000.0 * scale) as usize, 8.8, 11, true);
     // Sargasso-like: many species, power-law abundances.
     let sar = datasets::sargasso(((24.0 * scale) as usize).max(4), (2_500.0 * scale) as usize, 12);
-    for prepared in [dro, sar] {
-        let t_gst = Instant::now();
-        let ds = prepared.store.with_reverse_complements();
-        let gst = Gst::build(&ds, params.gst);
-        let gst_seconds = t_gst.elapsed().as_secs_f64();
-        drop(gst);
-        let t_total = Instant::now();
-        let (clustering, stats) = cluster_serial(&prepared.store, &params);
-        let total_seconds = gst_seconds + t_total.elapsed().as_secs_f64();
-        rows.push(Row {
-            name: prepared.name.clone(),
-            fragments: prepared.store.num_fragments(),
-            input_bp: prepared.total_bp(),
-            gst_seconds,
-            total_seconds,
-            stats,
-            clustering,
-        });
-    }
+    let (rows, run_report) = with_run_report("table3", |ctx| {
+        let mut rows = Vec::new();
+        for prepared in [dro, sar] {
+            ctx.push(&prepared.name);
+            let gst = ctx.scope("gst_build", |_| {
+                let ds = prepared.store.with_reverse_complements();
+                Gst::build(&ds, params.gst)
+            });
+            drop(gst);
+            let (clustering, stats) = ctx.scope("cluster", |_| cluster_serial(&prepared.store, &params));
+            ctx.pop();
+            rows.push(Row {
+                name: prepared.name.clone(),
+                fragments: prepared.store.num_fragments(),
+                input_bp: prepared.total_bp(),
+                gst_seconds: 0.0, // filled from the run report below
+                total_seconds: 0.0,
+                stats,
+                clustering,
+            });
+        }
+        rows
+    });
+    // Timings come from the folded run report's spans, not ad-hoc
+    // clocks.
+    let rows: Vec<Row> = rows
+        .into_iter()
+        .map(|mut r| {
+            let gst = run_report.wall(&format!("{}/gst_build", r.name));
+            r.gst_seconds = gst;
+            r.total_seconds = gst + run_report.wall(&format!("{}/cluster", r.name));
+            r
+        })
+        .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -94,6 +107,8 @@ pub fn run(scale: f64) -> Vec<Row> {
         ],
         &table,
     );
-    println!("note: paper savings: 65% (Drosophila WGS) vs 57% (Sargasso); Sargasso yields far more clusters");
+    println!(
+        "note: paper savings: 65% (Drosophila WGS) vs 57% (Sargasso); Sargasso yields far more clusters"
+    );
     rows
 }

@@ -1,12 +1,28 @@
-//! Shared harness utilities: scale handling, table printing, formatting.
+//! Shared harness utilities: scale handling, run-report folding, table
+//! printing, formatting.
+
+use pgasm_telemetry::{RunContext, RunReport};
+
+/// Run an experiment body under a fresh [`RunContext`] labelled `id`,
+/// fold it into a [`RunReport`], write `BENCH_<id>.json` next to the
+/// working directory, and return the body's output together with the
+/// report. All bench timing flows through the context's spans — the
+/// experiment modules hold no ad-hoc clocks.
+pub fn with_run_report<T>(id: &str, f: impl FnOnce(&mut RunContext) -> T) -> (T, RunReport) {
+    let mut ctx = RunContext::new(id);
+    let out = f(&mut ctx);
+    let report = ctx.finish();
+    let path = format!("BENCH_{id}.json");
+    match report.write_json(std::path::Path::new(&path)) {
+        Ok(()) => println!("run report -> {path}"),
+        Err(e) => eprintln!("run report not written ({path}): {e}"),
+    }
+    (out, report)
+}
 
 /// Workload scale factor from `PGASM_SCALE` (default 1.0).
 pub fn env_scale() -> f64 {
-    std::env::var("PGASM_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|&s| s > 0.0)
-        .unwrap_or(1.0)
+    std::env::var("PGASM_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).filter(|&s| s > 0.0).unwrap_or(1.0)
 }
 
 /// Print a fixed-width table with a title.
@@ -41,7 +57,7 @@ pub fn fmt_count(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -1,0 +1,25 @@
+//! Offline facade for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal stand-in: the `Serialize`/`Deserialize` *names*
+//! resolve (trait + derive macro, exactly like the real facade), but the
+//! derives expand to nothing and the traits carry no methods. Nothing in
+//! the workspace serializes through serde — structured output goes
+//! through `pgasm-telemetry`'s hand-rolled JSON layer — so the facade
+//! only has to keep the annotations compiling. Swapping the real serde
+//! back in (by restoring the registry dependency) requires no source
+//! changes.
+
+/// Marker trait; the no-op derive does not implement it, and no code in
+/// this workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait; mirror of [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-data variant mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

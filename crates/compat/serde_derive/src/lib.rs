@@ -1,0 +1,22 @@
+//! No-op `serde_derive` stand-in for the offline build environment.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` trait
+//! impls; nothing in this workspace consumes those impls (there is no
+//! serializer crate in the dependency tree — run reports are emitted by
+//! `pgasm-telemetry`'s own JSON writer), so expanding to nothing is
+//! sufficient and keeps every `#[derive(Serialize, Deserialize)]` in
+//! the codebase compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the annotated type simply gains no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the annotated type simply gains no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,25 +25,29 @@
 //! measured here, and fragment-byte movement is accounted once in the
 //! GST construction phase.
 
-use crate::clustering::{canonical_skip, same_fragment_skip, ClusterParams, ClusterStats, Clustering, PairDecider};
+use crate::clustering::{
+    canonical_skip, same_fragment_skip, ClusterParams, ClusterStats, Clustering, PairDecider,
+};
 use crate::parallel_gst::{compute_owners, rank_build_gst, RankGstReport};
 use crate::unionfind::UnionFind;
 use pgasm_gst::{PairGenerator, PromisingPair};
 use pgasm_mpisim::codec::{Decoder, Encoder};
-use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats};
+use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
+use pgasm_telemetry::RankReport;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 const TAG_W2M: u32 = 1;
 const TAG_M2W: u32 = 2;
 
-/// Master–worker runtime configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Master–worker *runtime* configuration: protocol knobs only. What to
+/// cluster and how (GST window, scoring, acceptance, mode) lives in
+/// [`ClusterParams`], passed alongside — the one place those parameters
+/// are defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MasterWorkerConfig {
-    /// Clustering parameters (GST, scoring, acceptance, mode).
-    pub params: ClusterParams,
     /// Alignment batch size `b` (pairs per AW message).
     pub batch: usize,
     /// Capacity of the master's pending-work buffer (flow-control
@@ -53,7 +57,7 @@ pub struct MasterWorkerConfig {
 
 impl Default for MasterWorkerConfig {
     fn default() -> Self {
-        MasterWorkerConfig { params: ClusterParams::default(), batch: 64, pending_cap: 4096 }
+        MasterWorkerConfig { batch: 64, pending_cap: 4096 }
     }
 }
 
@@ -82,6 +86,10 @@ pub struct ParallelClusterReport {
     /// (rank 0 = master). Immune to core oversubscription, so modelled
     /// scaling curves remain meaningful on small hosts.
     pub cpu_seconds: Vec<f64>,
+    /// Per-rank telemetry channels: role, CPU/idle seconds, rank-local
+    /// counters (pairs generated/aligned/accepted, batch round-trips,
+    /// peak queue depth), and per-tag traffic with modelled α–β time.
+    pub ranks: Vec<RankReport>,
 }
 
 struct RankOutcome {
@@ -92,6 +100,8 @@ struct RankOutcome {
     idle_fraction: f64,
     comm: CommStats,
     cpu_seconds: f64,
+    counters: BTreeMap<String, u64>,
+    rank_report: RankReport,
 }
 
 fn encode_pair(e: &mut Encoder, p: &PromisingPair) {
@@ -112,19 +122,25 @@ fn decode_pair(d: &mut Decoder) -> PromisingPair {
     }
 }
 
-/// Run the master–worker clustering on `p ≥ 2` ranks.
-pub fn cluster_parallel(store: &FragmentStore, p: usize, config: &MasterWorkerConfig) -> ParallelClusterReport {
+/// Run the master–worker clustering on `p ≥ 2` ranks. `params` says
+/// what to cluster and how; `config` tunes the runtime protocol.
+pub fn cluster_parallel(
+    store: &FragmentStore,
+    p: usize,
+    params: &ClusterParams,
+    config: &MasterWorkerConfig,
+) -> ParallelClusterReport {
     assert!(p >= 2, "master–worker needs at least 2 ranks");
     assert!(!store.is_double_stranded(), "pass the original single-stranded fragments");
     let n = store.num_fragments();
     let ds = store.with_reverse_complements();
     let owner = compute_owners(&ds, p, 1);
-    let (ds, owner, config) = (&ds, &owner, *config);
+    let (ds, owner, params, config) = (&ds, &owner, *params, *config);
 
     let outcomes: Vec<RankOutcome> = pgasm_mpisim::run(p, move |comm| {
         // Phase 1: distributed GST over worker ranks.
         let gst_t0 = Instant::now();
-        let (gst, _text, gst_report) = rank_build_gst(comm, ds, owner, config.params.gst, 1);
+        let (gst, _text, gst_report) = rank_build_gst(comm, ds, owner, params.gst, 1);
         comm.barrier();
         let gst_wall = gst_t0.elapsed().as_secs_f64();
         let mut gst_report = gst_report;
@@ -136,14 +152,15 @@ pub fn cluster_parallel(store: &FragmentStore, p: usize, config: &MasterWorkerCo
         let t0 = Instant::now();
         let mut outcome = if comm.rank() == 0 {
             drop(gst);
-            master_loop(comm, ds, n, &config)
+            master_loop(comm, ds, n, &params, &config)
         } else {
-            worker_loop(comm, ds, gst, &config)
+            worker_loop(comm, ds, gst, &params, &config)
         };
         let wall = t0.elapsed().as_secs_f64();
         let cpu = thread_cpu_seconds() - cpu0;
         let after = comm.stats();
-        let blocked = ((after.wait_ns + after.barrier_ns) - (before.wait_ns + before.barrier_ns)) as f64 * 1e-9;
+        let blocked =
+            ((after.wait_ns + after.barrier_ns) - (before.wait_ns + before.barrier_ns)) as f64 * 1e-9;
         outcome.gst_report = gst_report;
         outcome.cluster_seconds = wall;
         outcome.cpu_seconds = cpu;
@@ -156,6 +173,25 @@ pub fn cluster_parallel(store: &FragmentStore, p: usize, config: &MasterWorkerCo
             wait_ns: after.wait_ns - before.wait_ns,
             barrier_ns: after.barrier_ns - before.barrier_ns,
         };
+        // Fold this rank's channel for the RunReport: per-tag traffic
+        // (the whole run, GST collectives included) with protocol tags
+        // relabelled, plus the loop's own counters.
+        let mut comm_rows = comm.tag_stats(&CostModel::BLUEGENE_L);
+        for row in &mut comm_rows {
+            row.label = match row.tag {
+                TAG_W2M => "w2m".to_string(),
+                TAG_M2W => "m2w".to_string(),
+                _ => std::mem::take(&mut row.label),
+            };
+        }
+        outcome.rank_report = RankReport {
+            rank: comm.rank(),
+            role: if comm.rank() == 0 { "master" } else { "worker" }.to_string(),
+            cpu_seconds: cpu,
+            idle_seconds: blocked,
+            counters: std::mem::take(&mut outcome.counters),
+            comm: comm_rows,
+        };
         outcome
     });
 
@@ -163,42 +199,46 @@ pub fn cluster_parallel(store: &FragmentStore, p: usize, config: &MasterWorkerCo
     ParallelClusterReport {
         clustering: master.clustering.clone().expect("master produced the clustering"),
         stats: master.stats.expect("master aggregated stats"),
-        gst_seconds: outcomes
-            .iter()
-            .map(|o| o.gst_report.compute_seconds)
-            .fold(0.0, f64::max),
+        gst_seconds: outcomes.iter().map(|o| o.gst_report.compute_seconds).fold(0.0, f64::max),
         cluster_seconds: outcomes.iter().map(|o| o.cluster_seconds).fold(0.0, f64::max),
         worker_idle_fraction: outcomes[1..].iter().map(|o| o.idle_fraction).collect(),
         master_availability: master.idle_fraction,
         comm: outcomes.iter().map(|o| o.comm).collect(),
         cpu_seconds: outcomes.iter().map(|o| o.cpu_seconds).collect(),
+        ranks: outcomes.iter().map(|o| o.rank_report.clone()).collect(),
         gst_reports: outcomes.into_iter().map(|o| o.gst_report).collect(),
     }
 }
 
 /// The master's event loop (paper Fig. 7).
-fn master_loop(comm: &mut Comm, ds: &FragmentStore, n: usize, config: &MasterWorkerConfig) -> RankOutcome {
+fn master_loop(
+    comm: &mut Comm,
+    ds: &FragmentStore,
+    n: usize,
+    params: &ClusterParams,
+    config: &MasterWorkerConfig,
+) -> RankOutcome {
     let p = comm.size();
     let b = config.batch;
-    let mut clusters = MasterClusters::new(n, &config.params);
+    let mut clusters = MasterClusters::new(n, params);
     let mut pending: VecDeque<PromisingPair> = VecDeque::with_capacity(config.pending_cap);
     let mut worker_active = vec![true; p];
     let mut worker_idle = vec![false; p];
     let mut outstanding = vec![false; p];
     let mut stats = ClusterStats::default();
     let mut selected: u64 = 0;
+    let mut peak_queue_depth: u64 = 0;
+    let mut batches_dispatched: u64 = 0;
 
     let frag_of = |seq: SeqId| ds.seq_to_fragment(seq).0 .0;
 
     loop {
         // Termination: every worker passive, nothing pending, nothing
         // in flight.
-        let done = (1..p).all(|i| !worker_active[i])
-            && pending.is_empty()
-            && !outstanding.iter().any(|&o| o);
+        let done = (1..p).all(|i| !worker_active[i]) && pending.is_empty() && !outstanding.iter().any(|&o| o);
         if done {
-            for i in 1..p {
-                debug_assert!(worker_idle[i], "at termination every worker is parked");
+            for (i, &idle) in worker_idle.iter().enumerate().skip(1) {
+                debug_assert!(idle, "at termination every worker is parked");
                 let mut e = Encoder::new();
                 e.put_u32(1); // terminate
                 comm.send(i, TAG_M2W, e.finish());
@@ -241,6 +281,7 @@ fn master_loop(comm: &mut Comm, ds: &FragmentStore, n: usize, config: &MasterWor
                 selected += 1;
             }
         }
+        peak_queue_depth = peak_queue_depth.max(pending.len() as u64);
 
         // Dispatch to idle workers first (Fig. 7).
         for j in 1..p {
@@ -249,11 +290,15 @@ fn master_loop(comm: &mut Comm, ds: &FragmentStore, n: usize, config: &MasterWor
                 send_allocation(comm, j, 0, &batch, false);
                 worker_idle[j] = false;
                 outstanding[j] = true;
+                batches_dispatched += 1;
             }
         }
 
         // Reply to the reporter: next batch (if any) + its new r.
         let batch: Vec<PromisingPair> = drain_batch(&mut pending, b);
+        if !batch.is_empty() {
+            batches_dispatched += 1;
+        }
         let r = compute_r(b, config.pending_cap, pending.len(), &worker_active, stats.generated, selected);
         if batch.is_empty() && !active {
             worker_idle[i] = true;
@@ -264,6 +309,14 @@ fn master_loop(comm: &mut Comm, ds: &FragmentStore, n: usize, config: &MasterWor
         }
     }
 
+    let counters = BTreeMap::from([
+        ("pairs_generated".to_string(), stats.generated),
+        ("pairs_aligned".to_string(), stats.aligned),
+        ("pairs_accepted".to_string(), stats.accepted),
+        ("pairs_selected".to_string(), selected),
+        ("peak_queue_depth".to_string(), peak_queue_depth),
+        ("batches_dispatched".to_string(), batches_dispatched),
+    ]);
     RankOutcome {
         clustering: Some(clusters.finish(&mut stats)),
         stats: Some(stats),
@@ -272,6 +325,8 @@ fn master_loop(comm: &mut Comm, ds: &FragmentStore, n: usize, config: &MasterWor
         idle_fraction: 0.0,
         comm: CommStats::default(),
         cpu_seconds: 0.0,
+        counters,
+        rank_report: RankReport::default(),
     }
 }
 
@@ -296,19 +351,21 @@ fn send_allocation(comm: &mut Comm, dest: usize, r: usize, batch: &[PromisingPai
 /// pending buffer.
 fn compute_r(b: usize, cap: usize, pending: usize, active: &[bool], generated: u64, selected: u64) -> usize {
     let p_active = active[1..].iter().filter(|&&a| a).count().max(1);
-    let ratio = if generated < 64 {
-        0.5
-    } else {
-        (selected as f64 / generated as f64).max(0.02)
-    };
+    let ratio = if generated < 64 { 0.5 } else { (selected as f64 / generated as f64).max(0.02) };
     let by_ratio = (b as f64 / ratio).ceil() as usize;
     let by_capacity = cap.saturating_sub(pending) / p_active;
     by_ratio.min(by_capacity).min(8 * b)
 }
 
 /// A worker's event loop (paper Fig. 8).
-fn worker_loop(comm: &mut Comm, ds: &FragmentStore, gst: pgasm_gst::Gst, config: &MasterWorkerConfig) -> RankOutcome {
-    let params = config.params;
+fn worker_loop(
+    comm: &mut Comm,
+    ds: &FragmentStore,
+    gst: pgasm_gst::Gst,
+    params: &ClusterParams,
+    config: &MasterWorkerConfig,
+) -> RankOutcome {
+    let params = *params;
     let canonical = params.canonical_strands;
     let mut gen = PairGenerator::new(gst, params.mode, move |a, b| {
         same_fragment_skip(a, b) || (canonical && canonical_skip(a, b))
@@ -319,6 +376,10 @@ fn worker_loop(comm: &mut Comm, ds: &FragmentStore, gst: pgasm_gst::Gst, config:
     let mut cells_delta: u64 = 0;
     let mut r = config.batch;
     let mut np: Vec<PromisingPair> = Vec::new();
+    let mut pairs_generated: u64 = 0;
+    let mut pairs_aligned: u64 = 0;
+    let mut pairs_accepted: u64 = 0;
+    let mut round_trips: u64 = 0;
 
     loop {
         // Compute the alignments allocated last round.
@@ -326,11 +387,14 @@ fn worker_loop(comm: &mut Comm, ds: &FragmentStore, gst: pgasm_gst::Gst, config:
             let r = decider.align_full(&pair);
             cells_delta += r.cells;
             let accepted = params.criteria.accepts(r.identity, r.overlap_len);
+            pairs_aligned += 1;
+            pairs_accepted += accepted as u64;
             results.push((pair, accepted, r.a_range.0 as u32, r.b_range.0 as u32, r.overlap_len as u32));
         }
         // Generate the requested number of new pairs.
         np.clear();
         gen.next_batch(r, &mut np);
+        pairs_generated += np.len() as u64;
         let active = !gen.is_exhausted();
         // Report.
         let mut e = Encoder::with_capacity(16 + np.len() * 20 + results.len() * 20);
@@ -351,13 +415,19 @@ fn worker_loop(comm: &mut Comm, ds: &FragmentStore, gst: pgasm_gst::Gst, config:
             encode_pair(&mut e, pair);
         }
         comm.send(0, TAG_W2M, e.finish());
+        round_trips += 1;
         // Receive the next allocation (possibly parking idle first).
         loop {
             let m = comm.recv(Some(0), Some(TAG_M2W));
             let mut d = Decoder::new(m.data);
             let terminate = d.get_u32() == 1;
             if terminate {
-                return worker_outcome();
+                return worker_outcome(BTreeMap::from([
+                    ("pairs_generated".to_string(), pairs_generated),
+                    ("pairs_aligned".to_string(), pairs_aligned),
+                    ("pairs_accepted".to_string(), pairs_accepted),
+                    ("batch_round_trips".to_string(), round_trips),
+                ]));
             }
             r = d.get_u32() as usize;
             let count = d.get_u32();
@@ -381,11 +451,7 @@ fn worker_loop(comm: &mut Comm, ds: &FragmentStore, gst: pgasm_gst::Gst, config:
 /// so the parallel result still equals the serial one.
 enum MasterClusters {
     Plain(UnionFind),
-    Geometric {
-        n: usize,
-        edges: Vec<(u32, u32, crate::geometry::AffineMap, u32)>,
-        tol: i64,
-    },
+    Geometric { n: usize, edges: Vec<(u32, u32, crate::geometry::AffineMap, u32)>, tol: i64 },
 }
 
 impl MasterClusters {
@@ -406,6 +472,7 @@ impl MasterClusters {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record_accept(
         &mut self,
         ds: &FragmentStore,
@@ -448,7 +515,7 @@ impl MasterClusters {
     }
 }
 
-fn worker_outcome() -> RankOutcome {
+fn worker_outcome(counters: BTreeMap<String, u64>) -> RankOutcome {
     RankOutcome {
         clustering: None,
         stats: None,
@@ -457,6 +524,8 @@ fn worker_outcome() -> RankOutcome {
         idle_fraction: 0.0,
         comm: CommStats::default(),
         cpu_seconds: 0.0,
+        counters,
+        rank_report: RankReport::default(),
     }
 }
 
@@ -499,24 +568,24 @@ mod tests {
         FragmentStore::from_seqs(reads)
     }
 
-    fn config() -> MasterWorkerConfig {
-        MasterWorkerConfig {
-            params: ClusterParams {
-                gst: GstConfig { w: 8, psi: 16 },
-                criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 30 },
-                ..Default::default()
-            },
-            batch: 8,
-            pending_cap: 256,
+    fn params() -> ClusterParams {
+        ClusterParams {
+            gst: GstConfig { w: 8, psi: 16 },
+            criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 30 },
+            ..Default::default()
         }
+    }
+
+    fn config() -> MasterWorkerConfig {
+        MasterWorkerConfig { batch: 8, pending_cap: 256 }
     }
 
     #[test]
     fn parallel_matches_serial_partition() {
         let store = test_store();
-        let (serial, _) = cluster_serial(&store, &config().params);
+        let (serial, _) = cluster_serial(&store, &params());
         for p in [2usize, 3, 5] {
-            let report = cluster_parallel(&store, p, &config());
+            let report = cluster_parallel(&store, p, &params(), &config());
             assert_eq!(report.clustering, serial, "p = {p}");
         }
     }
@@ -524,13 +593,13 @@ mod tests {
     #[test]
     fn stats_are_consistent() {
         let store = test_store();
-        let report = cluster_parallel(&store, 3, &config());
+        let report = cluster_parallel(&store, 3, &params(), &config());
         let s = report.stats;
         assert!(s.generated > 0);
         assert!(s.aligned <= s.generated);
         assert!(s.accepted <= s.aligned);
         assert!(s.merges <= s.accepted);
-        assert!(s.merges as usize <= store.num_fragments() - 1);
+        assert!((s.merges as usize) < store.num_fragments());
         // Every fragment appears in exactly one cluster.
         let total: usize = report.clustering.clusters.iter().map(|c| c.len()).sum();
         assert_eq!(total, store.num_fragments());
@@ -539,7 +608,7 @@ mod tests {
     #[test]
     fn heuristic_saves_alignments_in_parallel_too() {
         let store = test_store();
-        let report = cluster_parallel(&store, 3, &config());
+        let report = cluster_parallel(&store, 3, &params(), &config());
         assert!(
             report.stats.aligned < report.stats.generated,
             "cluster-check must skip some alignments: {:?}",
@@ -550,7 +619,7 @@ mod tests {
     #[test]
     fn report_fields_populated() {
         let store = test_store();
-        let report = cluster_parallel(&store, 4, &config());
+        let report = cluster_parallel(&store, 4, &params(), &config());
         assert_eq!(report.worker_idle_fraction.len(), 3);
         assert_eq!(report.comm.len(), 4);
         assert_eq!(report.gst_reports.len(), 4);
@@ -562,9 +631,37 @@ mod tests {
     }
 
     #[test]
+    fn rank_reports_carry_counters_and_comm() {
+        let store = test_store();
+        let report = cluster_parallel(&store, 3, &params(), &config());
+        assert_eq!(report.ranks.len(), 3);
+        assert_eq!(report.ranks[0].role, "master");
+        assert!(report.ranks[1..].iter().all(|r| r.role == "worker"));
+        // The master's selection counters match aggregate stats; workers'
+        // per-rank tallies sum to the same totals.
+        assert_eq!(report.ranks[0].counter("pairs_generated"), report.stats.generated);
+        assert_eq!(report.ranks[0].counter("pairs_aligned"), report.stats.aligned);
+        let worker_aligned: u64 = report.ranks[1..].iter().map(|r| r.counter("pairs_aligned")).sum();
+        let worker_generated: u64 = report.ranks[1..].iter().map(|r| r.counter("pairs_generated")).sum();
+        let worker_accepted: u64 = report.ranks[1..].iter().map(|r| r.counter("pairs_accepted")).sum();
+        assert_eq!(worker_aligned, report.stats.aligned);
+        assert_eq!(worker_generated, report.stats.generated);
+        assert_eq!(worker_accepted, report.stats.accepted);
+        // Per-tag comm channels include the relabelled protocol tags and
+        // carry modelled time.
+        for r in &report.ranks {
+            assert!(r.comm.iter().any(|t| t.label == "w2m"));
+            assert!(r.comm.iter().any(|t| t.label == "m2w"));
+            assert!(r.modelled_comm_seconds() > 0.0);
+        }
+        // Workers report at least one batch round-trip.
+        assert!(report.ranks[1..].iter().all(|r| r.counter("batch_round_trips") >= 1));
+    }
+
+    #[test]
     fn single_fragment_terminates() {
         let store = FragmentStore::from_seqs(vec![DnaSeq::from(genome(9, 300).as_str())]);
-        let report = cluster_parallel(&store, 2, &config());
+        let report = cluster_parallel(&store, 2, &params(), &config());
         assert_eq!(report.clustering.clusters.len(), 1);
         assert_eq!(report.stats.generated, 0);
     }
@@ -572,11 +669,10 @@ mod tests {
     #[test]
     fn geometric_mode_parallel_matches_serial() {
         let store = test_store();
-        let params = ClusterParams { resolve_inconsistent: true, ..config().params };
+        let params = ClusterParams { resolve_inconsistent: true, ..params() };
         let (serial, serial_stats) = cluster_serial(&store, &params);
         for p in [2usize, 4] {
-            let cfg = MasterWorkerConfig { params, batch: 8, pending_cap: 256 };
-            let report = cluster_parallel(&store, p, &cfg);
+            let report = cluster_parallel(&store, p, &params, &config());
             assert_eq!(report.clustering, serial, "p = {p}");
             assert_eq!(report.stats.aligned, serial_stats.aligned, "geometric mode aligns everything");
             assert_eq!(report.stats.inconsistent, serial_stats.inconsistent);
@@ -587,6 +683,6 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn requires_two_ranks() {
         let store = FragmentStore::from_seqs(vec![DnaSeq::from("ACGT")]);
-        cluster_parallel(&store, 1, &config());
+        cluster_parallel(&store, 1, &params(), &config());
     }
 }

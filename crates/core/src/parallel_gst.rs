@@ -43,10 +43,7 @@ impl TextSource for LocalText<'_> {
         if self.owner[seq as usize] as usize == self.rank {
             self.store.get(SeqId(seq))
         } else {
-            self.fetched
-                .get(&seq)
-                .map(|v| v.as_slice())
-                .expect("fragment was not fetched for a local suffix")
+            self.fetched.get(&seq).map(|v| v.as_slice()).expect("fragment was not fetched for a local suffix")
         }
     }
 
@@ -124,10 +121,8 @@ pub fn rank_build_gst<'s>(
     // time*: ranks may timeshare cores, and wall intervals would then
     // overstate computation (see `thread_cpu_seconds`).
     let t = thread_cpu_seconds();
-    let my_seqs: Vec<SeqId> = (0..store.num_seqs() as u32)
-        .filter(|&s| owner[s as usize] as usize == rank)
-        .map(SeqId)
-        .collect();
+    let my_seqs: Vec<SeqId> =
+        (0..store.num_seqs() as u32).filter(|&s| owner[s as usize] as usize == rank).map(SeqId).collect();
     let local_buckets = bucket_suffixes_of(store, &my_seqs, config.w);
     compute += thread_cpu_seconds() - t;
 

@@ -1,27 +1,33 @@
-//! End-to-end cluster-then-assemble pipeline (paper Fig. 1):
-//! preprocessing → parallel clustering → per-cluster serial assembly.
+//! End-to-end cluster-then-assemble pipeline (paper Fig. 1), built as a
+//! stage graph: each phase (preprocess → cluster → assemble) is a
+//! [`Stage`] that transforms the shared [`StageState`] and records its
+//! telemetry — spans, counters, per-rank channels — into one
+//! [`RunContext`]. Callers that want the structured run report use
+//! [`Pipeline::run_with_context`]; [`Pipeline::run`] wraps it with a
+//! private context for the common case.
 
 use crate::clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
 use crate::master_worker::{cluster_parallel, MasterWorkerConfig};
 use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig};
-use pgasm_seq::QualityTrack;
 use pgasm_preprocess::{PreprocessConfig, PreprocessStats, Preprocessor};
+use pgasm_seq::QualityTrack;
 use pgasm_seq::{DnaSeq, FragmentStore, SeqId};
 use pgasm_simgen::ReadSet;
+use pgasm_telemetry::{RunContext, Span};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Preprocessing settings; `None` runs clustering on the raw reads.
     pub preprocess: Option<PreprocessConfig>,
-    /// Clustering parameters.
+    /// Clustering parameters — the one place they are defined; the
+    /// master–worker runtime borrows these at run time.
     pub cluster: ClusterParams,
     /// Run the clustering phase on this many simulated ranks
     /// (master–worker); `None` = serial engine.
     pub parallel_ranks: Option<usize>,
-    /// Master–worker knobs (batch size, buffer capacity).
+    /// Master–worker protocol knobs (batch size, buffer capacity).
     pub master_worker: MasterWorkerConfig,
     /// Per-cluster assembler settings.
     pub assembly: AssemblyConfig,
@@ -31,12 +37,11 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        let cluster = ClusterParams::default();
         PipelineConfig {
             preprocess: Some(PreprocessConfig::default()),
-            cluster,
+            cluster: ClusterParams::default(),
             parallel_ranks: None,
-            master_worker: MasterWorkerConfig { params: cluster, ..Default::default() },
+            master_worker: MasterWorkerConfig::default(),
             assembly: AssemblyConfig::default(),
             assembly_threads: 4,
         }
@@ -81,16 +86,184 @@ impl PipelineReport {
         } else {
             // A cluster can assemble into contigs plus leftover
             // singleton reads; count at least one unit per cluster.
-            self.assemblies
-                .iter()
-                .map(|a| (a.num_contigs() + a.singletons.len()).max(1))
-                .sum::<usize>() as f64
+            self.assemblies.iter().map(|a| (a.num_contigs() + a.singletons.len()).max(1)).sum::<usize>()
+                as f64
                 / n as f64
         }
     }
 }
 
-/// The pipeline runner.
+/// Mutable state flowing through the stage graph. Each [`Stage`] reads
+/// the artifacts of its predecessors and installs its own.
+pub struct StageState<'r> {
+    /// Input reads (set before the first stage).
+    pub reads: &'r ReadSet,
+    /// Vector sequences for the preprocessor.
+    pub vectors: &'r [DnaSeq],
+    /// Known repeat library for the preprocessor.
+    pub known_repeats: &'r [DnaSeq],
+    /// Masked fragments driving clustering (preprocess output).
+    pub store: Option<FragmentStore>,
+    /// Soft-masked (original-base) fragments feeding the assembler.
+    pub store_unmasked: Option<FragmentStore>,
+    /// Per-fragment quality tracks.
+    pub quals: Vec<QualityTrack>,
+    /// For each surviving fragment, the index of its original read.
+    pub origin: Vec<usize>,
+    /// Preprocessing accounting (when that stage ran a config).
+    pub preprocess: Option<PreprocessStats>,
+    /// Clustering result (cluster stage output).
+    pub clustering: Option<Clustering>,
+    /// Clustering work statistics.
+    pub cluster_stats: ClusterStats,
+    /// Per-cluster assemblies (assemble stage output).
+    pub assemblies: Vec<Assembly>,
+    /// Per-stage wall-clock seconds, by stage name.
+    pub stage_seconds: Vec<(&'static str, f64)>,
+}
+
+impl<'r> StageState<'r> {
+    fn new(reads: &'r ReadSet, vectors: &'r [DnaSeq], known_repeats: &'r [DnaSeq]) -> Self {
+        StageState {
+            reads,
+            vectors,
+            known_repeats,
+            store: None,
+            store_unmasked: None,
+            quals: Vec::new(),
+            origin: Vec::new(),
+            preprocess: None,
+            clustering: None,
+            cluster_stats: ClusterStats::default(),
+            assemblies: Vec::new(),
+            stage_seconds: Vec::new(),
+        }
+    }
+
+    fn wall(&self, stage: &str) -> f64 {
+        self.stage_seconds.iter().find(|(n, _)| *n == stage).map(|(_, s)| *s).unwrap_or(0.0)
+    }
+}
+
+/// One phase of the pipeline. Implementations transform [`StageState`]
+/// and record telemetry into the shared [`RunContext`]; the engine wraps
+/// each stage in a span named after it.
+pub trait Stage {
+    /// Span name for this stage (e.g. `"cluster"`).
+    fn name(&self) -> &'static str;
+    /// Execute the stage.
+    fn run(&self, state: &mut StageState<'_>, ctx: &mut RunContext);
+}
+
+/// Preprocess stage: trims/screens reads into the masked clustering
+/// store and the soft-masked assembly store. With no [`PreprocessConfig`]
+/// it passes raw reads through (still populating the state).
+struct PreprocessStage<'c> {
+    config: &'c PipelineConfig,
+}
+
+impl Stage for PreprocessStage<'_> {
+    fn name(&self) -> &'static str {
+        "preprocess"
+    }
+
+    fn run(&self, state: &mut StageState<'_>, ctx: &mut RunContext) {
+        ctx.set("reads_in", state.reads.len() as u64);
+        match &self.config.preprocess {
+            Some(cfg) => {
+                let pp = Preprocessor::new(cfg.clone(), state.vectors, state.known_repeats);
+                let out = pp.run(state.reads);
+                state.store = Some(out.store);
+                state.store_unmasked = Some(out.store_unmasked);
+                state.quals = out.quals;
+                state.origin = out.origin;
+                state.preprocess = Some(out.stats);
+            }
+            None => {
+                state.store = Some(state.reads.to_store());
+                state.origin = (0..state.reads.len()).collect();
+                state.quals = state.reads.quals.clone();
+            }
+        }
+        ctx.set("fragments", state.store.as_ref().map_or(0, |s| s.num_fragments()) as u64);
+    }
+}
+
+/// Cluster stage: serial engine or the master–worker runtime, depending
+/// on `parallel_ranks`. Parallel runs install per-rank telemetry
+/// channels and phase sub-spans measured from rank-local clocks.
+struct ClusterStage<'c> {
+    config: &'c PipelineConfig,
+}
+
+impl Stage for ClusterStage<'_> {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run(&self, state: &mut StageState<'_>, ctx: &mut RunContext) {
+        let store = state.store.as_ref().expect("preprocess stage ran");
+        let (clustering, stats) = match self.config.parallel_ranks {
+            Some(p) => {
+                let report = cluster_parallel(store, p, &self.config.cluster, &self.config.master_worker);
+                ctx.record_span(Span {
+                    name: "gst_build".to_string(),
+                    wall_seconds: report.gst_seconds,
+                    cpu_seconds: report.gst_seconds,
+                    children: Vec::new(),
+                });
+                ctx.record_span(Span {
+                    name: "master_worker".to_string(),
+                    wall_seconds: report.cluster_seconds,
+                    cpu_seconds: report.cpu_seconds.iter().sum(),
+                    children: Vec::new(),
+                });
+                ctx.set_ranks(report.ranks);
+                (report.clustering, report.stats)
+            }
+            None => cluster_serial(store, &self.config.cluster),
+        };
+        ctx.set("pairs_generated", stats.generated);
+        ctx.set("pairs_aligned", stats.aligned);
+        ctx.set("pairs_accepted", stats.accepted);
+        ctx.set("merges", stats.merges);
+        ctx.set("dp_cells", stats.dp_cells);
+        ctx.set("clusters", clustering.clusters.len() as u64);
+        ctx.set("non_singleton_clusters", clustering.num_non_singletons() as u64);
+        state.clustering = Some(clustering);
+        state.cluster_stats = stats;
+    }
+}
+
+/// Assembly stage: trivially parallel per-cluster assembly over the
+/// soft-masked (original-base) fragments.
+struct AssembleStage<'c> {
+    config: &'c PipelineConfig,
+}
+
+impl Stage for AssembleStage<'_> {
+    fn name(&self) -> &'static str {
+        "assemble"
+    }
+
+    fn run(&self, state: &mut StageState<'_>, ctx: &mut RunContext) {
+        let clustering = state.clustering.as_ref().expect("cluster stage ran");
+        let masked = state.store.as_ref().expect("preprocess stage ran");
+        let assembly_store = state.store_unmasked.as_ref().unwrap_or(masked);
+        state.assemblies = assemble_clusters_q(
+            assembly_store,
+            Some(&state.quals),
+            clustering,
+            &self.config.assembly,
+            self.config.assembly_threads,
+        );
+        ctx.set("assembled_clusters", state.assemblies.len() as u64);
+        ctx.set("contigs", state.assemblies.iter().map(|a| a.num_contigs() as u64).sum());
+    }
+}
+
+/// The pipeline runner: a fixed stage graph executed over one
+/// [`RunContext`].
 pub struct Pipeline {
     config: PipelineConfig,
 }
@@ -105,56 +278,42 @@ impl Pipeline {
     /// over a read set. `vectors` and `known_repeats` feed the
     /// preprocessor.
     pub fn run(&self, reads: &ReadSet, vectors: &[DnaSeq], known_repeats: &[DnaSeq]) -> PipelineReport {
-        // Phase 1: preprocess. The masked view drives clustering; the
-        // unmasked (soft-mask) view feeds the assembler, which aligns
-        // the real bases.
-        let t = Instant::now();
-        let (store, store_unmasked, quals, origin, pp_stats) = match &self.config.preprocess {
-            Some(cfg) => {
-                let pp = Preprocessor::new(cfg.clone(), vectors, known_repeats);
-                let out = pp.run(reads);
-                (out.store, Some(out.store_unmasked), out.quals, out.origin, Some(out.stats))
-            }
-            None => {
-                let store = reads.to_store();
-                let origin = (0..reads.len()).collect();
-                (store, None, reads.quals.clone(), origin, None)
-            }
-        };
-        let preprocess_seconds = t.elapsed().as_secs_f64();
+        let mut ctx = RunContext::new("pipeline");
+        self.run_with_context(reads, vectors, known_repeats, &mut ctx)
+    }
 
-        // Phase 2: cluster.
-        let t = Instant::now();
-        let (clustering, cluster_stats) = match self.config.parallel_ranks {
-            Some(p) => {
-                let mut mw = self.config.master_worker;
-                mw.params = self.config.cluster;
-                let report = cluster_parallel(&store, p, &mw);
-                (report.clustering, report.stats)
-            }
-            None => cluster_serial(&store, &self.config.cluster),
-        };
-        let cluster_seconds = t.elapsed().as_secs_f64();
+    /// As [`Pipeline::run`], recording spans, counters, and per-rank
+    /// channels into the caller's [`RunContext`] — fold it with
+    /// [`RunContext::finish`] for the structured
+    /// [`pgasm_telemetry::RunReport`].
+    pub fn run_with_context(
+        &self,
+        reads: &ReadSet,
+        vectors: &[DnaSeq],
+        known_repeats: &[DnaSeq],
+        ctx: &mut RunContext,
+    ) -> PipelineReport {
+        let mut state = StageState::new(reads, vectors, known_repeats);
+        let stages: [&dyn Stage; 3] = [
+            &PreprocessStage { config: &self.config },
+            &ClusterStage { config: &self.config },
+            &AssembleStage { config: &self.config },
+        ];
+        for stage in stages {
+            ctx.push(stage.name());
+            stage.run(&mut state, ctx);
+            let (wall, _cpu) = ctx.pop();
+            state.stage_seconds.push((stage.name(), wall));
+        }
 
-        // Phase 3: trivially parallel per-cluster assembly over the
-        // soft-masked (original-base) fragments.
-        let t = Instant::now();
-        let assembly_store = store_unmasked.as_ref().unwrap_or(&store);
-        let assemblies = assemble_clusters_q(
-            assembly_store,
-            Some(&quals),
-            &clustering,
-            &self.config.assembly,
-            self.config.assembly_threads,
-        );
-        let assembly_seconds = t.elapsed().as_secs_f64();
-
+        let (preprocess_seconds, cluster_seconds, assembly_seconds) =
+            (state.wall("preprocess"), state.wall("cluster"), state.wall("assemble"));
         PipelineReport {
-            preprocess: pp_stats,
-            clustering,
-            cluster_stats,
-            origin,
-            assemblies,
+            preprocess: state.preprocess,
+            clustering: state.clustering.expect("cluster stage ran"),
+            cluster_stats: state.cluster_stats,
+            origin: state.origin,
+            assemblies: state.assemblies,
             preprocess_seconds,
             cluster_seconds,
             assembly_seconds,
@@ -194,8 +353,8 @@ pub fn assemble_clusters_q(
             scope.spawn(move || {
                 for (slot, members) in slot_chunk.iter_mut().zip(cluster_chunk) {
                     let reads: Vec<DnaSeq> = members.iter().map(|&f| store.get_seq(SeqId(f))).collect();
-                    let cluster_quals: Option<Vec<QualityTrack>> = quals
-                        .map(|qs| members.iter().map(|&f| qs[f as usize].clone()).collect());
+                    let cluster_quals: Option<Vec<QualityTrack>> =
+                        quals.map(|qs| members.iter().map(|&f| qs[f as usize].clone()).collect());
                     *slot = Some(assemble_with_quality(&reads, cluster_quals.as_deref(), config));
                 }
             });
@@ -238,7 +397,7 @@ mod tests {
             preprocess: None,
             cluster,
             parallel_ranks: parallel,
-            master_worker: MasterWorkerConfig { params: cluster, batch: 16, pending_cap: 512 },
+            master_worker: MasterWorkerConfig { batch: 16, pending_cap: 512 },
             assembly: AssemblyConfig::default(),
             assembly_threads: 2,
         }
@@ -246,11 +405,10 @@ mod tests {
 
     fn island_reads(seed: u64) -> ReadSet {
         let genome = island_genome(seed);
-        let mut sampler = Sampler::new(&genome, SamplerConfig::clean(), seed + 1);
         // Dense island coverage only: gene-enriched reads with full bias.
         let mut cfg = SamplerConfig::clean();
         cfg.island_bias = 1.0;
-        sampler = Sampler::new(&genome, cfg, seed + 1);
+        let mut sampler = Sampler::new(&genome, cfg, seed + 1);
         sampler.enriched(160, pgasm_simgen::ReadKind::Mf)
     }
 
@@ -261,10 +419,10 @@ mod tests {
         // Island-only sampling: a handful of clusters, assembled into
         // about one contig each.
         let nc = report.clustering.num_non_singletons();
-        assert!(nc >= 2 && nc <= 12, "clusters {nc}");
+        assert!((2..=12).contains(&nc), "clusters {nc}");
         assert!(!report.assemblies.is_empty());
         let cpc = report.contigs_per_cluster();
-        assert!(cpc >= 1.0 && cpc < 2.0, "contigs/cluster {cpc}");
+        assert!((1.0..2.0).contains(&cpc), "contigs/cluster {cpc}");
         assert_eq!(report.origin.len(), reads.len());
     }
 
@@ -285,10 +443,8 @@ mod tests {
         let mut sampler = Sampler::new(&genome, cfg, 31);
         let reads = sampler.enriched(120, pgasm_simgen::ReadKind::Hc);
         let mut config = fast_config(None);
-        config.preprocess = Some(pgasm_preprocess::PreprocessConfig {
-            stat_repeats: None,
-            ..Default::default()
-        });
+        config.preprocess =
+            Some(pgasm_preprocess::PreprocessConfig { stat_repeats: None, ..Default::default() });
         let report = Pipeline::new(config).run(&reads, &[DnaSeq::from(VECTOR_SEQ)], &genome.repeat_library);
         let pp = report.preprocess.expect("preprocessing ran");
         let before: usize = pp.before.values().map(|v| v.0).sum();
@@ -296,6 +452,32 @@ mod tests {
         assert_eq!(before, 120);
         assert!(after > 60, "too many reads lost: {after}");
         assert!(report.clustering.num_non_singletons() >= 1);
+    }
+
+    #[test]
+    fn run_with_context_records_stage_graph() {
+        let reads = island_reads(10);
+        let mut ctx = pgasm_telemetry::RunContext::new("test-run");
+        let pipeline = Pipeline::new(fast_config(Some(3)));
+        let report = pipeline.run_with_context(&reads, &[], &[], &mut ctx);
+        let run = ctx.finish();
+        // One root span per stage, in graph order.
+        let names: Vec<&str> = run.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["preprocess", "cluster", "assemble"]);
+        // Parallel clustering leaves rank-local phase sub-spans and
+        // per-rank channels.
+        let cluster = run.span("cluster").unwrap();
+        assert!(cluster.find("cluster/gst_build").is_some());
+        assert!(cluster.find("cluster/master_worker").is_some());
+        assert_eq!(run.ranks.len(), 3);
+        // Table-1 counters agree with the report.
+        assert_eq!(run.counter("reads_in"), reads.len() as u64);
+        assert_eq!(run.counter("pairs_generated"), report.cluster_stats.generated);
+        assert_eq!(run.counter("pairs_aligned"), report.cluster_stats.aligned);
+        assert_eq!(run.counter("contigs"), report.total_contigs() as u64);
+        assert_eq!(run.counter("clusters"), report.clustering.clusters.len() as u64);
+        // The report's stage timings come from the same spans.
+        assert_eq!(report.cluster_seconds, cluster.wall_seconds);
     }
 
     #[test]
@@ -308,8 +490,10 @@ mod tests {
         let a = Pipeline::new(one).run(&reads, &[], &[]);
         let b = Pipeline::new(many).run(&reads, &[], &[]);
         assert_eq!(a.total_contigs(), b.total_contigs());
-        let lens_a: Vec<usize> = a.assemblies.iter().flat_map(|x| x.contigs.iter().map(|c| c.seq.len())).collect();
-        let lens_b: Vec<usize> = b.assemblies.iter().flat_map(|x| x.contigs.iter().map(|c| c.seq.len())).collect();
+        let lens_a: Vec<usize> =
+            a.assemblies.iter().flat_map(|x| x.contigs.iter().map(|c| c.seq.len())).collect();
+        let lens_b: Vec<usize> =
+            b.assemblies.iter().flat_map(|x| x.contigs.iter().map(|c| c.seq.len())).collect();
         assert_eq!(lens_a, lens_b);
     }
 }

@@ -25,23 +25,33 @@ use serde::{Deserialize, Serialize};
 
 /// Class pairs for *leaf* nodes: unordered over one suffix set —
 /// `c < c'`, plus (λ, λ) for pairs within the λ list.
-const LEAF_CLASS_PAIRS: [(usize, usize); 11] = [
-    (0, 1), (0, 2), (0, 3), (0, 4),
-    (1, 2), (1, 3), (1, 4),
-    (2, 3), (2, 4),
-    (3, 4),
-    (LAMBDA, LAMBDA),
-];
+const LEAF_CLASS_PAIRS: [(usize, usize); 11] =
+    [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (LAMBDA, LAMBDA)];
 
 /// Class pairs for *internal* nodes: ordered across two different
 /// children — all `c ≠ c'`, plus (λ, λ). Both orders are needed because
 /// the two sides draw from different children.
 const INTERNAL_CLASS_PAIRS: [(usize, usize); 21] = [
-    (0, 1), (0, 2), (0, 3), (0, 4),
-    (1, 0), (1, 2), (1, 3), (1, 4),
-    (2, 0), (2, 1), (2, 3), (2, 4),
-    (3, 0), (3, 1), (3, 2), (3, 4),
-    (4, 0), (4, 1), (4, 2), (4, 3),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 0),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (2, 0),
+    (2, 1),
+    (2, 3),
+    (2, 4),
+    (3, 0),
+    (3, 1),
+    (3, 2),
+    (3, 4),
+    (4, 0),
+    (4, 1),
+    (4, 2),
+    (4, 3),
     (LAMBDA, LAMBDA),
 ];
 
@@ -382,18 +392,11 @@ mod tests {
 
     #[test]
     fn all_matches_mode_equals_brute_force() {
-        let st = store(&[
-            "AAACGTACGTTTCCGG",
-            "CCACGTACGTAAGGCC",
-            "GGGGTTTTACGTACGT",
-            "TTACGTACTTACGTAC",
-        ]);
+        let st = store(&["AAACGTACGTTTCCGG", "CCACGTACGTAAGGCC", "GGGGTTTTACGTACGT", "TTACGTACTTACGTAC"]);
         let psi = 5;
         let pairs = generate_all(&st, 3, psi, GenMode::AllMatches);
-        let got: HashSet<(u32, u32, u32, u32, u32)> = pairs
-            .iter()
-            .map(|p| (p.a.0, p.b.0, p.a_pos, p.b_pos, p.match_len))
-            .collect();
+        let got: HashSet<(u32, u32, u32, u32, u32)> =
+            pairs.iter().map(|p| (p.a.0, p.b.0, p.a_pos, p.b_pos, p.match_len)).collect();
         assert_eq!(got.len(), pairs.len(), "AllMatches must not emit duplicates");
         let expected: HashSet<(u32, u32, u32, u32, u32)> = brute::all_maximal_matches(&st, psi)
             .iter()
@@ -404,11 +407,7 @@ mod tests {
 
     #[test]
     fn dup_elim_covers_all_distinct_pairs() {
-        let st = store(&[
-            "AAACGTACGTTTCCGGAACCGGTT",
-            "CCACGTACGTAAGGCCAACCGGTT",
-            "GGGGTTTTACGTACGTAACCGGTT",
-        ]);
+        let st = store(&["AAACGTACGTTTCCGGAACCGGTT", "CCACGTACGTAAGGCCAACCGGTT", "GGGGTTTTACGTACGTAACCGGTT"]);
         let psi = 5;
         let pairs = generate_all(&st, 3, psi, GenMode::DupElim);
         let got_pairs: HashSet<(u32, u32)> = pairs.iter().map(|p| (p.a.0, p.b.0)).collect();
@@ -482,11 +481,7 @@ mod tests {
 
     #[test]
     fn batch_interface_resumes_correctly() {
-        let st = store(&[
-            "AAACGTACGTTTCCGGAACCGGTT",
-            "CCACGTACGTAAGGCCAACCGGTT",
-            "GGGGTTTTACGTACGTAACCGGTT",
-        ]);
+        let st = store(&["AAACGTACGTTTCCGGAACCGGTT", "CCACGTACGTAAGGCCAACCGGTT", "GGGGTTTTACGTACGTAACCGGTT"]);
         let gst = Gst::build(&st, GstConfig { w: 3, psi: 4 });
         let all: Vec<_> = PairGenerator::new(gst, GenMode::AllMatches, |_, _| false).collect();
         let gst2 = Gst::build(&st, GstConfig { w: 3, psi: 4 });

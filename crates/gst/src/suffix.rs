@@ -34,9 +34,8 @@ pub fn enumerate_suffixes<'a>(
     seqs.iter().flat_map(move |&sid| {
         let codes = store.get(sid);
         // Precompute run end for each position by scanning runs.
-        RunSuffixes::new(codes, w).map(move |(pos, rem, key)| {
-            (key, Suffix { seq: sid.0, pos: pos as u32, rem: rem as u32 })
-        })
+        RunSuffixes::new(codes, w)
+            .map(move |(pos, rem, key)| (key, Suffix { seq: sid.0, pos: pos as u32, rem: rem as u32 }))
     })
 }
 

@@ -453,7 +453,10 @@ mod tests {
                 }
                 c
             };
-            if n.depth == 4 && n.first_child == NONE && count_class(0) + count_class(1) + count_class(LAMBDA) == 3 {
+            if n.depth == 4
+                && n.first_child == NONE
+                && count_class(0) + count_class(1) + count_class(LAMBDA) == 3
+            {
                 assert_eq!(count_class(0), 1, "one suffix preceded by A");
                 assert_eq!(count_class(1), 1, "one suffix preceded by C");
                 assert_eq!(count_class(LAMBDA), 1, "one suffix at position 0");

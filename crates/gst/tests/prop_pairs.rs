@@ -19,7 +19,10 @@ fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
 fn fragment_set() -> impl Strategy<Value = FragmentStore> {
     (
         proptest::collection::vec(dna(12..40), 2..7),
-        proptest::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0usize..20), 0..4),
+        proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0usize..20),
+            0..4,
+        ),
         proptest::collection::vec((any::<prop::sample::Index>(), 0usize..30, 1usize..6), 0..3),
     )
         .prop_map(|(mut seqs, copies, masks)| {

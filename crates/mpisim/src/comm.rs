@@ -1,9 +1,10 @@
 //! Ranks, point-to-point messaging, and collectives.
 
-use crate::model::CommStats;
+use crate::model::{CommStats, CostModel};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::VecDeque;
+use pgasm_telemetry::TagStat;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -15,6 +16,29 @@ const TAG_GATHER: u32 = RESERVED_TAG_BASE + 1;
 const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 2;
 const TAG_ALLTOALL_P2P: u32 = RESERVED_TAG_BASE + 3;
 const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 4;
+
+/// Human-readable name for a tag: collectives get their primitive's
+/// name, application tags render as `"tag<N>"` (callers owning an
+/// application protocol can relabel rows in their reports).
+pub fn tag_label(tag: u32) -> String {
+    match tag {
+        TAG_BCAST => "bcast".to_string(),
+        TAG_GATHER => "gather".to_string(),
+        TAG_ALLTOALL => "alltoall".to_string(),
+        TAG_ALLTOALL_P2P => "alltoall_p2p".to_string(),
+        TAG_REDUCE => "reduce".to_string(),
+        t => format!("tag{t}"),
+    }
+}
+
+/// Per-tag traffic counters (histogram row).
+#[derive(Debug, Clone, Copy, Default)]
+struct TagTraffic {
+    msgs_sent: u64,
+    bytes_sent: u64,
+    msgs_recv: u64,
+    bytes_recv: u64,
+}
 
 /// One received message.
 #[derive(Debug, Clone)]
@@ -37,6 +61,7 @@ pub struct Comm {
     backlog: VecDeque<Msg>,
     barrier: Arc<Barrier>,
     stats: CommStats,
+    tag_traffic: BTreeMap<u32, TagTraffic>,
 }
 
 impl Comm {
@@ -57,6 +82,25 @@ impl Comm {
         self.stats
     }
 
+    /// Per-tag traffic histogram with α–β modelled seconds per row,
+    /// ascending by tag. Collectives use distinct reserved tags, so
+    /// this doubles as a per-collective communication breakdown.
+    pub fn tag_stats(&self, model: &CostModel) -> Vec<TagStat> {
+        self.tag_traffic
+            .iter()
+            .map(|(&tag, t)| TagStat {
+                tag,
+                label: tag_label(tag),
+                msgs_sent: t.msgs_sent,
+                bytes_sent: t.bytes_sent,
+                msgs_recv: t.msgs_recv,
+                bytes_recv: t.bytes_recv,
+                modelled_seconds: (t.msgs_sent + t.msgs_recv) as f64 * model.latency_s
+                    + (t.bytes_sent + t.bytes_recv) as f64 / model.bandwidth_bytes_per_s,
+            })
+            .collect()
+    }
+
     /// Asynchronous send (like `MPI_Isend` with unbounded buffering).
     ///
     /// # Panics
@@ -70,6 +114,9 @@ impl Comm {
         assert!(dest < self.size, "destination {dest} out of range");
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
+        let row = self.tag_traffic.entry(tag).or_default();
+        row.msgs_sent += 1;
+        row.bytes_sent += data.len() as u64;
         let msg = Msg { src: self.rank, tag, data };
         if dest == self.rank {
             // Self-sends bypass the channel. This also means a rank holds
@@ -78,9 +125,7 @@ impl Comm {
             // fails fast instead of deadlocking the scope join.
             self.backlog.push_back(msg);
         } else {
-            self.senders[dest]
-                .send(msg)
-                .expect("receiving rank exited before communication completed");
+            self.senders[dest].send(msg).expect("receiving rank exited before communication completed");
         }
     }
 
@@ -129,6 +174,9 @@ impl Comm {
     fn note_recv(&mut self, m: &Msg) {
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += m.data.len() as u64;
+        let row = self.tag_traffic.entry(m.tag).or_default();
+        row.msgs_recv += 1;
+        row.bytes_recv += m.data.len() as u64;
     }
 
     /// Synchronise all ranks.
@@ -162,10 +210,10 @@ impl Comm {
             out[root] = Some(data);
             // Per-source receives: see all_to_allv_tagged for why
             // wildcard receives would race consecutive collectives.
-            for src in 0..self.size {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
                     let m = self.recv(Some(src), Some(TAG_GATHER));
-                    out[src] = Some(m.data);
+                    *slot = Some(m.data);
                 }
             }
             Some(out.into_iter().map(|b| b.expect("all ranks gathered")).collect())
@@ -204,19 +252,19 @@ impl Comm {
         assert_eq!(bufs.len(), self.size, "one payload per destination required");
         let mut out: Vec<Option<Bytes>> = vec![None; self.size];
         out[self.rank] = Some(std::mem::take(&mut bufs[self.rank]));
-        for dest in 0..self.size {
+        for (dest, buf) in bufs.iter_mut().enumerate() {
             if dest != self.rank {
-                self.send_raw(dest, tag, std::mem::take(&mut bufs[dest]));
+                self.send_raw(dest, tag, std::mem::take(buf));
             }
         }
         // Receive per explicit source: per-sender FIFO then keeps two
         // back-to-back collectives on the same tag from interleaving
         // (a wildcard receive could consume a fast rank's *next*-round
         // payload as this round's).
-        for src in 0..self.size {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != self.rank {
                 let m = self.recv(Some(src), Some(tag));
-                out[src] = Some(m.data);
+                *slot = Some(m.data);
             }
         }
         out.into_iter().map(|b| b.expect("complete exchange")).collect()
@@ -260,7 +308,7 @@ impl Comm {
 
 #[inline]
 fn matches(m: &Msg, src: Option<usize>, tag: Option<u32>) -> bool {
-    src.map_or(true, |s| s == m.src) && tag.map_or(true, |t| t == m.tag)
+    src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag)
 }
 
 /// Launch `p` ranks, run `f` on each, and return the per-rank results in
@@ -297,16 +345,14 @@ where
                 backlog: VecDeque::new(),
                 barrier: barrier.clone(),
                 stats: CommStats::default(),
+                tag_traffic: BTreeMap::new(),
             }
         })
         .collect();
     drop(txs);
     drop(dangling_tx);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| scope.spawn(move || f(&mut comm)))
-            .collect();
+        let handles: Vec<_> = comms.into_iter().map(|mut comm| scope.spawn(move || f(&mut comm))).collect();
         handles
             .into_iter()
             .map(|h| match h.join() {
@@ -414,9 +460,8 @@ mod tests {
     fn alltoallv_exchanges_payloads() {
         let p = 4;
         let out = run(p, |c| {
-            let bufs: Vec<Bytes> = (0..c.size())
-                .map(|d| Bytes::copy_from_slice(&[(c.rank() * 10 + d) as u8]))
-                .collect();
+            let bufs: Vec<Bytes> =
+                (0..c.size()).map(|d| Bytes::copy_from_slice(&[(c.rank() * 10 + d) as u8])).collect();
             let got = c.all_to_allv(bufs);
             got.iter().map(|b| b[0]).collect::<Vec<u8>>()
         });
@@ -450,6 +495,45 @@ mod tests {
         assert_eq!(sums, vec![10, 10, 10, 10]);
         let maxes = run(4, |c| c.allreduce_max((c.rank() as u64) * 7));
         assert_eq!(maxes, vec![21, 21, 21, 21]);
+    }
+
+    #[test]
+    fn tag_histogram_separates_collectives_and_app_tags() {
+        let rows = run(3, |c| {
+            c.broadcast(0, if c.rank() == 0 { Some(Bytes::from_static(b"abcd")) } else { None });
+            let _ = c.allreduce_sum(1);
+            if c.rank() == 0 {
+                c.send(1, 7, Bytes::from_static(b"xy"));
+            } else if c.rank() == 1 {
+                c.recv(Some(0), Some(7));
+            }
+            (c.tag_stats(&CostModel::BLUEGENE_L), c.stats())
+        });
+        let (rows, aggregates): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        // Rank 0: bcast sends to 2 ranks, reduce traffic, app tag 7 send.
+        let r0 = &rows[0];
+        let bcast = r0.iter().find(|t| t.label == "bcast").expect("bcast row");
+        assert_eq!(bcast.msgs_sent, 2);
+        assert_eq!(bcast.bytes_sent, 8);
+        let app = r0.iter().find(|t| t.label == "tag7").expect("app row");
+        assert_eq!(app.msgs_sent, 1);
+        assert_eq!(app.bytes_sent, 2);
+        assert!(r0.iter().any(|t| t.label == "reduce"));
+        // Rows are ascending by tag and modelled time is positive where
+        // traffic flowed.
+        assert!(r0.windows(2).all(|w| w[0].tag < w[1].tag));
+        assert!(r0.iter().all(|t| t.modelled_seconds > 0.0));
+        // Rank 1 saw the app message on the recv side.
+        let app1 = rows[1].iter().find(|t| t.label == "tag7").expect("app row on 1");
+        assert_eq!(app1.msgs_recv, 1);
+        assert_eq!(app1.bytes_recv, 2);
+        // On every rank the per-tag rows sum exactly to the aggregates.
+        for (row, agg) in rows.iter().zip(&aggregates) {
+            assert_eq!(row.iter().map(|t| t.msgs_sent).sum::<u64>(), agg.msgs_sent);
+            assert_eq!(row.iter().map(|t| t.bytes_sent).sum::<u64>(), agg.bytes_sent);
+            assert_eq!(row.iter().map(|t| t.msgs_recv).sum::<u64>(), agg.msgs_recv);
+            assert_eq!(row.iter().map(|t| t.bytes_recv).sum::<u64>(), agg.bytes_recv);
+        }
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod codec;
 pub mod comm;
 pub mod model;
 
-pub use comm::{run, Comm, Msg};
+pub use comm::{run, tag_label, Comm, Msg};
 pub use model::{thread_cpu_seconds, CommStats, CostModel};

@@ -47,28 +47,10 @@ impl CommStats {
     }
 }
 
-/// CPU time consumed by the *calling thread* so far, in seconds.
-///
-/// Ranks are threads that may timeshare a smaller number of physical
-/// cores; wall-clock intervals then overstate a rank's computation.
-/// Thread CPU time is immune to oversubscription, so per-rank compute
-/// costs stay meaningful on any host. Linux-specific
-/// (`/proc/thread-self/stat`, utime + stime at the conventional 100 Hz
-/// tick); returns 0.0 if the proc file cannot be read.
-pub fn thread_cpu_seconds() -> f64 {
-    let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") else {
-        return 0.0;
-    };
-    // The comm field "(...)" may contain spaces; parse after the last ')'.
-    let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
-        return 0.0;
-    };
-    let fields: Vec<&str> = rest.split_whitespace().collect();
-    // After the comm field: state is index 0, utime index 11, stime 12.
-    let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
-    (utime + stime) as f64 / 100.0
-}
+// The thread-CPU sampler lives in the telemetry crate (shared by every
+// layer that times work); re-exported here so rank code keeps its
+// historical import path.
+pub use pgasm_telemetry::thread_cpu_seconds;
 
 /// α–β interconnect model: a message of `b` bytes costs
 /// `latency + b / bandwidth` seconds.
@@ -109,8 +91,22 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = CommStats { msgs_sent: 1, bytes_sent: 10, msgs_recv: 2, bytes_recv: 20, wait_ns: 5, barrier_ns: 7 };
-        let b = CommStats { msgs_sent: 3, bytes_sent: 30, msgs_recv: 4, bytes_recv: 40, wait_ns: 1, barrier_ns: 2 };
+        let a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+            wait_ns: 5,
+            barrier_ns: 7,
+        };
+        let b = CommStats {
+            msgs_sent: 3,
+            bytes_sent: 30,
+            msgs_recv: 4,
+            bytes_recv: 40,
+            wait_ns: 1,
+            barrier_ns: 2,
+        };
         let m = a.merged(b);
         assert_eq!(m.msgs_sent, 4);
         assert_eq!(m.bytes_recv, 60);

@@ -114,7 +114,12 @@ impl Preprocessor {
         for (i, (seq, qual)) in reads.seqs.iter().zip(&reads.quals).enumerate() {
             match self.lucy.trim(seq, qual) {
                 TrimOutcome::Keep { start, end } => {
-                    trimmed.push((i, seq.slice(start, end), qual.slice(start, end), reads.provenance[i].kind));
+                    trimmed.push((
+                        i,
+                        seq.slice(start, end),
+                        qual.slice(start, end),
+                        reads.provenance[i].kind,
+                    ));
                 }
                 TrimOutcome::Reject => stats.rejected_by_trim += 1,
             }
@@ -165,10 +170,8 @@ mod tests {
 
     fn tiny_readset(seqs: Vec<DnaSeq>, kind: ReadKind) -> ReadSet {
         let quals = seqs.iter().map(|s| QualityTrack::uniform(s.len(), 40)).collect();
-        let provenance = seqs
-            .iter()
-            .map(|_| Provenance { genome: 0, start: 0, end: 0, reverse: false, kind })
-            .collect();
+        let provenance =
+            seqs.iter().map(|_| Provenance { genome: 0, start: 0, end: 0, reverse: false, kind }).collect();
         ReadSet { seqs, quals, provenance }
     }
 
@@ -195,11 +198,8 @@ mod tests {
             seqs.push(pgasm_simgen::genome::random_dna(&mut rng, 400));
         }
         let reads = tiny_readset(seqs, ReadKind::Wgs);
-        let cfg = PreprocessConfig {
-            stat_repeats: None,
-            ..PreprocessConfig::default()
-        };
-        let pp = Preprocessor::new(cfg, &[], &[repeat.clone()]);
+        let cfg = PreprocessConfig { stat_repeats: None, ..PreprocessConfig::default() };
+        let pp = Preprocessor::new(cfg, &[], std::slice::from_ref(&repeat));
         let out = pp.run(&reads);
         assert_eq!(out.stats.rejected_by_mask, 30, "pure-repeat reads must die");
         assert_eq!(out.store.num_seqs(), 5);
@@ -261,7 +261,11 @@ mod tests {
         }
         let reads = tiny_readset(seqs, ReadKind::Wgs);
         let cfg = PreprocessConfig {
-            stat_repeats: Some(StatRepeatConfig { sample_fraction: 0.3, threshold_factor: 4.0, ..Default::default() }),
+            stat_repeats: Some(StatRepeatConfig {
+                sample_fraction: 0.3,
+                threshold_factor: 4.0,
+                ..Default::default()
+            }),
             ..PreprocessConfig::default()
         };
         let pp = Preprocessor::new(cfg, &[], &[]);

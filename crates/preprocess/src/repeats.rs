@@ -81,11 +81,8 @@ impl RepeatLibrary {
         }
         let mean = counts.values().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
         let threshold = (mean * config.threshold_factor).max(2.0);
-        let kmers: HashSet<u64> = counts
-            .into_iter()
-            .filter(|&(_, c)| c as f64 > threshold)
-            .map(|(k, _)| k)
-            .collect();
+        let kmers: HashSet<u64> =
+            counts.into_iter().filter(|&(_, c)| c as f64 > threshold).map(|(k, _)| k).collect();
         RepeatLibrary { k: config.k, kmers }
     }
 
@@ -153,7 +150,7 @@ mod tests {
     #[test]
     fn known_library_masks_copies() {
         let repeat = DnaSeq::from("ACGTTGCAAGGCTTACGGATCGAT");
-        let lib = RepeatLibrary::from_known(8, &[repeat.clone()]);
+        let lib = RepeatLibrary::from_known(8, std::slice::from_ref(&repeat));
         let mut read = DnaSeq::from("TTTTTTTT");
         read.extend_from(&repeat);
         read.extend_from(&DnaSeq::from("GGGGGGGG"));
@@ -166,7 +163,7 @@ mod tests {
     #[test]
     fn reverse_complement_copies_also_masked() {
         let repeat = DnaSeq::from("ACGTTGCAAGGCTTACGGATCGAT");
-        let lib = RepeatLibrary::from_known(8, &[repeat.clone()]);
+        let lib = RepeatLibrary::from_known(8, std::slice::from_ref(&repeat));
         let mut read = repeat.reverse_complement();
         let masked = lib.mask(&mut read);
         assert_eq!(masked, repeat.len());

@@ -95,9 +95,7 @@ impl DnaSeq {
     /// double-stranded, and fragments may have been sequenced from either
     /// strand, so the assembly pipeline indexes both orientations (§5).
     pub fn reverse_complement(&self) -> DnaSeq {
-        DnaSeq {
-            codes: self.codes.iter().rev().map(|&c| complement_code(c)).collect(),
-        }
+        DnaSeq { codes: self.codes.iter().rev().map(|&c| complement_code(c)).collect() }
     }
 
     /// Mask positions `[start, end)`.
@@ -171,8 +169,13 @@ impl fmt::Debug for DnaSeq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ascii = self.to_ascii();
         let shown = if ascii.len() > 60 { &ascii[..60] } else { &ascii[..] };
-        write!(f, "DnaSeq(len={}, {}{})", self.len(), String::from_utf8_lossy(shown),
-            if ascii.len() > 60 { "…" } else { "" })
+        write!(
+            f,
+            "DnaSeq(len={}, {}{})",
+            self.len(),
+            String::from_utf8_lossy(shown),
+            if ascii.len() > 60 { "…" } else { "" }
+        )
     }
 }
 

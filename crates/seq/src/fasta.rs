@@ -46,7 +46,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
         } else if header.is_some() {
             seq.extend_from_slice(line.as_bytes());
         } else if !line.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "sequence data before first FASTA header"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sequence data before first FASTA header",
+            ));
         }
     }
     if let Some(prev) = header.take() {
@@ -85,9 +88,8 @@ pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
         let seq_line = lines
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing sequence line"))??;
-        let plus = lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing + line"))??;
+        let plus =
+            lines.next().ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing + line"))??;
         if !plus.starts_with('+') {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "expected + separator"));
         }

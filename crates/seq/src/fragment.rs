@@ -147,7 +147,7 @@ impl FragmentStore {
     pub fn seq_to_fragment(&self, id: SeqId) -> (FragId, Strand) {
         if self.double_stranded {
             let frag = FragId(id.0 / 2);
-            let strand = if id.0 % 2 == 0 { Strand::Forward } else { Strand::Reverse };
+            let strand = if id.0.is_multiple_of(2) { Strand::Forward } else { Strand::Reverse };
             (frag, strand)
         } else {
             (FragId(id.0), Strand::Forward)
@@ -238,11 +238,7 @@ mod tests {
     use super::*;
 
     fn store3() -> FragmentStore {
-        FragmentStore::from_seqs(vec![
-            DnaSeq::from("ACGT"),
-            DnaSeq::from("GGGTTT"),
-            DnaSeq::from("A"),
-        ])
+        FragmentStore::from_seqs(vec![DnaSeq::from("ACGT"), DnaSeq::from("GGGTTT"), DnaSeq::from("A")])
     }
 
     #[test]

@@ -114,9 +114,8 @@ mod tests {
         let s = DnaSeq::from("ACGTACGTTGCA");
         let k = 4;
         let rolled: Vec<_> = KmerIter::new(s.codes(), k).collect();
-        let naive: Vec<_> = (0..=s.len() - k)
-            .filter_map(|i| pack_kmer(&s.codes()[i..i + k]).map(|p| (i, p)))
-            .collect();
+        let naive: Vec<_> =
+            (0..=s.len() - k).filter_map(|i| pack_kmer(&s.codes()[i..i + k]).map(|p| (i, p))).collect();
         assert_eq!(rolled, naive);
     }
 
@@ -126,9 +125,8 @@ mod tests {
         let k = 3;
         let rolled: Vec<_> = KmerIter::new(s.codes(), k).collect();
         // Windows overlapping the N at index 3 are skipped.
-        let naive: Vec<_> = (0..=s.len() - k)
-            .filter_map(|i| pack_kmer(&s.codes()[i..i + k]).map(|p| (i, p)))
-            .collect();
+        let naive: Vec<_> =
+            (0..=s.len() - k).filter_map(|i| pack_kmer(&s.codes()[i..i + k]).map(|p| (i, p))).collect();
         assert_eq!(rolled, naive);
         assert_eq!(rolled.len(), 3); // ACG, ACG, CGT
     }

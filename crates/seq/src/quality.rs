@@ -72,7 +72,7 @@ impl QualityTrack {
         let close_run = |run_start: &mut Option<usize>, end: usize, best: &mut Option<(usize, usize)>| {
             if let Some(s) = run_start.take() {
                 let candidate = (s, end);
-                if best.map_or(true, |(bs, be)| candidate.1 - candidate.0 > be - bs) {
+                if best.is_none_or(|(bs, be)| candidate.1 - candidate.0 > be - bs) {
                     *best = Some(candidate);
                 }
             }
@@ -151,9 +151,9 @@ mod tests {
     fn best_window_picks_longest_run() {
         // 10 good, 10 bad, 20 good: the second run should win.
         let mut v = Vec::new();
-        v.extend(std::iter::repeat(40u8).take(10));
-        v.extend(std::iter::repeat(2u8).take(10));
-        v.extend(std::iter::repeat(40u8).take(20));
+        v.extend(std::iter::repeat_n(40u8, 10));
+        v.extend(std::iter::repeat_n(2u8, 10));
+        v.extend(std::iter::repeat_n(40u8, 20));
         let q = QualityTrack::from_values(v);
         let (s, e) = q.best_window(5, 30.0).unwrap();
         // The window mean tolerates one low base at the boundary, so the

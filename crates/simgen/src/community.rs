@@ -29,7 +29,12 @@ pub struct CommunitySpec {
 impl CommunitySpec {
     /// A small test-scale community.
     pub fn small() -> CommunitySpec {
-        CommunitySpec { species: 12, genome_len: (8_000, 20_000), abundance_alpha: 1.0, repeat_fraction: 0.05 }
+        CommunitySpec {
+            species: 12,
+            genome_len: (8_000, 20_000),
+            abundance_alpha: 1.0,
+            repeat_fraction: 0.05,
+        }
     }
 }
 

@@ -187,12 +187,7 @@ mod tests {
         // Uniform q10 → 10% substitutions (+ some indels).
         let q10 = QualityTrack::uniform(t.len(), 10);
         let (read, _) = ErrorModel::SANGER.corrupt_quality_linked(&t, &q10, &mut rng);
-        let diff = read
-            .codes()
-            .iter()
-            .zip(t.codes())
-            .filter(|(a, b)| a != b)
-            .count() as f64;
+        let diff = read.codes().iter().zip(t.codes()).filter(|(a, b)| a != b).count() as f64;
         // Indels shift frames, so compare only loosely: well above 5%.
         assert!(diff / t.len() as f64 > 0.05, "q10 rate too low");
         // Uniform q40 → ~1e-4: essentially clean. A rare indel would

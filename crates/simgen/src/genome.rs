@@ -82,11 +82,7 @@ impl Genome {
             }
             let at = rng.gen_range(0..spec.length - fam.len());
             for (i, &c) in fam.codes().iter().enumerate() {
-                let c = if rng.gen_bool(spec.repeat_identity) {
-                    c
-                } else {
-                    random_other_base(&mut rng, c)
-                };
+                let c = if rng.gen_bool(spec.repeat_identity) { c } else { random_other_base(&mut rng, c) };
                 seq.codes_mut()[at + i] = c;
             }
             repeats.push((at, at + fam.len()));
@@ -111,10 +107,7 @@ impl Genome {
                 continue;
             }
             // Reject island placements that are mostly repeat.
-            let rep_overlap: usize = repeats
-                .iter()
-                .map(|&(s, e)| overlap_len(candidate, (s, e)))
-                .sum();
+            let rep_overlap: usize = repeats.iter().map(|&(s, e)| overlap_len(candidate, (s, e))).sum();
             if rep_overlap * 2 > len {
                 continue;
             }

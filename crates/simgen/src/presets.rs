@@ -39,7 +39,7 @@ pub fn maize_like(genome_len: usize, n_reads: usize, seed: u64) -> Dataset {
         repeat_identity: 0.985,
         islands: (genome_len / 8_000).max(3),
         island_len: (1_500, 4_000),
-        };
+    };
     let genome = Genome::generate(&spec, seed);
     let config = SamplerConfig::default_scaled();
     let mut sampler = Sampler::new(&genome, config, seed.wrapping_add(1));
@@ -52,7 +52,11 @@ pub fn maize_like(genome_len: usize, n_reads: usize, seed: u64) -> Dataset {
     let reads_per_clone = 12usize;
     reads.extend(sampler.bac((n_bac / reads_per_clone).max(1), reads_per_clone));
     reads.extend(sampler.wgs(n_wgs));
-    Dataset { name: format!("maize-like ({} bp genome, {} reads)", genome_len, reads.len()), reads, genomes: vec![genome] }
+    Dataset {
+        name: format!("maize-like ({} bp genome, {} reads)", genome_len, reads.len()),
+        reads,
+        genomes: vec![genome],
+    }
 }
 
 /// Drosophila-like data (§9.1): a moderately repetitive genome
@@ -73,18 +77,18 @@ pub fn drosophila_like(genome_len: usize, coverage: f64, seed: u64) -> Dataset {
     let n = ((genome_len as f64 * coverage) / avg_len as f64).ceil() as usize;
     let mut sampler = Sampler::new(&genome, config, seed.wrapping_add(1));
     let reads = sampler.wgs(n);
-    Dataset { name: format!("drosophila-like ({} bp genome, {:.1}x)", genome_len, coverage), reads, genomes: vec![genome] }
+    Dataset {
+        name: format!("drosophila-like ({} bp genome, {:.1}x)", genome_len, coverage),
+        reads,
+        genomes: vec![genome],
+    }
 }
 
 /// Sargasso-like environmental data (§9.2): many species, power-law
 /// abundances, uniform WGS within each.
 pub fn sargasso_like(species: usize, n_reads: usize, seed: u64) -> Dataset {
-    let spec = CommunitySpec {
-        species,
-        genome_len: (15_000, 60_000),
-        abundance_alpha: 1.0,
-        repeat_fraction: 0.03,
-    };
+    let spec =
+        CommunitySpec { species, genome_len: (15_000, 60_000), abundance_alpha: 1.0, repeat_fraction: 0.03 };
     let community = Community::generate(&spec, seed);
     let reads = community.sample_wgs(n_reads, &SamplerConfig::default_scaled(), seed.wrapping_add(1));
     Dataset {

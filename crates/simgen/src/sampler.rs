@@ -140,11 +140,12 @@ impl<'g> Sampler<'g> {
         assert!(matches!(kind, ReadKind::Mf | ReadKind::Hc));
         let mut out = ReadSet::default();
         for _ in 0..n {
-            let (start, len) = if !self.genome.islands.is_empty() && self.rng.gen_bool(self.config.island_bias) {
-                self.draw_island_window()
-            } else {
-                self.draw_uniform_window()
-            };
+            let (start, len) =
+                if !self.genome.islands.is_empty() && self.rng.gen_bool(self.config.island_bias) {
+                    self.draw_island_window()
+                } else {
+                    self.draw_uniform_window()
+                };
             self.emit(&mut out, start, len, kind);
         }
         out
@@ -157,7 +158,11 @@ impl<'g> Sampler<'g> {
     /// sub-clone's 5' end and the second is the reverse complement of
     /// its 3' end. Returns the reads plus `(read1, read2, insert)`
     /// links indexing into the returned set.
-    pub fn mate_pairs(&mut self, n_pairs: usize, insert: (usize, usize)) -> (ReadSet, Vec<(usize, usize, u32)>) {
+    pub fn mate_pairs(
+        &mut self,
+        n_pairs: usize,
+        insert: (usize, usize),
+    ) -> (ReadSet, Vec<(usize, usize, u32)>) {
         let mut out = ReadSet::default();
         let mut links = Vec::with_capacity(n_pairs);
         let glen = self.genome.len();
@@ -195,8 +200,8 @@ impl<'g> Sampler<'g> {
             for r in 0..reads_per_clone {
                 let rl = self.draw_read_len().min(clen);
                 let start = match r {
-                    0 => cstart,                         // 5' clone end
-                    1 => cstart + clen - rl,             // 3' clone end
+                    0 => cstart,             // 5' clone end
+                    1 => cstart + clen - rl, // 3' clone end
                     _ => cstart + self.rng.gen_range(0..=clen - rl),
                 };
                 self.emit(&mut out, start, rl, ReadKind::Bac);
@@ -211,11 +216,7 @@ impl<'g> Sampler<'g> {
 
     fn draw_uniform_window(&mut self) -> (usize, usize) {
         let len = self.draw_read_len().min(self.genome.len());
-        let start = if self.genome.len() > len {
-            self.rng.gen_range(0..self.genome.len() - len)
-        } else {
-            0
-        };
+        let start = if self.genome.len() > len { self.rng.gen_range(0..self.genome.len() - len) } else { 0 };
         (start, len)
     }
 
@@ -224,7 +225,8 @@ impl<'g> Sampler<'g> {
         let len = self.draw_read_len();
         // Start anywhere such that the read intersects the island.
         let lo = s.saturating_sub(len / 4);
-        let hi = (e.saturating_sub(len / 2)).max(lo + 1).min(self.genome.len().saturating_sub(len).max(lo + 1));
+        let hi =
+            (e.saturating_sub(len / 2)).max(lo + 1).min(self.genome.len().saturating_sub(len).max(lo + 1));
         let start = self.rng.gen_range(lo..hi);
         let len = len.min(self.genome.len() - start);
         (start, len)
@@ -242,7 +244,8 @@ impl<'g> Sampler<'g> {
         // Quality-linked errors: draw the phred profile first, then
         // corrupt each base at its phred error probability.
         let profile = self.config.errors.qualities(template.len(), &mut self.rng);
-        let (mut read, mut qual) = self.config.errors.corrupt_quality_linked(&template, &profile, &mut self.rng);
+        let (mut read, mut qual) =
+            self.config.errors.corrupt_quality_linked(&template, &profile, &mut self.rng);
         if let Some(v) = &self.config.vector {
             let (r, q) = v.contaminate(read, qual, &mut self.rng);
             read = r;
@@ -301,11 +304,8 @@ mod tests {
         cfg.island_bias = 0.95;
         let mut s = Sampler::new(&g, cfg, 11);
         let reads = s.enriched(400, ReadKind::Mf);
-        let in_island = reads
-            .provenance
-            .iter()
-            .filter(|p| g.in_island(((p.start + p.end) / 2) as usize))
-            .count();
+        let in_island =
+            reads.provenance.iter().filter(|p| g.in_island(((p.start + p.end) / 2) as usize)).count();
         // Islands cover ~30–40% of the 50 kb genome; with bias 0.95 the
         // majority of reads must hit them.
         assert!(in_island * 2 > reads.len(), "{in_island}/{}", reads.len());

@@ -31,20 +31,19 @@ pub struct VectorModel {
 
 impl Default for VectorModel {
     fn default() -> Self {
-        VectorModel {
-            p5_prob: 0.7,
-            p5_len: (20, 80),
-            p3_prob: 0.15,
-            p3_len: (10, 40),
-            vector_quality: 30,
-        }
+        VectorModel { p5_prob: 0.7, p5_len: (20, 80), p3_prob: 0.15, p3_len: (10, 40), vector_quality: 30 }
     }
 }
 
 impl VectorModel {
     /// Contaminate a read: returns the possibly-extended read and its
     /// quality track.
-    pub fn contaminate(&self, read: DnaSeq, qual: QualityTrack, rng: &mut impl Rng) -> (DnaSeq, QualityTrack) {
+    pub fn contaminate(
+        &self,
+        read: DnaSeq,
+        qual: QualityTrack,
+        rng: &mut impl Rng,
+    ) -> (DnaSeq, QualityTrack) {
         let vector = DnaSeq::from(VECTOR_SEQ);
         let mut seq = DnaSeq::with_capacity(read.len() + 120);
         let mut q: Vec<u8> = Vec::with_capacity(read.len() + 120);
@@ -54,14 +53,14 @@ impl VectorModel {
             // off the vector into the insert).
             let start = vector.len() - len;
             seq.extend_from(&vector.slice(start, vector.len()));
-            q.extend(std::iter::repeat(self.vector_quality).take(len));
+            q.extend(std::iter::repeat_n(self.vector_quality, len));
         }
         seq.extend_from(&read);
         q.extend_from_slice(qual.values());
         if rng.gen_bool(self.p3_prob) {
             let len = rng.gen_range(self.p3_len.0..=self.p3_len.1).min(vector.len());
             seq.extend_from(&vector.slice(0, len));
-            q.extend(std::iter::repeat(self.vector_quality).take(len));
+            q.extend(std::iter::repeat_n(self.vector_quality, len));
         }
         (seq, QualityTrack::from_values(q))
     }
@@ -95,10 +94,7 @@ mod tests {
             three
         };
         let vector = DnaSeq::from(VECTOR_SEQ);
-        assert_eq!(
-            &seq.codes()[..prefix_len],
-            &vector.codes()[vector.len() - prefix_len..]
-        );
+        assert_eq!(&seq.codes()[..prefix_len], &vector.codes()[vector.len() - prefix_len..]);
     }
 
     #[test]

@@ -29,11 +29,8 @@ fn main() {
         assembly_threads: 2,
         ..Default::default()
     });
-    let report = pipeline.run(
-        &dataset.reads,
-        &[DnaSeq::from(VECTOR_SEQ)],
-        &dataset.genomes[0].repeat_library,
-    );
+    let report =
+        pipeline.run(&dataset.reads, &[DnaSeq::from(VECTOR_SEQ)], &dataset.genomes[0].repeat_library);
 
     // Preprocessing accounting (the paper's Table 2).
     if let Some(pp) = &report.preprocess {
@@ -41,7 +38,10 @@ fn main() {
         for (label, nb, _, na, _) in pp.table_rows() {
             println!("  {label:>4}: {na:>4} of {nb:>4} ({:.0}%)", 100.0 * na as f64 / nb.max(1) as f64);
         }
-        println!("  rejected by trimming: {}, invalidated by masking: {}", pp.rejected_by_trim, pp.rejected_by_mask);
+        println!(
+            "  rejected by trimming: {}, invalidated by masking: {}",
+            pp.rejected_by_trim, pp.rejected_by_mask
+        );
     }
 
     // Clustering summary (§8).

@@ -49,10 +49,8 @@ fn main() {
     let mut mixed = 0usize;
     let mut clusters_per_species: HashMap<u32, usize> = HashMap::new();
     for cluster in clustering.non_singletons() {
-        let species: std::collections::HashSet<u32> = cluster
-            .iter()
-            .map(|&f| dataset.reads.provenance[out.origin[f as usize]].genome)
-            .collect();
+        let species: std::collections::HashSet<u32> =
+            cluster.iter().map(|&f| dataset.reads.provenance[out.origin[f as usize]].genome).collect();
         if species.len() == 1 {
             pure += 1;
             *clusters_per_species.entry(*species.iter().next().unwrap()).or_default() += 1;

@@ -36,8 +36,8 @@ fn main() {
 
     let model = CostModel::BLUEGENE_L;
     for p in [2usize, 4, 8] {
-        let cfg = MasterWorkerConfig { params, batch: 64, pending_cap: 4096 };
-        let report = cluster_parallel(&store, p, &cfg);
+        let cfg = MasterWorkerConfig { batch: 64, pending_cap: 4096 };
+        let report = cluster_parallel(&store, p, &params, &cfg);
         assert_eq!(report.clustering, serial, "parallel clustering must equal serial");
         let master = &report.comm[0];
         let worker_bytes: u64 = report.comm[1..].iter().map(|c| c.bytes_sent).sum();
@@ -48,12 +48,7 @@ fn main() {
             master.bytes_recv / 1024,
             master.bytes_sent / 1024,
             worker_bytes / 1024,
-            report
-                .comm
-                .iter()
-                .map(|c| model.comm_time(c))
-                .fold(0.0, f64::max)
-                * 1e3,
+            report.comm.iter().map(|c| model.comm_time(c)).fold(0.0, f64::max) * 1e3,
         );
     }
     println!("parallel == serial for every p: OK");

@@ -94,7 +94,12 @@ fn main() {
                 let read = report.origin[members[p.read] as usize];
                 placements.insert(
                     read,
-                    ReadPlacement { contig: id, offset: p.offset, flipped: p.flipped, len: surviving.seqs[read].len() },
+                    ReadPlacement {
+                        contig: id,
+                        offset: p.offset,
+                        flipped: p.flipped,
+                        len: surviving.seqs[read].len(),
+                    },
                 );
                 true_start = true_start.min(surviving.provenance[read].start);
             }
@@ -124,10 +129,7 @@ fn main() {
             t
         };
         let reversed: Vec<u32> = sorted.iter().rev().copied().collect();
-        assert!(
-            truth == sorted || truth == reversed,
-            "scaffold order {truth:?} does not match genome order"
-        );
+        assert!(truth == sorted || truth == reversed, "scaffold order {truth:?} does not match genome order");
     }
     let largest = multi.iter().map(|s| s.len()).max().unwrap_or(1);
     println!("largest scaffold chains {largest} contigs; order matches the genome: OK");

@@ -61,13 +61,15 @@ USAGE:
                  [--genome-out <genome.fasta>] [--scale <f64>] [--seed <u64>]
   pgasm cluster  --reads <reads.fastq> [--out <clusters.txt>] [--ranks <p>]
                  [--w <n>] [--psi <n>] [--min-identity <f>] [--min-overlap <n>]
-                 [--no-preprocess]
+                 [--no-preprocess] [--metrics-json <report.json>]
   pgasm assemble --reads <reads.fastq> --out <contigs.fasta> [same options]
 
 generate writes a synthetic sequencing project (reads as FASTQ; optionally
 the reference genome(s) as FASTA). cluster runs preprocessing + clustering
 and writes one cluster per line. assemble additionally runs the per-cluster
-serial assembler and writes contigs as FASTA.";
+serial assembler and writes contigs as FASTA. --metrics-json writes the
+structured run report (per-stage wall/CPU spans, Table-1 counters, and —
+with --ranks — per-rank idle time and per-tag communication) as JSON.";
 
 #[derive(Default)]
 struct Opts {
@@ -120,7 +122,9 @@ fn generate(opts: &Opts) -> Result<(), String> {
     let dataset = match kind {
         "maize" => presets::maize_like((200_000.0 * scale) as usize, (400.0 * scale) as usize, seed),
         "drosophila" => presets::drosophila_like((100_000.0 * scale) as usize, 8.8, seed),
-        "sargasso" => presets::sargasso_like(((16.0 * scale) as usize).max(2), (1_500.0 * scale) as usize, seed),
+        "sargasso" => {
+            presets::sargasso_like(((16.0 * scale) as usize).max(2), (1_500.0 * scale) as usize, seed)
+        }
         other => return Err(format!("unknown --kind '{other}' (maize|drosophila|sargasso)")),
     };
     let records: Vec<FastqRecord> = dataset
@@ -163,7 +167,8 @@ fn generate(opts: &Opts) -> Result<(), String> {
 
 fn read_reads(path: &str) -> Result<ReadSet, String> {
     let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let records = pgasm::seq::fasta::read_fastq(BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"))?;
+    let records =
+        pgasm::seq::fasta::read_fastq(BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"))?;
     let mut reads = ReadSet::default();
     for r in records {
         reads.provenance.push(pgasm::simgen::Provenance {
@@ -189,11 +194,8 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
     cluster.criteria.min_identity = opts.parse_or("min-identity", cluster.criteria.min_identity)?;
     cluster.criteria.min_overlap = opts.parse_or("min-overlap", cluster.criteria.min_overlap)?;
     let ranks: usize = opts.parse_or("ranks", 0)?;
-    let preprocess = if opts.get("no-preprocess").is_some() {
-        None
-    } else {
-        Some(PreprocessConfig::default())
-    };
+    let preprocess =
+        if opts.get("no-preprocess").is_some() { None } else { Some(PreprocessConfig::default()) };
     Ok(PipelineConfig {
         preprocess,
         cluster,
@@ -203,16 +205,22 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
     })
 }
 
-fn run_pipeline(opts: &Opts) -> Result<(pgasm::cluster::PipelineReport, ReadSet), String> {
+fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineReport, ReadSet), String> {
     let reads = read_reads(opts.require("reads")?)?;
     let config = pipeline_config(opts)?;
     let pipeline = Pipeline::new(config);
-    let report = pipeline.run(&reads, &[DnaSeq::from(VECTOR_SEQ)], &[]);
+    let mut ctx = pgasm::telemetry::RunContext::new(label);
+    let report = pipeline.run_with_context(&reads, &[DnaSeq::from(VECTOR_SEQ)], &[], &mut ctx);
+    if let Some(path) = opts.get("metrics-json") {
+        let run_report = ctx.finish();
+        run_report.write_json(std::path::Path::new(path)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote run report to {path}");
+    }
     Ok((report, reads))
 }
 
 fn cluster(opts: &Opts) -> Result<(), String> {
-    let (report, _reads) = run_pipeline(opts)?;
+    let (report, _reads) = run_pipeline(opts, "pgasm cluster")?;
     let s = report.cluster_stats;
     println!(
         "clustered {} fragments: {} clusters, {} singletons (largest {:.1}%)",
@@ -232,7 +240,8 @@ fn cluster(opts: &Opts) -> Result<(), String> {
         use std::io::Write;
         let mut f = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);
         for cluster in &report.clustering.clusters {
-            let reads: Vec<String> = cluster.iter().map(|&frag| format!("read{}", report.origin[frag as usize])).collect();
+            let reads: Vec<String> =
+                cluster.iter().map(|&frag| format!("read{}", report.origin[frag as usize])).collect();
             writeln!(f, "{}", reads.join("\t")).map_err(|e| format!("write {out}: {e}"))?;
         }
         println!("wrote cluster membership to {out}");
@@ -242,7 +251,7 @@ fn cluster(opts: &Opts) -> Result<(), String> {
 
 fn assemble(opts: &Opts) -> Result<(), String> {
     let out = opts.require("out")?.to_string();
-    let (report, _reads) = run_pipeline(opts)?;
+    let (report, _reads) = run_pipeline(opts, "pgasm assemble")?;
     let mut records = Vec::new();
     for (ci, assembly) in report.assemblies.iter().enumerate() {
         for (j, contig) in assembly.contigs.iter().enumerate() {

@@ -20,6 +20,8 @@
 //! - [`cluster`] — the paper's contribution: serial and master–worker
 //!   parallel clustering, and the end-to-end pipeline.
 //! - [`assemble`] — the per-cluster serial OLC assembler (CAP3 stand-in).
+//! - [`telemetry`] — the run-report layer: hierarchical span timers,
+//!   counters, per-rank channels, and their JSON encoding.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -32,3 +34,4 @@ pub use pgasm_mpisim as mpisim;
 pub use pgasm_preprocess as preprocess;
 pub use pgasm_seq as seq;
 pub use pgasm_simgen as simgen;
+pub use pgasm_telemetry as telemetry;

@@ -54,7 +54,7 @@ proptest! {
         let s = Scoring::DEFAULT;
         let full = overlap_align(a.codes(), b.codes(), &s);
         let diag = (a.len() - shared) as i64 + wobble;
-        let band = (a.len() + b.len()) as usize;
+        let band = a.len() + b.len();
         let banded = banded_overlap_align(a.codes(), b.codes(), diag, band, &s);
         prop_assert_eq!(full.score, banded.score);
         prop_assert_eq!(full.overlap_len, banded.overlap_len);

@@ -105,7 +105,11 @@ fn parallel_pipeline_equals_serial_with_artifacts() {
     let reads = sampler.enriched(60, ReadKind::Mf);
     let make = |ranks: Option<usize>| {
         Pipeline::new(PipelineConfig {
-            preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+            preprocess: Some(PreprocessConfig {
+                stat_repeats: None,
+                min_unmasked_run: 40,
+                ..Default::default()
+            }),
             cluster: test_params(),
             parallel_ranks: ranks,
             assembly_threads: 1,
@@ -125,15 +129,39 @@ fn repeat_masking_prevents_chaining() {
     // must end up in different clusters when masking is on.
     let mut genome_seq = pgasm::seq::DnaSeq::new();
     let g1 = Genome::generate(
-        &GenomeSpec { length: 3_000, repeat_fraction: 0.0, repeat_families: 0, repeat_len: (10, 20), repeat_identity: 1.0, islands: 0, island_len: (1, 2) },
+        &GenomeSpec {
+            length: 3_000,
+            repeat_fraction: 0.0,
+            repeat_families: 0,
+            repeat_len: (10, 20),
+            repeat_identity: 1.0,
+            islands: 0,
+            island_len: (1, 2),
+        },
         10,
     );
     let repeat = Genome::generate(
-        &GenomeSpec { length: 400, repeat_fraction: 0.0, repeat_families: 0, repeat_len: (10, 20), repeat_identity: 1.0, islands: 0, island_len: (1, 2) },
+        &GenomeSpec {
+            length: 400,
+            repeat_fraction: 0.0,
+            repeat_families: 0,
+            repeat_len: (10, 20),
+            repeat_identity: 1.0,
+            islands: 0,
+            island_len: (1, 2),
+        },
         11,
     );
     let g2 = Genome::generate(
-        &GenomeSpec { length: 3_000, repeat_fraction: 0.0, repeat_families: 0, repeat_len: (10, 20), repeat_identity: 1.0, islands: 0, island_len: (1, 2) },
+        &GenomeSpec {
+            length: 3_000,
+            repeat_fraction: 0.0,
+            repeat_families: 0,
+            repeat_len: (10, 20),
+            repeat_identity: 1.0,
+            islands: 0,
+            island_len: (1, 2),
+        },
         12,
     );
     // Layout: [island1][repeat]....gap....[repeat][island2]
@@ -150,11 +178,17 @@ fn repeat_masking_prevents_chaining() {
     };
     let mut cfg = SamplerConfig::clean();
     cfg.read_len = (150, 250);
+    // ~6x coverage: enough that reads land inside both repeat copies
+    // and chain the islands whenever masking is off.
     let mut sampler = Sampler::new(&genome, cfg, 13);
-    let reads = sampler.wgs(120);
+    let reads = sampler.wgs(300);
     let run = |known: &[DnaSeq]| {
         Pipeline::new(PipelineConfig {
-            preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+            preprocess: Some(PreprocessConfig {
+                stat_repeats: None,
+                min_unmasked_run: 40,
+                ..Default::default()
+            }),
             cluster: test_params(),
             parallel_ranks: None,
             assembly_threads: 1,

@@ -1,0 +1,108 @@
+//! End-to-end telemetry: the pipeline's run report is serialisable and
+//! self-consistent, and the Table-1 work counters are engine-independent
+//! — a serial run and a master–worker run on the same seed tally the
+//! same pairs generated / aligned / accepted.
+
+use pgasm::cluster::{
+    cluster_parallel, cluster_serial, ClusterParams, MasterWorkerConfig, Pipeline, PipelineConfig,
+};
+use pgasm::gst::{GenMode, GstConfig};
+use pgasm::simgen::genome::{Genome, GenomeSpec};
+use pgasm::simgen::sampler::{Sampler, SamplerConfig};
+use pgasm::telemetry::{RunContext, RunReport};
+
+fn test_store(seed: u64, n: usize) -> pgasm::seq::FragmentStore {
+    let genome = Genome::generate(
+        &GenomeSpec {
+            length: 9_000,
+            repeat_fraction: 0.1,
+            repeat_families: 2,
+            repeat_len: (80, 160),
+            repeat_identity: 0.99,
+            islands: 0,
+            island_len: (1, 2),
+        },
+        seed,
+    );
+    let mut cfg = SamplerConfig::clean();
+    cfg.read_len = (130, 210);
+    let mut sampler = Sampler::new(&genome, cfg, seed + 1);
+    sampler.wgs(n).to_store()
+}
+
+/// §7's protocol reorders alignment work across workers, so counters
+/// could legitimately drift in the plain engine (the cluster-check skip
+/// depends on merge timing). Geometric mode aligns *every* generated
+/// pair and resolves deterministically, making generated / aligned /
+/// accepted schedule-independent — they must match the serial run
+/// exactly, per rank-summed telemetry too.
+#[test]
+fn work_counters_identical_between_serial_and_parallel() {
+    let store = test_store(11, 60);
+    let params = ClusterParams {
+        gst: GstConfig { w: 8, psi: 14 },
+        mode: GenMode::AllMatches,
+        resolve_inconsistent: true,
+        ..Default::default()
+    };
+    let (serial_clustering, serial_stats) = cluster_serial(&store, &params);
+    let config = MasterWorkerConfig { batch: 8, pending_cap: 128 };
+    let report = cluster_parallel(&store, 3, &params, &config);
+
+    assert_eq!(report.clustering, serial_clustering);
+    assert_eq!(report.stats.generated, serial_stats.generated);
+    assert_eq!(report.stats.aligned, serial_stats.aligned);
+    assert_eq!(report.stats.accepted, serial_stats.accepted);
+
+    // The same totals fall out of the per-rank telemetry channels.
+    let worker_sum = |key: &str| -> u64 { report.ranks[1..].iter().map(|r| r.counter(key)).sum() };
+    assert_eq!(worker_sum("pairs_generated"), serial_stats.generated);
+    assert_eq!(worker_sum("pairs_aligned"), serial_stats.aligned);
+    assert_eq!(worker_sum("pairs_accepted"), serial_stats.accepted);
+}
+
+#[test]
+fn pipeline_run_report_survives_json_round_trip() {
+    let genome = Genome::generate(
+        &GenomeSpec {
+            length: 9_000,
+            repeat_fraction: 0.0,
+            repeat_families: 0,
+            repeat_len: (50, 60),
+            repeat_identity: 1.0,
+            islands: 0,
+            island_len: (1, 2),
+        },
+        22,
+    );
+    let mut cfg = SamplerConfig::clean();
+    cfg.read_len = (130, 210);
+    let mut sampler = Sampler::new(&genome, cfg, 23);
+    let reads = sampler.wgs(50);
+    let config = PipelineConfig {
+        preprocess: None,
+        cluster: ClusterParams { gst: GstConfig { w: 10, psi: 18 }, ..Default::default() },
+        parallel_ranks: Some(3),
+        master_worker: MasterWorkerConfig { batch: 8, pending_cap: 128 },
+        assembly_threads: 2,
+        ..Default::default()
+    };
+    let mut ctx = RunContext::new("e2e");
+    let report = Pipeline::new(config).run_with_context(&reads, &[], &[], &mut ctx);
+    let run = ctx.finish();
+
+    // Stage graph shape and counter consistency.
+    let names: Vec<&str> = run.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["preprocess", "cluster", "assemble"]);
+    assert_eq!(run.counter("pairs_generated"), report.cluster_stats.generated);
+    assert_eq!(run.ranks.len(), 3);
+    assert!(run.ranks.iter().all(|r| !r.comm.is_empty()));
+
+    // Lossless JSON round trip of the full document.
+    let text = run.to_json_string();
+    let back = RunReport::from_json_str(&text).unwrap();
+    assert_eq!(back, run);
+    // Spot-check a span and a rank counter survive re-parsing.
+    assert_eq!(back.wall("cluster"), run.wall("cluster"));
+    assert_eq!(back.ranks[1].counter("batch_round_trips"), run.ranks[1].counter("batch_round_trips"));
+}
