@@ -9,10 +9,18 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> distributed tests"
+cargo test -q --test distributed --test adversarial_protocol --test telemetry_e2e
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> coalescing smoke bench"
+rm -f BENCH_ablation_coalescing.json
+PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_coalescing
+test -s BENCH_ablation_coalescing.json || { echo "missing BENCH_ablation_coalescing.json"; exit 1; }
 
 echo "CI OK"

@@ -1,0 +1,5 @@
+//! Tentpole ablation: protocol-message coalescing on/off at several
+//! rank counts, priced by the α–β model.
+fn main() {
+    pgasm_bench::coalescing::run(pgasm_bench::util::env_scale());
+}

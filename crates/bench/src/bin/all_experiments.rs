@@ -14,5 +14,6 @@ fn main() {
     pgasm_bench::ablations::dup_elim(scale);
     pgasm_bench::ablations::filter(scale);
     pgasm_bench::ablations::resolution(scale);
+    pgasm_bench::coalescing::run(scale);
     println!("\nall experiments complete");
 }

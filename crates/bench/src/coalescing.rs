@@ -1,0 +1,162 @@
+//! ABL5 — sender-side protocol-message coalescing on/off.
+//!
+//! The §7 protocol sends four fine-grained messages per worker round
+//! (AR + NP up, R + AW down), so the α latency term dominates its wire
+//! cost — the regime message aggregation targets (HipMer-style bulk
+//! exchanges). This ablation runs the clustering phase with the
+//! coalescing layer on and off at several rank counts and prices both
+//! arms with the α–β model's per-tag histograms. Three views of the
+//! traffic:
+//!
+//! - *protocol wire messages*: sends bearing a w2m/m2w tag — the bare
+//!   fine-grained messages. Coalescing collapses these to the handful
+//!   of singletons (termination grants) not worth enveloping.
+//! - *total wire transfers*: protocol messages plus envelopes — what
+//!   actually pays α. Two envelopes replace four messages per round.
+//! - *delivered messages*: protocol messages received after envelope
+//!   splitting — the protocol itself is unchanged.
+//!
+//! Clustering output must be identical in both arms.
+
+use crate::datasets;
+use crate::util::*;
+use pgasm_core::{cluster_parallel, MasterWorkerConfig};
+use pgasm_mpisim::CoalescePolicy;
+use pgasm_telemetry::RankReport;
+
+fn is_protocol(label: &str) -> bool {
+    label.starts_with("w2m") || label.starts_with("m2w")
+}
+
+/// Bare protocol messages this rank put on the wire.
+fn proto_wire_msgs(r: &RankReport) -> u64 {
+    r.comm.iter().filter(|t| is_protocol(&t.label)).map(|t| t.msgs_sent).sum()
+}
+
+/// Everything this rank put on the wire for the protocol: bare
+/// messages plus coalesced envelopes.
+fn total_wire_msgs(r: &RankReport) -> u64 {
+    r.comm.iter().filter(|t| is_protocol(&t.label) || t.label == "coalesced").map(|t| t.msgs_sent).sum()
+}
+
+/// Protocol messages delivered to this rank (post-split).
+fn delivered_msgs(r: &RankReport) -> u64 {
+    r.comm.iter().filter(|t| is_protocol(&t.label)).map(|t| t.msgs_recv).sum()
+}
+
+/// Modelled α–β seconds for this rank's protocol + envelope sends
+/// (priced on the sender, so summing over ranks counts each transfer
+/// once).
+fn wire_seconds(r: &RankReport) -> f64 {
+    r.comm
+        .iter()
+        .filter(|t| is_protocol(&t.label) || t.label == "coalesced")
+        .map(|t| t.modelled_seconds)
+        .sum()
+}
+
+/// One measured arm.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Total ranks (master + workers).
+    pub p: usize,
+    /// Coalescing enabled?
+    pub coalesced: bool,
+    /// Bare w2m/m2w messages that crossed a channel, summed over ranks.
+    pub proto_wire_msgs: u64,
+    /// All wire transfers for the protocol (incl. envelopes).
+    pub total_wire_msgs: u64,
+    /// Protocol messages delivered (post-split), summed over ranks.
+    pub delivered_msgs: u64,
+    /// Envelopes shipped (0 when off).
+    pub envelopes: u64,
+    /// Modelled α–β seconds for the protocol traffic (each transfer
+    /// priced once).
+    pub comm_seconds: f64,
+}
+
+/// Run the ablation. Asserts identical clustering across arms and, at
+/// p = 8, the ≥ 2× protocol-wire-message reduction with modelled comm
+/// seconds reduced accordingly.
+pub fn run(scale: f64) -> Vec<Point> {
+    let prepared = datasets::maize((300_000.0 * scale) as usize, 161);
+    let params = datasets::default_params();
+    let (points, _run_report) = with_run_report("ablation_coalescing", |ctx| {
+        let mut points = Vec::new();
+        for &p in &[4usize, 8, 16] {
+            let mut clusterings = Vec::new();
+            for on in [false, true] {
+                let cfg = MasterWorkerConfig {
+                    batch: 64,
+                    pending_cap: 4096,
+                    coalesce: on.then(CoalescePolicy::default),
+                };
+                let arm = format!("p{p}_{}", if on { "on" } else { "off" });
+                let report = ctx.scope(&arm, |_| cluster_parallel(&prepared.store, p, &params, &cfg));
+                let point = Point {
+                    p,
+                    coalesced: on,
+                    proto_wire_msgs: report.ranks.iter().map(proto_wire_msgs).sum(),
+                    total_wire_msgs: report.ranks.iter().map(total_wire_msgs).sum(),
+                    delivered_msgs: report.ranks.iter().map(delivered_msgs).sum(),
+                    envelopes: report.ranks.iter().map(|r| r.counter("envelopes_sent")).sum(),
+                    comm_seconds: report.ranks.iter().map(wire_seconds).sum(),
+                };
+                ctx.set(&format!("{arm}_proto_wire_msgs"), point.proto_wire_msgs);
+                ctx.set(&format!("{arm}_total_wire_msgs"), point.total_wire_msgs);
+                ctx.set(&format!("{arm}_envelopes"), point.envelopes);
+                ctx.set(&format!("{arm}_modelled_comm_us"), (point.comm_seconds * 1e6) as u64);
+                points.push(point);
+                clusterings.push(report.clustering);
+            }
+            assert_eq!(clusterings[0], clusterings[1], "coalescing must not change the clustering (p = {p})");
+        }
+        points
+    });
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            let base =
+                points.iter().find(|q| q.p == pt.p && !q.coalesced).expect("uncoalesced baseline exists");
+            vec![
+                pt.p.to_string(),
+                if pt.coalesced { "on" } else { "off" }.into(),
+                fmt_count(pt.proto_wire_msgs),
+                fmt_count(pt.total_wire_msgs),
+                format!("{:.2}x", base.total_wire_msgs as f64 / pt.total_wire_msgs.max(1) as f64),
+                fmt_count(pt.envelopes),
+                fmt_secs(pt.comm_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        "ABL5: protocol-message coalescing (modelled BG/L comm; clustering identical in both arms)",
+        &["p", "coalescing", "bare proto msgs", "wire transfers", "reduction", "envelopes", "comm (a-b)"],
+        &rows,
+    );
+    println!("note: four fine-grained protocol messages per round fold into two envelopes, so the");
+    println!("      latency-dominated wire cost roughly halves while delivered messages are unchanged");
+
+    // The tentpole's acceptance bar at p = 8.
+    let off8 = points.iter().find(|q| q.p == 8 && !q.coalesced).unwrap();
+    let on8 = points.iter().find(|q| q.p == 8 && q.coalesced).unwrap();
+    assert!(
+        off8.proto_wire_msgs as f64 >= 2.0 * on8.proto_wire_msgs.max(1) as f64,
+        "coalescing must cut bare protocol wire messages >= 2x at p = 8: {} -> {}",
+        off8.proto_wire_msgs,
+        on8.proto_wire_msgs
+    );
+    assert!(
+        on8.total_wire_msgs < off8.total_wire_msgs,
+        "coalescing must reduce total wire transfers at p = 8: {} -> {}",
+        off8.total_wire_msgs,
+        on8.total_wire_msgs
+    );
+    assert!(
+        on8.comm_seconds < off8.comm_seconds,
+        "coalescing must reduce modelled comm seconds at p = 8: {} -> {}",
+        off8.comm_seconds,
+        on8.comm_seconds
+    );
+    points
+}

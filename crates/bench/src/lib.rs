@@ -11,6 +11,7 @@
 //! grow every experiment proportionally.
 
 pub mod ablations;
+pub mod coalescing;
 pub mod datasets;
 pub mod fig5;
 pub mod fig9;

@@ -8,6 +8,25 @@
 //! request `r` so that pair inflow roughly matches alignment outflow
 //! without overflowing the pending buffer.
 //!
+//! The master is *event-driven*: it drains **all** queued worker
+//! reports through `Comm::try_recv` before dispatching anything,
+//! applies Union–Find merges and pair selection per message as the
+//! inbox drains (so cluster state is maximally fresh when batches are
+//! cut), and blocks in `recv` only when the inbox is truly empty. One
+//! slow worker therefore never serialises everyone else's replies —
+//! the availability collapse §7.2 reports (90% → 70%) came from the
+//! synchronous one-recv-one-dispatch loop this replaces.
+//!
+//! The protocol speaks the paper's message types (Figs. 6–8) as
+//! *separate* wire messages: workers send `AR` (alignment results) and
+//! `NP` (new pairs + generator status), the master answers with `R`
+//! (flow-control grant, which also carries termination) and `AW`
+//! (alignment work batch). Fine-grained messages keep the state machine
+//! simple; the `mpisim` coalescing layer (see `CoalescePolicy`)
+//! re-aggregates each burst into one framed envelope per destination,
+//! so the wire cost stays that of the old fused messages while the α
+//! latency term is paid once per envelope.
+//!
 //! Ranks 1..p are workers: each builds its portion of the distributed
 //! GST, then iterates — *compute the previously allocated alignment
 //! batch, generate the `r` pairs the master asked for, report both, and
@@ -32,15 +51,23 @@ use crate::parallel_gst::{compute_owners, rank_build_gst, RankGstReport};
 use crate::unionfind::UnionFind;
 use pgasm_gst::{PairGenerator, PromisingPair};
 use pgasm_mpisim::codec::{Decoder, Encoder};
-use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats, CostModel};
+use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel, Msg};
 use pgasm_seq::{FragmentStore, SeqId};
 use pgasm_telemetry::RankReport;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
-const TAG_W2M: u32 = 1;
-const TAG_M2W: u32 = 2;
+/// Worker → master: alignment results (paper's `AR`) + DP-cell tally.
+const TAG_W2M_AR: u32 = 1;
+/// Master → worker: flow-control grant `r` (paper's `R`); also carries
+/// the termination flag, so every master transmission starts here.
+const TAG_M2W_R: u32 = 2;
+/// Worker → master: newly generated pairs + generator status (paper's
+/// `NP`); doubles as the request for the next allocation.
+const TAG_W2M_NP: u32 = 3;
+/// Master → worker: the allocated alignment batch (paper's `AW`).
+const TAG_M2W_AW: u32 = 4;
 
 /// Master–worker *runtime* configuration: protocol knobs only. What to
 /// cluster and how (GST window, scoring, acceptance, mode) lives in
@@ -53,11 +80,16 @@ pub struct MasterWorkerConfig {
     /// Capacity of the master's pending-work buffer (flow-control
     /// target; the buffer itself degrades gracefully if exceeded).
     pub pending_cap: usize,
+    /// Sender-side small-message coalescing for the protocol traffic:
+    /// each rank's per-destination message burst (AR+NP, R+AW) ships as
+    /// one framed envelope. `None` puts every logical message on the
+    /// wire individually (the ablation baseline).
+    pub coalesce: Option<CoalescePolicy>,
 }
 
 impl Default for MasterWorkerConfig {
     fn default() -> Self {
-        MasterWorkerConfig { batch: 64, pending_cap: 4096 }
+        MasterWorkerConfig { batch: 64, pending_cap: 4096, coalesce: Some(CoalescePolicy::default()) }
     }
 }
 
@@ -146,7 +178,9 @@ pub fn cluster_parallel(
         let mut gst_report = gst_report;
         gst_report.compute_seconds = gst_report.compute_seconds.min(gst_wall);
 
-        // Phase 2: clustering.
+        // Phase 2: clustering, with protocol-message coalescing on
+        // every rank (the GST collectives above bypass the queues).
+        comm.set_coalesce(config.coalesce);
         let before = comm.stats();
         let cpu0 = thread_cpu_seconds();
         let t0 = Instant::now();
@@ -175,14 +209,29 @@ pub fn cluster_parallel(
         };
         // Fold this rank's channel for the RunReport: per-tag traffic
         // (the whole run, GST collectives included) with protocol tags
-        // relabelled, plus the loop's own counters.
+        // relabelled, plus the loop's own counters. Coalesced protocol
+        // envelopes appear under the `"coalesced"` row.
         let mut comm_rows = comm.tag_stats(&CostModel::BLUEGENE_L);
         for row in &mut comm_rows {
             row.label = match row.tag {
-                TAG_W2M => "w2m".to_string(),
-                TAG_M2W => "m2w".to_string(),
+                TAG_W2M_AR => "w2m_ar".to_string(),
+                TAG_W2M_NP => "w2m_np".to_string(),
+                TAG_M2W_R => "m2w_r".to_string(),
+                TAG_M2W_AW => "m2w_aw".to_string(),
                 _ => std::mem::take(&mut row.label),
             };
+        }
+        // Coalescing-layer counters join the loop's own tallies.
+        let cs = comm.coalesce_stats();
+        for (name, value) in [
+            ("msgs_coalesced", cs.msgs_coalesced),
+            ("envelopes_sent", cs.envelopes_sent),
+            ("flush_by_bytes", cs.flush_bytes),
+            ("flush_by_msgs", cs.flush_msgs),
+            ("flush_on_block", cs.flush_block),
+            ("flush_explicit", cs.flush_explicit),
+        ] {
+            outcome.counters.insert(name.to_string(), value);
         }
         outcome.rank_report = RankReport {
             rank: comm.rank(),
@@ -210,7 +259,150 @@ pub fn cluster_parallel(
     }
 }
 
-/// The master's event loop (paper Fig. 7).
+/// The master's mutable protocol state, separated from the event loop
+/// so message handling (merges, selection) and dispatch (batch cutting,
+/// flow control) read as the two halves of Fig. 7 they are.
+struct Master<'a> {
+    ds: &'a FragmentStore,
+    b: usize,
+    pending_cap: usize,
+    clusters: MasterClusters,
+    pending: VecDeque<PromisingPair>,
+    /// Worker's generator still has pairs to yield.
+    worker_active: Vec<bool>,
+    /// Worker reported its round (NP arrived) and awaits an R+AW reply.
+    need_reply: Vec<bool>,
+    /// Worker is passive with no allocation in flight: blocked in a
+    /// receive, revivable with an unsolicited grant (Idle_Workers).
+    parked: Vec<bool>,
+    /// An allocation is in flight to this worker (a report will come).
+    outstanding: Vec<bool>,
+    stats: ClusterStats,
+    selected: u64,
+    peak_queue_depth: u64,
+    batches_dispatched: u64,
+}
+
+impl Master<'_> {
+    /// Apply one worker message to the cluster state the moment it is
+    /// drained — Union–Find merges (AR) and pair selection (NP)
+    /// interleave with message progress instead of waiting for a
+    /// dispatch turn.
+    fn handle(&mut self, msg: &Msg) {
+        let i = msg.src;
+        let mut d = Decoder::new(msg.data.clone());
+        match msg.tag {
+            TAG_W2M_AR => {
+                // Alignment results: merge clusters for accepted
+                // overlaps.
+                let ar_count = d.get_u32();
+                for _ in 0..ar_count {
+                    let a = SeqId(d.get_u32());
+                    let bq = SeqId(d.get_u32());
+                    let accepted = d.get_u32() == 1;
+                    let a_start = d.get_u32();
+                    let b_start = d.get_u32();
+                    let overlap_len = d.get_u32();
+                    self.stats.aligned += 1;
+                    if accepted {
+                        self.stats.accepted += 1;
+                        self.clusters.record_accept(
+                            self.ds,
+                            a,
+                            bq,
+                            a_start,
+                            b_start,
+                            overlap_len,
+                            &mut self.stats,
+                        );
+                    }
+                }
+                self.stats.dp_cells += d.get_u64();
+            }
+            TAG_W2M_NP => {
+                // New promising pairs: keep only those whose fragments
+                // are in different clusters *right now*.
+                let active = d.get_u32() == 1;
+                self.worker_active[i] = active;
+                let np_count = d.get_u32();
+                for _ in 0..np_count {
+                    let pair = decode_pair(&mut d);
+                    self.stats.generated += 1;
+                    let fa = self.ds.seq_to_fragment(pair.a).0 .0;
+                    let fb = self.ds.seq_to_fragment(pair.b).0 .0;
+                    if !self.clusters.skip_pair(fa, fb) {
+                        self.pending.push_back(pair);
+                        self.selected += 1;
+                    }
+                }
+                self.peak_queue_depth = self.peak_queue_depth.max(self.pending.len() as u64);
+                // NP closes the worker's round: it now awaits a grant.
+                self.need_reply[i] = true;
+                self.outstanding[i] = false;
+            }
+            t => unreachable!("unexpected tag {t} at the master"),
+        }
+    }
+
+    /// Answer every worker whose round completed and feed parked
+    /// workers from the pending buffer (Fig. 7's Idle_Workers service).
+    fn dispatch(&mut self, comm: &mut Comm) {
+        let p = self.worker_active.len();
+        for i in 1..p {
+            if !self.need_reply[i] {
+                continue;
+            }
+            self.need_reply[i] = false;
+            let batch = drain_batch(&mut self.pending, self.b);
+            let r = self.flow_control();
+            if batch.is_empty() && !self.worker_active[i] {
+                // Nothing to do and nothing left to generate: park it
+                // (the empty AW tells the worker to block).
+                self.parked[i] = true;
+                send_grant(comm, i, r, &[], false);
+            } else {
+                if !batch.is_empty() {
+                    self.batches_dispatched += 1;
+                }
+                self.outstanding[i] = true;
+                send_grant(comm, i, r, &batch, false);
+            }
+        }
+        for j in 1..p {
+            if self.parked[j] && !self.pending.is_empty() {
+                let batch = drain_batch(&mut self.pending, self.b);
+                let r = self.flow_control();
+                self.batches_dispatched += 1;
+                self.parked[j] = false;
+                self.outstanding[j] = true;
+                send_grant(comm, j, r, &batch, false);
+            }
+        }
+    }
+
+    fn flow_control(&self) -> usize {
+        compute_r(
+            self.b,
+            self.pending_cap,
+            self.pending.len(),
+            &self.worker_active,
+            self.stats.generated,
+            self.selected,
+        )
+    }
+
+    /// Every worker passive and parked, nothing pending, nothing in
+    /// flight.
+    fn finished(&self) -> bool {
+        let p = self.worker_active.len();
+        (1..p).all(|i| !self.worker_active[i] && self.parked[i] && !self.outstanding[i])
+            && self.pending.is_empty()
+    }
+}
+
+/// The master's event loop (paper Fig. 7), event-driven: drain *all*
+/// queued reports, then dispatch, and block only on a truly empty
+/// inbox.
 fn master_loop(
     comm: &mut Comm,
     ds: &FragmentStore,
@@ -219,106 +411,73 @@ fn master_loop(
     config: &MasterWorkerConfig,
 ) -> RankOutcome {
     let p = comm.size();
-    let b = config.batch;
-    let mut clusters = MasterClusters::new(n, params);
-    let mut pending: VecDeque<PromisingPair> = VecDeque::with_capacity(config.pending_cap);
-    let mut worker_active = vec![true; p];
-    let mut worker_idle = vec![false; p];
-    let mut outstanding = vec![false; p];
-    let mut stats = ClusterStats::default();
-    let mut selected: u64 = 0;
-    let mut peak_queue_depth: u64 = 0;
-    let mut batches_dispatched: u64 = 0;
-
-    let frag_of = |seq: SeqId| ds.seq_to_fragment(seq).0 .0;
+    let mut m = Master {
+        ds,
+        b: config.batch,
+        pending_cap: config.pending_cap,
+        clusters: MasterClusters::new(n, params),
+        pending: VecDeque::with_capacity(config.pending_cap),
+        worker_active: vec![true; p],
+        need_reply: vec![false; p],
+        parked: vec![false; p],
+        // Workers open with an unsolicited first report.
+        outstanding: {
+            let mut o = vec![true; p];
+            o[0] = false;
+            o
+        },
+        stats: ClusterStats::default(),
+        selected: 0,
+        peak_queue_depth: 0,
+        batches_dispatched: 0,
+    };
+    let mut drain_depth: u64 = 0;
+    let mut drain_depth_max: u64 = 0;
 
     loop {
-        // Termination: every worker passive, nothing pending, nothing
-        // in flight.
-        let done = (1..p).all(|i| !worker_active[i]) && pending.is_empty() && !outstanding.iter().any(|&o| o);
-        if done {
-            for (i, &idle) in worker_idle.iter().enumerate().skip(1) {
-                debug_assert!(idle, "at termination every worker is parked");
-                let mut e = Encoder::new();
-                e.put_u32(1); // terminate
-                comm.send(i, TAG_M2W, e.finish());
+        // Event pump: consume everything already queued before any
+        // dispatch decision — merges from fast workers land before
+        // batches are cut for slow ones.
+        if let Some(msg) = comm.try_recv(None, None) {
+            drain_depth += 1;
+            m.handle(&msg);
+            continue;
+        }
+        drain_depth_max = drain_depth_max.max(drain_depth);
+
+        // Inbox empty: answer completed rounds, revive parked workers.
+        m.dispatch(comm);
+
+        if m.finished() {
+            for i in 1..p {
+                debug_assert!(m.parked[i], "at termination every worker is parked");
+                send_grant(comm, i, 0, &[], true);
             }
+            // Replies may still sit in the coalescing queues; this rank
+            // never blocks again, so push them out explicitly.
+            comm.flush_all();
             break;
         }
 
-        let msg = comm.recv(None, Some(TAG_W2M));
-        let i = msg.src;
-        let mut d = Decoder::new(msg.data);
-        let active = d.get_u32() == 1;
-        worker_active[i] = active;
-        outstanding[i] = false;
-
-        // Alignment results: merge clusters for accepted overlaps.
-        let ar_count = d.get_u32();
-        for _ in 0..ar_count {
-            let a = SeqId(d.get_u32());
-            let bq = SeqId(d.get_u32());
-            let accepted = d.get_u32() == 1;
-            let a_start = d.get_u32();
-            let b_start = d.get_u32();
-            let overlap_len = d.get_u32();
-            stats.aligned += 1;
-            if accepted {
-                stats.accepted += 1;
-                clusters.record_accept(ds, a, bq, a_start, b_start, overlap_len, &mut stats);
-            }
-        }
-        stats.dp_cells += d.get_u64();
-
-        // New promising pairs: keep only those whose fragments are in
-        // different clusters *right now*.
-        let np_count = d.get_u32();
-        for _ in 0..np_count {
-            let pair = decode_pair(&mut d);
-            stats.generated += 1;
-            if !clusters.skip_pair(frag_of(pair.a), frag_of(pair.b)) {
-                pending.push_back(pair);
-                selected += 1;
-            }
-        }
-        peak_queue_depth = peak_queue_depth.max(pending.len() as u64);
-
-        // Dispatch to idle workers first (Fig. 7).
-        for j in 1..p {
-            if worker_idle[j] && !pending.is_empty() {
-                let batch: Vec<PromisingPair> = drain_batch(&mut pending, b);
-                send_allocation(comm, j, 0, &batch, false);
-                worker_idle[j] = false;
-                outstanding[j] = true;
-                batches_dispatched += 1;
-            }
-        }
-
-        // Reply to the reporter: next batch (if any) + its new r.
-        let batch: Vec<PromisingPair> = drain_batch(&mut pending, b);
-        if !batch.is_empty() {
-            batches_dispatched += 1;
-        }
-        let r = compute_r(b, config.pending_cap, pending.len(), &worker_active, stats.generated, selected);
-        if batch.is_empty() && !active {
-            worker_idle[i] = true;
-            send_allocation(comm, i, r, &[], false);
-        } else {
-            outstanding[i] = !batch.is_empty();
-            send_allocation(comm, i, r, &batch, false);
-        }
+        // Nothing left to do until a worker reports: block (this also
+        // flushes the grants staged above).
+        let msg = comm.recv(None, None);
+        drain_depth = 1;
+        m.handle(&msg);
     }
 
+    let mut stats = m.stats;
     let counters = BTreeMap::from([
         ("pairs_generated".to_string(), stats.generated),
         ("pairs_aligned".to_string(), stats.aligned),
         ("pairs_accepted".to_string(), stats.accepted),
-        ("pairs_selected".to_string(), selected),
-        ("peak_queue_depth".to_string(), peak_queue_depth),
-        ("batches_dispatched".to_string(), batches_dispatched),
+        ("pairs_selected".to_string(), m.selected),
+        ("peak_queue_depth".to_string(), m.peak_queue_depth),
+        ("batches_dispatched".to_string(), m.batches_dispatched),
+        ("inbox_drain_depth_max".to_string(), drain_depth_max),
     ]);
     RankOutcome {
-        clustering: Some(clusters.finish(&mut stats)),
+        clustering: Some(m.clusters.finish(&mut stats)),
         stats: Some(stats),
         gst_report: RankGstReport::default(),
         cluster_seconds: 0.0,
@@ -335,26 +494,40 @@ fn drain_batch(pending: &mut VecDeque<PromisingPair>, b: usize) -> Vec<Promising
     pending.drain(..take).collect()
 }
 
-fn send_allocation(comm: &mut Comm, dest: usize, r: usize, batch: &[PromisingPair], terminate: bool) {
-    let mut e = Encoder::with_capacity(8 + batch.len() * 20);
+/// Send one master→worker allocation: the `R` flow-control grant
+/// (termination flag + next request size) followed, for live grants, by
+/// the `AW` alignment batch. *Every* master transmission — round reply,
+/// unsolicited grant to a parked worker, termination — goes through
+/// here, so the M2W wire format has exactly one encoder and the worker
+/// exactly one decode path.
+fn send_grant(comm: &mut Comm, dest: usize, r: usize, batch: &[PromisingPair], terminate: bool) {
+    let mut e = Encoder::with_capacity(8);
     e.put_u32(terminate as u32);
     e.put_u32(r as u32);
+    comm.send(dest, TAG_M2W_R, e.finish());
+    if terminate {
+        return;
+    }
+    let mut e = Encoder::with_capacity(4 + batch.len() * 20);
     e.put_u32(batch.len() as u32);
     for pair in batch {
         encode_pair(&mut e, pair);
     }
-    comm.send(dest, TAG_M2W, e.finish());
+    comm.send(dest, TAG_M2W_AW, e.finish());
 }
 
 /// The paper's flow-control rule (§7): request enough pairs that about
 /// `b` of them will be selected for alignment, without overflowing the
-/// pending buffer.
+/// pending buffer. Never zero: under backpressure (pending buffer at
+/// capacity) an active worker must still drain its generator one pair
+/// at a time, otherwise it spins in empty report/grant round-trips and
+/// the run stops progressing toward generator exhaustion.
 fn compute_r(b: usize, cap: usize, pending: usize, active: &[bool], generated: u64, selected: u64) -> usize {
     let p_active = active[1..].iter().filter(|&&a| a).count().max(1);
     let ratio = if generated < 64 { 0.5 } else { (selected as f64 / generated as f64).max(0.02) };
     let by_ratio = (b as f64 / ratio).ceil() as usize;
     let by_capacity = cap.saturating_sub(pending) / p_active;
-    by_ratio.min(by_capacity).min(8 * b)
+    by_ratio.min(by_capacity).min(8 * b).max(1)
 }
 
 /// A worker's event loop (paper Fig. 8).
@@ -396,9 +569,11 @@ fn worker_loop(
         gen.next_batch(r, &mut np);
         pairs_generated += np.len() as u64;
         let active = !gen.is_exhausted();
-        // Report.
-        let mut e = Encoder::with_capacity(16 + np.len() * 20 + results.len() * 20);
-        e.put_u32(active as u32);
+        // Report: alignment results (AR) and new pairs (NP) travel as
+        // two fine-grained messages so the coalescing layer can fold
+        // them — plus whatever other rounds are queued — into one
+        // envelope toward the master.
+        let mut e = Encoder::with_capacity(12 + results.len() * 24);
         e.put_u32(results.len() as u32);
         for (pair, accepted, a_start, b_start, overlap_len) in results.drain(..) {
             e.put_u32(pair.a.0);
@@ -410,15 +585,20 @@ fn worker_loop(
         }
         e.put_u64(cells_delta);
         cells_delta = 0;
+        comm.send(0, TAG_W2M_AR, e.finish());
+        let mut e = Encoder::with_capacity(8 + np.len() * 20);
+        e.put_u32(active as u32);
         e.put_u32(np.len() as u32);
         for pair in &np {
             encode_pair(&mut e, pair);
         }
-        comm.send(0, TAG_W2M, e.finish());
+        comm.send(0, TAG_W2M_NP, e.finish());
         round_trips += 1;
-        // Receive the next allocation (possibly parking idle first).
+        // Receive the next grant (possibly parking idle first). The R
+        // message always arrives; a live grant is followed by its AW
+        // batch.
         loop {
-            let m = comm.recv(Some(0), Some(TAG_M2W));
+            let m = comm.recv(Some(0), Some(TAG_M2W_R));
             let mut d = Decoder::new(m.data);
             let terminate = d.get_u32() == 1;
             if terminate {
@@ -430,6 +610,8 @@ fn worker_loop(
                 ]));
             }
             r = d.get_u32() as usize;
+            let m = comm.recv(Some(0), Some(TAG_M2W_AW));
+            let mut d = Decoder::new(m.data);
             let count = d.get_u32();
             aw = (0..count).map(|_| decode_pair(&mut d)).collect();
             if aw.is_empty() && !active {
@@ -577,7 +759,7 @@ mod tests {
     }
 
     fn config() -> MasterWorkerConfig {
-        MasterWorkerConfig { batch: 8, pending_cap: 256 }
+        MasterWorkerConfig { batch: 8, pending_cap: 256, coalesce: Some(CoalescePolicy::default()) }
     }
 
     #[test]
@@ -647,15 +829,72 @@ mod tests {
         assert_eq!(worker_aligned, report.stats.aligned);
         assert_eq!(worker_generated, report.stats.generated);
         assert_eq!(worker_accepted, report.stats.accepted);
-        // Per-tag comm channels include the relabelled protocol tags and
-        // carry modelled time.
+        // Per-tag comm channels include the relabelled protocol tags
+        // and carry modelled time. With coalescing on, protocol
+        // messages travel *inside* envelopes, so senders show a
+        // "coalesced" row while receivers still see the split
+        // constituents.
+        let master = &report.ranks[0];
+        assert!(master.comm.iter().any(|t| t.label == "w2m_ar" && t.msgs_recv > 0));
+        assert!(master.comm.iter().any(|t| t.label == "w2m_np" && t.msgs_recv > 0));
+        for r in &report.ranks[1..] {
+            assert!(r.comm.iter().any(|t| t.label == "m2w_r" && t.msgs_recv > 0));
+            assert!(r.comm.iter().any(|t| t.label == "m2w_aw" && t.msgs_recv > 0));
+            assert!(r.comm.iter().any(|t| t.label == "coalesced" && t.msgs_sent > 0));
+            assert!(r.counter("msgs_coalesced") > 0);
+        }
         for r in &report.ranks {
-            assert!(r.comm.iter().any(|t| t.label == "w2m"));
-            assert!(r.comm.iter().any(|t| t.label == "m2w"));
             assert!(r.modelled_comm_seconds() > 0.0);
         }
         // Workers report at least one batch round-trip.
         assert!(report.ranks[1..].iter().all(|r| r.counter("batch_round_trips") >= 1));
+    }
+
+    #[test]
+    fn coalescing_off_matches_on() {
+        let store = test_store();
+        let plain = MasterWorkerConfig { coalesce: None, ..config() };
+        for p in [2usize, 3, 5] {
+            let on = cluster_parallel(&store, p, &params(), &config());
+            let off = cluster_parallel(&store, p, &params(), &plain);
+            assert_eq!(on.clustering, off.clustering, "p = {p}");
+            assert_eq!(on.stats.accepted, off.stats.accepted, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn backpressure_with_tiny_pending_buffer_terminates() {
+        // pending_cap < batch: by_capacity bottoms out at 0 as soon as
+        // a couple of pairs queue up. Before the r ≥ 1 clamp the master
+        // would grant r = 0 to still-active workers, which then spin in
+        // empty report/grant round-trips forever — this config
+        // livelocked.
+        let store = test_store();
+        let (serial, _) = cluster_serial(&store, &params());
+        let cfg = MasterWorkerConfig { batch: 8, pending_cap: 2, ..config() };
+        for p in [2usize, 4] {
+            let report = cluster_parallel(&store, p, &params(), &cfg);
+            assert_eq!(report.clustering, serial, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn compute_r_is_positive_at_full_buffer() {
+        // Buffer at capacity, three active workers: by_capacity = 0,
+        // but the grant must still let generators make progress.
+        let active = [false, true, true, true];
+        assert_eq!(compute_r(8, 2, 2, &active, 1000, 500), 1);
+        // And the clamp doesn't disturb the normal regime.
+        assert!(compute_r(8, 4096, 0, &active, 1000, 500) > 8);
+    }
+
+    #[test]
+    fn master_records_inbox_drain_depth() {
+        let store = test_store();
+        let report = cluster_parallel(&store, 4, &params(), &config());
+        // The counter exists; with several workers reporting it is
+        // ordinarily ≥ 1 (at least one message handled per wake-up).
+        assert!(report.ranks[0].counter("inbox_drain_depth_max") >= 1);
     }
 
     #[test]

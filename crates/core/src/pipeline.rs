@@ -397,7 +397,7 @@ mod tests {
             preprocess: None,
             cluster,
             parallel_ranks: parallel,
-            master_worker: MasterWorkerConfig { batch: 16, pending_cap: 512 },
+            master_worker: MasterWorkerConfig { batch: 16, pending_cap: 512, ..Default::default() },
             assembly: AssemblyConfig::default(),
             assembly_threads: 2,
         }

@@ -1,9 +1,12 @@
-//! Ranks, point-to-point messaging, and collectives.
+//! Ranks, point-to-point messaging, collectives, and sender-side
+//! small-message coalescing.
 
+use crate::codec::{Decoder, Encoder};
 use crate::model::{CommStats, CostModel};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pgasm_telemetry::TagStat;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -16,6 +19,7 @@ const TAG_GATHER: u32 = RESERVED_TAG_BASE + 1;
 const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 2;
 const TAG_ALLTOALL_P2P: u32 = RESERVED_TAG_BASE + 3;
 const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 4;
+const TAG_COALESCED: u32 = RESERVED_TAG_BASE + 5;
 
 /// Human-readable name for a tag: collectives get their primitive's
 /// name, application tags render as `"tag<N>"` (callers owning an
@@ -27,8 +31,68 @@ pub fn tag_label(tag: u32) -> String {
         TAG_ALLTOALL => "alltoall".to_string(),
         TAG_ALLTOALL_P2P => "alltoall_p2p".to_string(),
         TAG_REDUCE => "reduce".to_string(),
+        TAG_COALESCED => "coalesced".to_string(),
         t => format!("tag{t}"),
     }
+}
+
+/// Sender-side small-message coalescing policy. When set on a rank,
+/// application `send`s are staged in per-destination queues and go out
+/// as one framed envelope (tag `"coalesced"`) either when a threshold
+/// trips or when the rank is about to block (`recv` with an empty
+/// inbox, `barrier`) — so the α latency term is paid once per envelope
+/// instead of once per logical message. The receiver splits envelopes
+/// transparently, preserving per-sender FIFO order; `recv`/`try_recv`
+/// callers never see them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalescePolicy {
+    /// Flush a destination's queue once its staged payload bytes reach
+    /// this (past this size the β bandwidth term dominates anyway).
+    pub max_bytes: usize,
+    /// Flush a destination's queue once it stages this many messages.
+    pub max_msgs: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy { max_bytes: 16 * 1024, max_msgs: 32 }
+    }
+}
+
+/// Counters for the coalescing layer on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalesceStats {
+    /// Logical messages that travelled inside an envelope.
+    pub msgs_coalesced: u64,
+    /// Envelopes sent (each replaced ≥ 2 wire messages).
+    pub envelopes_sent: u64,
+    /// Non-empty queue flushes tripped by the byte threshold.
+    pub flush_bytes: u64,
+    /// Non-empty queue flushes tripped by the message-count threshold.
+    pub flush_msgs: u64,
+    /// Non-empty queue flushes forced by this rank blocking
+    /// (`recv` on an empty inbox, `barrier`).
+    pub flush_block: u64,
+    /// Explicit flushes (`flush`/`flush_all`/`set_coalesce`) plus
+    /// ordering flushes forced by a direct (collective) send to a
+    /// destination with staged messages.
+    pub flush_explicit: u64,
+}
+
+/// Why a destination queue was flushed.
+#[derive(Clone, Copy)]
+enum FlushReason {
+    Bytes,
+    Msgs,
+    Block,
+    Explicit,
+}
+
+/// Staged outgoing messages for one destination.
+#[derive(Default)]
+struct SendQueue {
+    msgs: Vec<(u32, Bytes)>,
+    bytes: usize,
 }
 
 /// Per-tag traffic counters (histogram row).
@@ -62,6 +126,9 @@ pub struct Comm {
     barrier: Arc<Barrier>,
     stats: CommStats,
     tag_traffic: BTreeMap<u32, TagTraffic>,
+    coalesce: Option<CoalescePolicy>,
+    queues: Vec<SendQueue>,
+    cstats: CoalesceStats,
 }
 
 impl Comm {
@@ -85,6 +152,14 @@ impl Comm {
     /// Per-tag traffic histogram with α–β modelled seconds per row,
     /// ascending by tag. Collectives use distinct reserved tags, so
     /// this doubles as a per-collective communication breakdown.
+    ///
+    /// Each message is priced exactly once, on its *sending* rank (wire
+    /// messages, so an envelope pays one α for its whole bundle) —
+    /// summing `modelled_seconds` over all ranks therefore reproduces
+    /// the α–β total for the run instead of double-counting every
+    /// transfer on both endpoints. Receive-side rows still carry their
+    /// message/byte counts for protocol visibility; their modelled time
+    /// is zero.
     pub fn tag_stats(&self, model: &CostModel) -> Vec<TagStat> {
         self.tag_traffic
             .iter()
@@ -95,23 +170,114 @@ impl Comm {
                 bytes_sent: t.bytes_sent,
                 msgs_recv: t.msgs_recv,
                 bytes_recv: t.bytes_recv,
-                modelled_seconds: (t.msgs_sent + t.msgs_recv) as f64 * model.latency_s
-                    + (t.bytes_sent + t.bytes_recv) as f64 / model.bandwidth_bytes_per_s,
+                modelled_seconds: t.msgs_sent as f64 * model.latency_s
+                    + t.bytes_sent as f64 / model.bandwidth_bytes_per_s,
             })
             .collect()
     }
 
+    /// Install (or clear) the sender-side coalescing policy. Anything
+    /// staged under the previous policy is flushed first, so switching
+    /// never reorders or drops traffic.
+    pub fn set_coalesce(&mut self, policy: Option<CoalescePolicy>) {
+        self.flush_all();
+        self.coalesce = policy;
+    }
+
+    /// Snapshot of this rank's coalescing counters.
+    pub fn coalesce_stats(&self) -> CoalesceStats {
+        self.cstats
+    }
+
     /// Asynchronous send (like `MPI_Isend` with unbounded buffering).
+    /// With a [`CoalescePolicy`] installed, the message is staged in
+    /// the destination's queue instead of going on the wire at once;
+    /// delivery is guaranteed by the flush points (thresholds, blocking
+    /// operations, explicit [`Comm::flush_all`]).
     ///
     /// # Panics
     /// Panics on a reserved tag or an out-of-range destination.
     pub fn send(&mut self, dest: usize, tag: u32, data: Bytes) {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is reserved for collectives");
+        assert!(dest < self.size, "destination {dest} out of range");
+        if dest != self.rank {
+            if let Some(policy) = self.coalesce {
+                let q = &mut self.queues[dest];
+                q.bytes += data.len();
+                q.msgs.push((tag, data));
+                if q.msgs.len() >= policy.max_msgs {
+                    self.flush_dest(dest, FlushReason::Msgs);
+                } else if self.queues[dest].bytes >= policy.max_bytes {
+                    self.flush_dest(dest, FlushReason::Bytes);
+                }
+                return;
+            }
+        }
         self.send_raw(dest, tag, data);
     }
 
+    /// Ship everything staged for `dest` now (one envelope, or a plain
+    /// send when only a single message is staged).
+    pub fn flush(&mut self, dest: usize) {
+        self.flush_dest(dest, FlushReason::Explicit);
+    }
+
+    /// Ship every staged queue now. Call before returning from a rank
+    /// body with coalescing still enabled; blocking operations flush
+    /// automatically.
+    pub fn flush_all(&mut self) {
+        for dest in 0..self.size {
+            self.flush_dest(dest, FlushReason::Explicit);
+        }
+    }
+
+    fn flush_before_block(&mut self) {
+        for dest in 0..self.size {
+            self.flush_dest(dest, FlushReason::Block);
+        }
+    }
+
+    fn flush_dest(&mut self, dest: usize, reason: FlushReason) {
+        if self.queues.get(dest).is_none_or(|q| q.msgs.is_empty()) {
+            return;
+        }
+        let msgs = std::mem::take(&mut self.queues[dest].msgs);
+        self.queues[dest].bytes = 0;
+        match reason {
+            FlushReason::Bytes => self.cstats.flush_bytes += 1,
+            FlushReason::Msgs => self.cstats.flush_msgs += 1,
+            FlushReason::Block => self.cstats.flush_block += 1,
+            FlushReason::Explicit => self.cstats.flush_explicit += 1,
+        }
+        if msgs.len() == 1 {
+            // A lone message needs no envelope (and no framing bytes).
+            let (tag, data) = msgs.into_iter().next().expect("len checked");
+            self.transmit(dest, tag, data);
+        } else {
+            let framed: usize = msgs.iter().map(|(_, d)| d.len() + 8).sum();
+            let mut e = Encoder::with_capacity(4 + framed);
+            e.put_u32(msgs.len() as u32);
+            for (tag, data) in &msgs {
+                e.put_u32(*tag);
+                e.put_bytes(data);
+            }
+            self.cstats.msgs_coalesced += msgs.len() as u64;
+            self.cstats.envelopes_sent += 1;
+            self.transmit(dest, TAG_COALESCED, e.finish());
+        }
+    }
+
+    /// Direct (uncoalesced) send used by the collectives. Flushes the
+    /// destination's staged queue first so per-sender FIFO order holds
+    /// even when application and collective traffic interleave.
     fn send_raw(&mut self, dest: usize, tag: u32, data: Bytes) {
         assert!(dest < self.size, "destination {dest} out of range");
+        self.flush_dest(dest, FlushReason::Explicit);
+        self.transmit(dest, tag, data);
+    }
+
+    /// Put one message on the wire (or this rank's own backlog).
+    fn transmit(&mut self, dest: usize, tag: u32, data: Bytes) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         let row = self.tag_traffic.entry(tag).or_default();
@@ -132,25 +298,44 @@ impl Comm {
     /// Blocking receive matching the given source and/or tag (`None` is
     /// a wildcard). Non-matching messages are buffered for later
     /// receives, preserving per-sender FIFO order.
+    ///
+    /// `wait_ns` is charged only while the underlying channel is
+    /// genuinely empty — draining and backlogging already-delivered
+    /// non-matching messages is bookkeeping, not blocked time.
     pub fn recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Msg {
         if let Some(i) = self.backlog_find(src, tag) {
             let m = self.backlog.remove(i).expect("index valid");
             self.note_recv(&m);
             return m;
         }
-        let start = Instant::now();
+        // About to wait on the network: release anything this rank has
+        // staged first — the message we are waiting for may well be a
+        // reply to it.
+        self.flush_before_block();
         loop {
-            let m = self.receiver.recv().expect("all ranks exited");
-            if matches(&m, src, tag) {
-                self.stats.wait_ns += start.elapsed().as_nanos() as u64;
+            let m = match self.receiver.try_recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    let start = Instant::now();
+                    let m = self.receiver.recv().expect("all ranks exited");
+                    self.stats.wait_ns += start.elapsed().as_nanos() as u64;
+                    m
+                }
+            };
+            let first_new = self.backlog.len();
+            self.ingest(m);
+            if let Some(i) = (first_new..self.backlog.len()).find(|&i| matches(&self.backlog[i], src, tag)) {
+                let m = self.backlog.remove(i).expect("index valid");
                 self.note_recv(&m);
                 return m;
             }
-            self.backlog.push_back(m);
         }
     }
 
     /// Non-blocking receive; `None` when no matching message is queued.
+    /// Never flushes staged sends (it never blocks) — callers looping on
+    /// `try_recv` fall through to a blocking `recv` (or `flush_all`)
+    /// once the inbox runs dry.
     pub fn try_recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Option<Msg> {
         if let Some(i) = self.backlog_find(src, tag) {
             let m = self.backlog.remove(i).expect("index valid");
@@ -158,13 +343,33 @@ impl Comm {
             return Some(m);
         }
         while let Ok(m) = self.receiver.try_recv() {
-            if matches(&m, src, tag) {
+            let first_new = self.backlog.len();
+            self.ingest(m);
+            if let Some(i) = (first_new..self.backlog.len()).find(|&i| matches(&self.backlog[i], src, tag)) {
+                let m = self.backlog.remove(i).expect("index valid");
                 self.note_recv(&m);
                 return Some(m);
             }
-            self.backlog.push_back(m);
         }
         None
+    }
+
+    /// Move one wire message into the backlog, transparently splitting
+    /// coalesced envelopes back into their constituent messages in send
+    /// order (per-sender FIFO is preserved end to end).
+    fn ingest(&mut self, m: Msg) {
+        if m.tag == TAG_COALESCED {
+            let src = m.src;
+            let mut d = Decoder::new(m.data);
+            let count = d.get_u32();
+            for _ in 0..count {
+                let tag = d.get_u32();
+                let data = d.get_bytes();
+                self.backlog.push_back(Msg { src, tag, data });
+            }
+        } else {
+            self.backlog.push_back(m);
+        }
     }
 
     fn backlog_find(&self, src: Option<usize>, tag: Option<u32>) -> Option<usize> {
@@ -179,8 +384,9 @@ impl Comm {
         row.bytes_recv += m.data.len() as u64;
     }
 
-    /// Synchronise all ranks.
+    /// Synchronise all ranks (flushing staged sends first).
     pub fn barrier(&mut self) {
+        self.flush_before_block();
         let start = Instant::now();
         self.barrier.wait();
         self.stats.barrier_ns += start.elapsed().as_nanos() as u64;
@@ -346,6 +552,9 @@ where
                 barrier: barrier.clone(),
                 stats: CommStats::default(),
                 tag_traffic: BTreeMap::new(),
+                coalesce: None,
+                queues: (0..p).map(|_| SendQueue::default()).collect(),
+                cstats: CoalesceStats::default(),
             }
         })
         .collect();
@@ -585,6 +794,155 @@ mod tests {
                 c.recv(Some(0), None);
             }
         });
+    }
+
+    #[test]
+    fn coalesced_envelope_splits_in_order() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.set_coalesce(Some(CoalescePolicy::default()));
+                c.send(1, 3, Bytes::from_static(b"aa"));
+                c.send(1, 4, Bytes::from_static(b"bbb"));
+                c.send(1, 3, Bytes::from_static(b"c"));
+                c.flush_all();
+                let s = c.stats();
+                // One envelope on the wire, three logical messages in it.
+                assert_eq!(s.msgs_sent, 1);
+                let cs = c.coalesce_stats();
+                assert_eq!(cs.envelopes_sent, 1);
+                assert_eq!(cs.msgs_coalesced, 3);
+                assert_eq!(cs.flush_explicit, 1);
+                vec![]
+            } else {
+                // Tag-filtered receives see the logical stream, FIFO per
+                // tag, envelope never visible.
+                let m1 = c.recv(Some(0), Some(3));
+                let m2 = c.recv(Some(0), Some(4));
+                let m3 = c.recv(Some(0), Some(3));
+                assert_eq!(c.stats().msgs_recv, 3);
+                vec![m1.data.to_vec(), m2.data.to_vec(), m3.data.to_vec()]
+            }
+        });
+        assert_eq!(out[1], vec![b"aa".to_vec(), b"bbb".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn coalesce_thresholds_trip_flushes() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.set_coalesce(Some(CoalescePolicy { max_bytes: 1 << 20, max_msgs: 2 }));
+                c.send(1, 1, Bytes::from_static(b"x"));
+                assert_eq!(c.stats().msgs_sent, 0, "first send stays staged");
+                c.send(1, 1, Bytes::from_static(b"y"));
+                assert_eq!(c.stats().msgs_sent, 1, "count threshold ships the envelope");
+                assert_eq!(c.coalesce_stats().flush_msgs, 1);
+                // Byte threshold: a large payload flushes immediately.
+                c.set_coalesce(Some(CoalescePolicy { max_bytes: 4, max_msgs: 100 }));
+                c.send(1, 2, Bytes::from_static(b"0123456789"));
+                assert_eq!(c.coalesce_stats().flush_bytes, 1);
+                // A lone staged message flushes as a plain tagged send,
+                // not an envelope.
+                assert_eq!(c.coalesce_stats().envelopes_sent, 1);
+            } else {
+                c.recv(Some(0), Some(1));
+                c.recv(Some(0), Some(1));
+                let m = c.recv(Some(0), Some(2));
+                assert_eq!(&m.data[..], b"0123456789");
+            }
+        });
+    }
+
+    #[test]
+    fn blocking_recv_flushes_staged_sends() {
+        // Request/reply with coalescing on both sides: without the
+        // flush-on-block rule this deadlocks (both requests stay staged).
+        let out = run(2, |c| {
+            c.set_coalesce(Some(CoalescePolicy::default()));
+            let peer = 1 - c.rank();
+            c.send(peer, 11, Bytes::copy_from_slice(&[c.rank() as u8]));
+            let m = c.recv(Some(peer), Some(11));
+            assert!(c.coalesce_stats().flush_block >= 1);
+            m.data[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn barrier_flushes_staged_sends() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.set_coalesce(Some(CoalescePolicy::default()));
+                c.send(1, 6, Bytes::from_static(b"pre-barrier"));
+                c.barrier();
+            } else {
+                c.barrier();
+                // The message was staged before the barrier, so it must
+                // already be in the channel now.
+                let m = c.try_recv(Some(0), Some(6)).expect("flushed by sender's barrier");
+                assert_eq!(&m.data[..], b"pre-barrier");
+            }
+        });
+    }
+
+    #[test]
+    fn collective_send_flushes_staged_queue_first() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.set_coalesce(Some(CoalescePolicy::default()));
+                c.send(1, 8, Bytes::from_static(b"app"));
+                // Broadcast goes through the direct path; the staged app
+                // message must be shipped first to preserve FIFO.
+                c.broadcast(0, Some(Bytes::from_static(b"bc")));
+            } else {
+                let first = c.recv(Some(0), None);
+                assert_eq!(first.tag, 8, "staged app message arrives before the collective");
+                let got = c.broadcast(0, None);
+                assert_eq!(&got[..], b"bc");
+            }
+        });
+    }
+
+    #[test]
+    fn draining_backlogged_messages_is_not_wait_time() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                for _ in 0..100 {
+                    c.send(1, 1, Bytes::from_static(b"noise"));
+                }
+                c.send(1, 2, Bytes::from_static(b"signal"));
+                c.barrier();
+            } else {
+                c.barrier();
+                // Everything is already in the channel (sends happened
+                // before the barrier): receiving the tag-2 message must
+                // drain 100 non-matching messages without charging any
+                // blocked time to this receive.
+                let m = c.recv(Some(0), Some(2));
+                assert_eq!(&m.data[..], b"signal");
+                assert_eq!(c.stats().wait_ns, 0, "drain/backlog time billed as waiting");
+            }
+        });
+    }
+
+    #[test]
+    fn sender_side_pricing_counts_each_message_once() {
+        let rows = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, Bytes::from_static(b"12345678"));
+            } else {
+                c.recv(Some(0), Some(3));
+            }
+            c.tag_stats(&CostModel::BLUEGENE_L)
+        });
+        let model = CostModel::BLUEGENE_L;
+        let expect = model.latency_s + 8.0 / model.bandwidth_bytes_per_s;
+        let sender = rows[0].iter().find(|t| t.tag == 3).expect("send row");
+        let receiver = rows[1].iter().find(|t| t.tag == 3).expect("recv row");
+        assert!((sender.modelled_seconds - expect).abs() < 1e-15);
+        assert_eq!(receiver.modelled_seconds, 0.0, "receive side is not priced again");
+        assert_eq!(receiver.msgs_recv, 1);
+        let total: f64 = rows.iter().flatten().map(|t| t.modelled_seconds).sum();
+        assert!((total - expect).abs() < 1e-15, "cross-rank sum prices the message once");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   barriers, and the collectives the paper uses: broadcast, gather,
 //!   `alltoallv`, and the *custom* `alltoallv` built from `p − 1`
 //!   point-to-point rounds that §6 introduces to bound send-buffer
-//!   space.
+//!   space. Optional sender-side small-message coalescing
+//!   ([`CoalescePolicy`]): per-destination send queues shipped as
+//!   framed envelopes that the receiver splits transparently, paying
+//!   the α latency term once per envelope instead of once per message.
 //! - [`codec`] — a small length-prefixed binary codec for message
 //!   payloads (no external serialization framework needed).
 //! - [`model`] — per-rank traffic statistics and an α–β (latency ×
@@ -25,5 +28,5 @@ pub mod codec;
 pub mod comm;
 pub mod model;
 
-pub use comm::{run, tag_label, Comm, Msg};
+pub use comm::{run, tag_label, CoalescePolicy, CoalesceStats, Comm, Msg};
 pub use model::{thread_cpu_seconds, CommStats, CostModel};

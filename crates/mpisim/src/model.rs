@@ -78,7 +78,11 @@ impl CostModel {
     }
 
     /// Modelled seconds for one rank's full traffic (send + receive; a
-    /// rank pays latency on both ends in co-processor mode).
+    /// rank pays latency on both ends in co-processor mode). This is a
+    /// *per-rank occupancy* measure — summing it across ranks counts
+    /// every transfer twice. For cross-rank totals use the per-tag
+    /// histogram (`Comm::tag_stats`), which prices each message once on
+    /// its sender.
     pub fn comm_time(&self, stats: &CommStats) -> f64 {
         (stats.msgs_sent + stats.msgs_recv) as f64 * self.latency_s
             + (stats.bytes_sent + stats.bytes_recv) as f64 / self.bandwidth_bytes_per_s

@@ -46,7 +46,7 @@ fn work_counters_identical_between_serial_and_parallel() {
         ..Default::default()
     };
     let (serial_clustering, serial_stats) = cluster_serial(&store, &params);
-    let config = MasterWorkerConfig { batch: 8, pending_cap: 128 };
+    let config = MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() };
     let report = cluster_parallel(&store, 3, &params, &config);
 
     assert_eq!(report.clustering, serial_clustering);
@@ -59,6 +59,36 @@ fn work_counters_identical_between_serial_and_parallel() {
     assert_eq!(worker_sum("pairs_generated"), serial_stats.generated);
     assert_eq!(worker_sum("pairs_aligned"), serial_stats.aligned);
     assert_eq!(worker_sum("pairs_accepted"), serial_stats.accepted);
+}
+
+/// Per-tag `modelled_seconds` is priced on the *sender* only, so the
+/// cross-rank sum reproduces the α–β cost of the run's total sent
+/// traffic exactly once — the receiving rank's row for the same tag
+/// contributes nothing. (Before this, both ends priced every message
+/// and cross-rank sums double-counted network time.)
+#[test]
+fn modelled_seconds_sum_prices_each_message_once() {
+    use pgasm::mpisim::CostModel;
+    let store = test_store(31, 50);
+    let params = ClusterParams { gst: GstConfig { w: 8, psi: 14 }, ..Default::default() };
+    let config = MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() };
+    let report = cluster_parallel(&store, 4, &params, &config);
+
+    let model = CostModel::BLUEGENE_L;
+    let mut from_rows = 0.0;
+    let mut alpha_beta = 0.0;
+    for rank in &report.ranks {
+        for t in &rank.comm {
+            from_rows += t.modelled_seconds;
+            alpha_beta +=
+                t.msgs_sent as f64 * model.latency_s + t.bytes_sent as f64 / model.bandwidth_bytes_per_s;
+            if t.msgs_sent == 0 {
+                assert_eq!(t.modelled_seconds, 0.0, "receive-only row '{}' must not be priced", t.label);
+            }
+        }
+    }
+    assert!(alpha_beta > 0.0);
+    assert!((from_rows - alpha_beta).abs() < 1e-12, "{from_rows} vs {alpha_beta}");
 }
 
 #[test]
@@ -83,7 +113,7 @@ fn pipeline_run_report_survives_json_round_trip() {
         preprocess: None,
         cluster: ClusterParams { gst: GstConfig { w: 10, psi: 18 }, ..Default::default() },
         parallel_ranks: Some(3),
-        master_worker: MasterWorkerConfig { batch: 8, pending_cap: 128 },
+        master_worker: MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() },
         assembly_threads: 2,
         ..Default::default()
     };
