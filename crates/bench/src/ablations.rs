@@ -6,6 +6,7 @@ use pgasm_align::wmer::WmerTable;
 use pgasm_core::clustering::{canonical_skip, same_fragment_skip, PairDecider};
 use pgasm_core::{cluster_serial, UnionFind};
 use pgasm_gst::{GenMode, Gst, PairGenerator, PromisingPair};
+use pgasm_telemetry::names;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -96,7 +97,7 @@ pub fn ordering(scale: f64) -> [(String, u64); 3] {
         let (shuffled_aligned, shuffled_sets) = ctx.scope("shuffled", |_| run_order(&reversed));
         assert_eq!(sorted_sets, reversed_sets, "ordering must not change the clustering");
         assert_eq!(sorted_sets, shuffled_sets, "ordering must not change the clustering");
-        ctx.set("pairs_generated", pairs.len() as u64);
+        ctx.set(names::PAIRS_GENERATED, pairs.len() as u64);
         ctx.set("aligned_sorted", sorted_aligned);
         ctx.set("aligned_reversed", reversed_aligned);
         ctx.set("aligned_shuffled", shuffled_aligned);

@@ -1,0 +1,177 @@
+//! `bench_diff` — regression gate over archived run reports.
+//!
+//! Compares fresh `BENCH_<id>.json` run reports (working directory by
+//! default) against the committed baselines under `baselines/`, and
+//! fails when a tracked metric regresses beyond tolerance:
+//!
+//! - wall seconds of every top-level span (machine-sensitive — gate
+//!   with a loose `--wall-tol` on shared hardware);
+//! - every baseline counter, plus modelled α–β communication seconds
+//!   and wire bytes summed over ranks. Work counters (pairs, merges)
+//!   are deterministic at a fixed scale; protocol traffic counts vary
+//!   with thread scheduling, so `ci.sh` gates them with a wider
+//!   `--comm-tol` than the 15% default.
+//!
+//! ```text
+//! bench_diff [--baselines <dir>] [--fresh <dir>] [--wall-tol <f>] [--comm-tol <f>]
+//! ```
+//!
+//! Tolerances are fractions (0.15 = +15%). Every baseline must have a
+//! fresh counterpart — a missing report is itself a failure, so the
+//! gate cannot silently pass by not running an experiment.
+
+use pgasm_telemetry::RunReport;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default allowed fractional increase (0.15 = +15%).
+const DEFAULT_TOL: f64 = 0.15;
+
+/// Spans shorter than this in the baseline are timer noise; their wall
+/// time is reported but not gated.
+const MIN_GATED_WALL_SECONDS: f64 = 0.05;
+
+struct Args {
+    baselines: PathBuf,
+    fresh: PathBuf,
+    wall_tol: f64,
+    comm_tol: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baselines: PathBuf::from("baselines"),
+        fresh: PathBuf::from("."),
+        wall_tol: DEFAULT_TOL,
+        comm_tol: DEFAULT_TOL,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
+        match argv[i].as_str() {
+            "--baselines" => args.baselines = PathBuf::from(value),
+            "--fresh" => args.fresh = PathBuf::from(value),
+            "--wall-tol" => args.wall_tol = value.parse().map_err(|_| format!("bad --wall-tol '{value}'"))?,
+            "--comm-tol" => args.comm_tol = value.parse().map_err(|_| format!("bad --comm-tol '{value}'"))?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn load(path: &Path) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    RunReport::from_json_str(&text).map_err(|e| format!("parse {}: {}", path.display(), e.msg))
+}
+
+/// One metric comparison; pushes a line and returns whether it regressed.
+fn check(failures: &mut Vec<String>, id: &str, metric: &str, base: f64, fresh: f64, tol: f64, gated: bool) {
+    let delta = if base > 0.0 { (fresh - base) / base } else { 0.0 };
+    let regressed = gated && base > 0.0 && fresh > base * (1.0 + tol);
+    let verdict = if regressed {
+        "REGRESSED"
+    } else if gated {
+        "ok"
+    } else {
+        "info"
+    };
+    println!("  {metric:<40} base {base:>12.6}  fresh {fresh:>12.6}  {:>+7.1}%  {verdict}", delta * 100.0);
+    if regressed {
+        failures.push(format!(
+            "{id}: {metric} {base:.6} -> {fresh:.6} (+{:.1}% > +{:.1}%)",
+            delta * 100.0,
+            tol * 100.0
+        ));
+    }
+}
+
+fn diff_report(failures: &mut Vec<String>, id: &str, base: &RunReport, fresh: &RunReport, args: &Args) {
+    println!("== {id} ==");
+    for span in &base.spans {
+        let gated = span.wall_seconds >= MIN_GATED_WALL_SECONDS;
+        check(
+            failures,
+            id,
+            &format!("wall[{}]", span.name),
+            span.wall_seconds,
+            fresh.wall(&span.name),
+            args.wall_tol,
+            gated,
+        );
+    }
+    // Counters are deterministic at a fixed PGASM_SCALE (messages,
+    // envelopes, modelled-comm microseconds, pairs), so any increase
+    // beyond tolerance is a genuine regression, not timer noise.
+    for (name, &base_v) in &base.counters {
+        check(
+            failures,
+            id,
+            &format!("counter[{name}]"),
+            base_v as f64,
+            fresh.counter(name) as f64,
+            args.comm_tol,
+            true,
+        );
+    }
+    // Reports written by `pgasm --metrics-json` carry per-rank comm
+    // rows; bench reports usually don't (zero baseline ⇒ not gated).
+    let comm_secs = |r: &RunReport| r.ranks.iter().map(|k| k.modelled_comm_seconds()).sum::<f64>();
+    let wire_bytes =
+        |r: &RunReport| r.ranks.iter().flat_map(|k| k.comm.iter()).map(|t| t.bytes_sent).sum::<u64>() as f64;
+    check(failures, id, "modelled_comm_seconds", comm_secs(base), comm_secs(fresh), args.comm_tol, true);
+    check(failures, id, "wire_bytes_sent", wire_bytes(base), wire_bytes(fresh), args.comm_tol, true);
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let args = parse_args()?;
+    let mut baseline_files: Vec<PathBuf> = std::fs::read_dir(&args.baselines)
+        .map_err(|e| format!("read {}: {e} (commit baselines first)", args.baselines.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baseline_files.sort();
+    if baseline_files.is_empty() {
+        return Err(format!("no BENCH_*.json baselines under {}", args.baselines.display()));
+    }
+    let mut failures = Vec::new();
+    for base_path in &baseline_files {
+        let name = base_path.file_name().unwrap().to_str().unwrap();
+        let id = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+        let fresh_path = args.fresh.join(name);
+        if !fresh_path.exists() {
+            failures
+                .push(format!("{id}: fresh report {} missing (experiment not run?)", fresh_path.display()));
+            continue;
+        }
+        let base = load(base_path)?;
+        let fresh = load(&fresh_path)?;
+        diff_report(&mut failures, id, &base, &fresh, &args);
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench_diff: no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("bench_diff: {} regression(s):", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_diff: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,7 +22,7 @@ use crate::datasets;
 use crate::util::*;
 use pgasm_core::{cluster_parallel, MasterWorkerConfig};
 use pgasm_mpisim::CoalescePolicy;
-use pgasm_telemetry::RankReport;
+use pgasm_telemetry::{names, RankReport};
 
 fn is_protocol(label: &str) -> bool {
     label.starts_with("w2m") || label.starts_with("m2w")
@@ -36,7 +36,11 @@ fn proto_wire_msgs(r: &RankReport) -> u64 {
 /// Everything this rank put on the wire for the protocol: bare
 /// messages plus coalesced envelopes.
 fn total_wire_msgs(r: &RankReport) -> u64 {
-    r.comm.iter().filter(|t| is_protocol(&t.label) || t.label == "coalesced").map(|t| t.msgs_sent).sum()
+    r.comm
+        .iter()
+        .filter(|t| is_protocol(&t.label) || t.label == names::TAG_COALESCED)
+        .map(|t| t.msgs_sent)
+        .sum()
 }
 
 /// Protocol messages delivered to this rank (post-split).
@@ -50,7 +54,7 @@ fn delivered_msgs(r: &RankReport) -> u64 {
 fn wire_seconds(r: &RankReport) -> f64 {
     r.comm
         .iter()
-        .filter(|t| is_protocol(&t.label) || t.label == "coalesced")
+        .filter(|t| is_protocol(&t.label) || t.label == names::TAG_COALESCED)
         .map(|t| t.modelled_seconds)
         .sum()
 }
@@ -99,7 +103,7 @@ pub fn run(scale: f64) -> Vec<Point> {
                     proto_wire_msgs: report.ranks.iter().map(proto_wire_msgs).sum(),
                     total_wire_msgs: report.ranks.iter().map(total_wire_msgs).sum(),
                     delivered_msgs: report.ranks.iter().map(delivered_msgs).sum(),
-                    envelopes: report.ranks.iter().map(|r| r.counter("envelopes_sent")).sum(),
+                    envelopes: report.ranks.iter().map(|r| r.counter(names::ENVELOPES_SENT)).sum(),
                     comm_seconds: report.ranks.iter().map(wire_seconds).sum(),
                 };
                 ctx.set(&format!("{arm}_proto_wire_msgs"), point.proto_wire_msgs);

@@ -12,6 +12,7 @@ use pgasm_assemble::AssemblyConfig;
 use pgasm_core::cluster_serial;
 use pgasm_core::pipeline::assemble_clusters;
 use pgasm_core::validation::validate_clusters;
+use pgasm_telemetry::names;
 
 /// Experiment outcome.
 #[derive(Debug, Clone, Copy)]
@@ -48,10 +49,10 @@ pub fn run(scale: f64) -> Outcome {
                 / assemblies.len() as f64
         };
         let validation = validate_clusters(&clustering, &prepared.origin, &prepared.reads.provenance, 2_000);
-        ctx.set("fragments", prepared.store.num_fragments() as u64);
-        ctx.set("non_singleton_clusters", clustering.num_non_singletons() as u64);
+        ctx.set(names::FRAGMENTS, prepared.store.num_fragments() as u64);
+        ctx.set(names::NON_SINGLETON_CLUSTERS, clustering.num_non_singletons() as u64);
         ctx.set("singletons", clustering.num_singletons() as u64);
-        ctx.set("contigs", assemblies.iter().map(|a| a.num_contigs() as u64).sum());
+        ctx.set(names::CONTIGS, assemblies.iter().map(|a| a.num_contigs() as u64).sum());
         Outcome {
             fragments: prepared.store.num_fragments(),
             clusters: clustering.num_non_singletons(),

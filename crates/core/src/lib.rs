@@ -39,7 +39,9 @@ pub mod unionfind;
 pub mod validation;
 
 pub use clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
-pub use master_worker::{cluster_parallel, MasterWorkerConfig, ParallelClusterReport};
+pub use master_worker::{
+    cluster_parallel, cluster_parallel_traced, MasterWorkerConfig, ParallelClusterReport,
+};
 pub use parallel_gst::{build_distributed_gst, DistributedGstReport};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
 pub use unionfind::UnionFind;

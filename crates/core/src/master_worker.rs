@@ -53,7 +53,8 @@ use pgasm_gst::{PairGenerator, PromisingPair};
 use pgasm_mpisim::codec::{Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel, Msg};
 use pgasm_seq::{FragmentStore, SeqId};
-use pgasm_telemetry::RankReport;
+use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec};
+use pgasm_telemetry::{names, RankReport};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
@@ -122,6 +123,9 @@ pub struct ParallelClusterReport {
     /// counters (pairs generated/aligned/accepted, batch round-trips,
     /// peak queue depth), and per-tag traffic with modelled α–β time.
     pub ranks: Vec<RankReport>,
+    /// Per-rank event traces covering the whole run (GST + clustering);
+    /// empty tracks when tracing was off.
+    pub traces: Vec<RankTrace>,
 }
 
 struct RankOutcome {
@@ -134,6 +138,7 @@ struct RankOutcome {
     cpu_seconds: f64,
     counters: BTreeMap<String, u64>,
     rank_report: RankReport,
+    trace: RankTrace,
 }
 
 fn encode_pair(e: &mut Encoder, p: &PromisingPair) {
@@ -162,6 +167,19 @@ pub fn cluster_parallel(
     params: &ClusterParams,
     config: &MasterWorkerConfig,
 ) -> ParallelClusterReport {
+    cluster_parallel_traced(store, p, params, config, TraceSpec::off())
+}
+
+/// [`cluster_parallel`] with per-rank event tracing. The [`TraceSpec`]
+/// is a separate argument (not a `MasterWorkerConfig` field) because it
+/// carries the run's shared clock epoch, which has no serial form.
+pub fn cluster_parallel_traced(
+    store: &FragmentStore,
+    p: usize,
+    params: &ClusterParams,
+    config: &MasterWorkerConfig,
+    trace: TraceSpec,
+) -> ParallelClusterReport {
     assert!(p >= 2, "master–worker needs at least 2 ranks");
     assert!(!store.is_double_stranded(), "pass the original single-stranded fragments");
     let n = store.num_fragments();
@@ -170,6 +188,10 @@ pub fn cluster_parallel(
     let (ds, owner, params, config) = (&ds, &owner, *params, *config);
 
     let outcomes: Vec<RankOutcome> = pgasm_mpisim::run(p, move |comm| {
+        // Tracing covers the whole rank body — GST collectives and the
+        // clustering protocol land on one per-rank track.
+        let role = if comm.rank() == 0 { "master" } else { "worker" };
+        comm.set_tracer(trace.tracer(comm.rank(), role));
         // Phase 1: distributed GST over worker ranks.
         let gst_t0 = Instant::now();
         let (gst, _text, gst_report) = rank_build_gst(comm, ds, owner, params.gst, 1);
@@ -214,33 +236,39 @@ pub fn cluster_parallel(
         let mut comm_rows = comm.tag_stats(&CostModel::BLUEGENE_L);
         for row in &mut comm_rows {
             row.label = match row.tag {
-                TAG_W2M_AR => "w2m_ar".to_string(),
-                TAG_W2M_NP => "w2m_np".to_string(),
-                TAG_M2W_R => "m2w_r".to_string(),
-                TAG_M2W_AW => "m2w_aw".to_string(),
+                TAG_W2M_AR => names::TAG_W2M_AR.to_string(),
+                TAG_W2M_NP => names::TAG_W2M_NP.to_string(),
+                TAG_M2W_R => names::TAG_M2W_R.to_string(),
+                TAG_M2W_AW => names::TAG_M2W_AW.to_string(),
                 _ => std::mem::take(&mut row.label),
             };
         }
-        // Coalescing-layer counters join the loop's own tallies.
+        // Coalescing-layer counters join the loop's own tallies, plus
+        // the whole-run blocked-time totals (GST phase included) that
+        // the trace-derived idle-gap histograms are checked against.
         let cs = comm.coalesce_stats();
         for (name, value) in [
-            ("msgs_coalesced", cs.msgs_coalesced),
-            ("envelopes_sent", cs.envelopes_sent),
-            ("flush_by_bytes", cs.flush_bytes),
-            ("flush_by_msgs", cs.flush_msgs),
-            ("flush_on_block", cs.flush_block),
-            ("flush_explicit", cs.flush_explicit),
+            (names::MSGS_COALESCED, cs.msgs_coalesced),
+            (names::ENVELOPES_SENT, cs.envelopes_sent),
+            (names::FLUSH_BY_BYTES, cs.flush_bytes),
+            (names::FLUSH_BY_MSGS, cs.flush_msgs),
+            (names::FLUSH_ON_BLOCK, cs.flush_block),
+            (names::FLUSH_EXPLICIT, cs.flush_explicit),
+            (names::WAIT_NS_TOTAL, after.wait_ns),
+            (names::BARRIER_NS_TOTAL, after.barrier_ns),
         ] {
             outcome.counters.insert(name.to_string(), value);
         }
         outcome.rank_report = RankReport {
             rank: comm.rank(),
-            role: if comm.rank() == 0 { "master" } else { "worker" }.to_string(),
+            role: role.to_string(),
             cpu_seconds: cpu,
             idle_seconds: blocked,
             counters: std::mem::take(&mut outcome.counters),
             comm: comm_rows,
+            idle_gaps: None,
         };
+        outcome.trace = comm.take_trace();
         outcome
     });
 
@@ -255,6 +283,7 @@ pub fn cluster_parallel(
         comm: outcomes.iter().map(|o| o.comm).collect(),
         cpu_seconds: outcomes.iter().map(|o| o.cpu_seconds).collect(),
         ranks: outcomes.iter().map(|o| o.rank_report.clone()).collect(),
+        traces: outcomes.iter().map(|o| o.trace.clone()).collect(),
         gst_reports: outcomes.into_iter().map(|o| o.gst_report).collect(),
     }
 }
@@ -359,6 +388,7 @@ impl Master<'_> {
                 // Nothing to do and nothing left to generate: park it
                 // (the empty AW tells the worker to block).
                 self.parked[i] = true;
+                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_PARK, "worker", i as u64);
                 send_grant(comm, i, r, &[], false);
             } else {
                 if !batch.is_empty() {
@@ -375,6 +405,7 @@ impl Master<'_> {
                 self.batches_dispatched += 1;
                 self.parked[j] = false;
                 self.outstanding[j] = true;
+                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_UNPARK, "worker", j as u64);
                 send_grant(comm, j, r, &batch, false);
             }
         }
@@ -440,13 +471,16 @@ fn master_loop(
         // batches are cut for slow ones.
         if let Some(msg) = comm.try_recv(None, None) {
             drain_depth += 1;
+            note_handled(comm, &msg);
             m.handle(&msg);
             continue;
         }
         drain_depth_max = drain_depth_max.max(drain_depth);
 
         // Inbox empty: answer completed rounds, revive parked workers.
+        comm.tracer_mut().begin(TraceCategory::Master, names::EV_DISPATCH);
         m.dispatch(comm);
+        comm.tracer_mut().end(TraceCategory::Master, names::EV_DISPATCH);
 
         if m.finished() {
             for i in 1..p {
@@ -463,18 +497,19 @@ fn master_loop(
         // flushes the grants staged above).
         let msg = comm.recv(None, None);
         drain_depth = 1;
+        note_handled(comm, &msg);
         m.handle(&msg);
     }
 
     let mut stats = m.stats;
     let counters = BTreeMap::from([
-        ("pairs_generated".to_string(), stats.generated),
-        ("pairs_aligned".to_string(), stats.aligned),
-        ("pairs_accepted".to_string(), stats.accepted),
-        ("pairs_selected".to_string(), m.selected),
-        ("peak_queue_depth".to_string(), m.peak_queue_depth),
-        ("batches_dispatched".to_string(), m.batches_dispatched),
-        ("inbox_drain_depth_max".to_string(), drain_depth_max),
+        (names::PAIRS_GENERATED.to_string(), stats.generated),
+        (names::PAIRS_ALIGNED.to_string(), stats.aligned),
+        (names::PAIRS_ACCEPTED.to_string(), stats.accepted),
+        (names::PAIRS_SELECTED.to_string(), m.selected),
+        (names::PEAK_QUEUE_DEPTH.to_string(), m.peak_queue_depth),
+        (names::BATCHES_DISPATCHED.to_string(), m.batches_dispatched),
+        (names::INBOX_DRAIN_DEPTH_MAX.to_string(), drain_depth_max),
     ]);
     RankOutcome {
         clustering: Some(m.clusters.finish(&mut stats)),
@@ -486,7 +521,14 @@ fn master_loop(
         cpu_seconds: 0.0,
         counters,
         rank_report: RankReport::default(),
+        trace: RankTrace::default(),
     }
+}
+
+/// Mark a drained worker report on the master's track, by message kind.
+fn note_handled(comm: &mut Comm, msg: &Msg) {
+    let name = if msg.tag == TAG_W2M_AR { names::EV_HANDLE_AR } else { names::EV_HANDLE_NP };
+    comm.tracer_mut().instant_arg(TraceCategory::Master, name, "src", msg.src as u64);
 }
 
 fn drain_batch(pending: &mut VecDeque<PromisingPair>, b: usize) -> Vec<PromisingPair> {
@@ -556,6 +598,15 @@ fn worker_loop(
 
     loop {
         // Compute the alignments allocated last round.
+        let had_aw = !aw.is_empty();
+        if had_aw {
+            comm.tracer_mut().begin_arg(
+                TraceCategory::Align,
+                names::EV_ALIGN_BATCH,
+                "pairs",
+                aw.len() as u64,
+            );
+        }
         for pair in aw.drain(..) {
             let r = decider.align_full(&pair);
             cells_delta += r.cells;
@@ -564,9 +615,14 @@ fn worker_loop(
             pairs_accepted += accepted as u64;
             results.push((pair, accepted, r.a_range.0 as u32, r.b_range.0 as u32, r.overlap_len as u32));
         }
+        if had_aw {
+            comm.tracer_mut().end(TraceCategory::Align, names::EV_ALIGN_BATCH);
+        }
         // Generate the requested number of new pairs.
         np.clear();
+        comm.tracer_mut().begin_arg(TraceCategory::Worker, names::EV_GENERATE, "requested", r as u64);
         gen.next_batch(r, &mut np);
+        comm.tracer_mut().end(TraceCategory::Worker, names::EV_GENERATE);
         pairs_generated += np.len() as u64;
         let active = !gen.is_exhausted();
         // Report: alignment results (AR) and new pairs (NP) travel as
@@ -603,10 +659,10 @@ fn worker_loop(
             let terminate = d.get_u32() == 1;
             if terminate {
                 return worker_outcome(BTreeMap::from([
-                    ("pairs_generated".to_string(), pairs_generated),
-                    ("pairs_aligned".to_string(), pairs_aligned),
-                    ("pairs_accepted".to_string(), pairs_accepted),
-                    ("batch_round_trips".to_string(), round_trips),
+                    (names::PAIRS_GENERATED.to_string(), pairs_generated),
+                    (names::PAIRS_ALIGNED.to_string(), pairs_aligned),
+                    (names::PAIRS_ACCEPTED.to_string(), pairs_accepted),
+                    (names::BATCH_ROUND_TRIPS.to_string(), round_trips),
                 ]));
             }
             r = d.get_u32() as usize;
@@ -617,6 +673,7 @@ fn worker_loop(
             if aw.is_empty() && !active {
                 // Passive with no work: park and wait for an
                 // unsolicited allocation or termination.
+                comm.tracer_mut().instant(TraceCategory::Worker, names::EV_PARK);
                 continue;
             }
             break;
@@ -708,6 +765,7 @@ fn worker_outcome(counters: BTreeMap<String, u64>) -> RankOutcome {
         cpu_seconds: 0.0,
         counters,
         rank_report: RankReport::default(),
+        trace: RankTrace::default(),
     }
 }
 

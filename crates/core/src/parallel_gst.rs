@@ -26,6 +26,8 @@ use pgasm_gst::{bucket_suffixes_of, Gst, GstConfig, Suffix, TextSource};
 use pgasm_mpisim::codec::{Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
+use pgasm_telemetry::names;
+use pgasm_telemetry::trace::TraceCategory;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -120,11 +122,13 @@ pub fn rank_build_gst<'s>(
     // Phase 1: bucket own suffixes. Compute is accounted in *thread CPU
     // time*: ranks may timeshare cores, and wall intervals would then
     // overstate computation (see `thread_cpu_seconds`).
+    comm.tracer_mut().begin(TraceCategory::Gst, names::EV_GST_BUCKET);
     let t = thread_cpu_seconds();
     let my_seqs: Vec<SeqId> =
         (0..store.num_seqs() as u32).filter(|&s| owner[s as usize] as usize == rank).map(SeqId).collect();
     let local_buckets = bucket_suffixes_of(store, &my_seqs, config.w);
     compute += thread_cpu_seconds() - t;
+    comm.tracer_mut().end(TraceCategory::Gst, names::EV_GST_BUCKET);
 
     // Phase 2: bucket → builder assignment is *static* (a hash of the
     // bucket key), relying on the paper's observation that for diverse
@@ -134,6 +138,7 @@ pub fn rank_build_gst<'s>(
     // balanced manner"). No communication is needed to agree on owners.
 
     // Phase 3: redistribute suffixes (customised all-to-all, §6).
+    comm.tracer_mut().begin(TraceCategory::Gst, names::EV_GST_REDISTRIBUTE);
     let mut per_dest: Vec<Encoder> = (0..p).map(|_| Encoder::new()).collect();
     for (key, sufs) in &local_buckets {
         let dest = bucket_owner(*key, builders, first_builder);
@@ -160,7 +165,10 @@ pub fn rank_build_gst<'s>(
         }
     }
 
+    comm.tracer_mut().end(TraceCategory::Gst, names::EV_GST_REDISTRIBUTE);
+
     // Phase 4: fetch foreign fragments (two collective steps).
+    comm.tracer_mut().begin(TraceCategory::Gst, names::EV_GST_FETCH);
     let t = thread_cpu_seconds();
     let mut needed: Vec<u32> = my_buckets
         .values()
@@ -196,8 +204,10 @@ pub fn rank_build_gst<'s>(
     }
     let fragments_fetched = fetched.len();
     let text = LocalText { store, owner, rank, fetched };
+    comm.tracer_mut().end(TraceCategory::Gst, names::EV_GST_FETCH);
 
     // Phase 5: build the local forest.
+    comm.tracer_mut().begin(TraceCategory::Gst, names::EV_GST_BUILD);
     let t = thread_cpu_seconds();
     let suffixes_built: usize = my_buckets.values().map(|b| b.len()).sum();
     let buckets: Vec<Vec<Suffix>> = {
@@ -207,6 +217,7 @@ pub fn rank_build_gst<'s>(
     };
     let gst = Gst::build_from_buckets(&text, buckets, config);
     compute += thread_cpu_seconds() - t;
+    comm.tracer_mut().end(TraceCategory::Gst, names::EV_GST_BUILD);
 
     let after = comm.stats();
     let comm_delta = CommStats {

@@ -7,13 +7,14 @@
 //! private context for the common case.
 
 use crate::clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
-use crate::master_worker::{cluster_parallel, MasterWorkerConfig};
+use crate::master_worker::{cluster_parallel_traced, MasterWorkerConfig};
 use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig};
 use pgasm_preprocess::{PreprocessConfig, PreprocessStats, Preprocessor};
 use pgasm_seq::QualityTrack;
 use pgasm_seq::{DnaSeq, FragmentStore, SeqId};
 use pgasm_simgen::ReadSet;
-use pgasm_telemetry::{RunContext, Span};
+use pgasm_telemetry::trace::{TraceCategory, TraceSpec};
+use pgasm_telemetry::{names, RunContext, Span};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration.
@@ -33,6 +34,10 @@ pub struct PipelineConfig {
     pub assembly: AssemblyConfig,
     /// Threads for the trivially parallel assembly phase.
     pub assembly_threads: usize,
+    /// Per-rank event tracing for the run ([`TraceSpec::off`] by
+    /// default). When on, the run's traces are collected into the
+    /// [`RunContext`] for Chrome-trace export and idle-gap attribution.
+    pub trace: TraceSpec,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +49,7 @@ impl Default for PipelineConfig {
             master_worker: MasterWorkerConfig::default(),
             assembly: AssemblyConfig::default(),
             assembly_threads: 4,
+            trace: TraceSpec::off(),
         }
     }
 }
@@ -168,7 +174,7 @@ impl Stage for PreprocessStage<'_> {
     }
 
     fn run(&self, state: &mut StageState<'_>, ctx: &mut RunContext) {
-        ctx.set("reads_in", state.reads.len() as u64);
+        ctx.set(names::READS_IN, state.reads.len() as u64);
         match &self.config.preprocess {
             Some(cfg) => {
                 let pp = Preprocessor::new(cfg.clone(), state.vectors, state.known_repeats);
@@ -185,7 +191,7 @@ impl Stage for PreprocessStage<'_> {
                 state.quals = state.reads.quals.clone();
             }
         }
-        ctx.set("fragments", state.store.as_ref().map_or(0, |s| s.num_fragments()) as u64);
+        ctx.set(names::FRAGMENTS, state.store.as_ref().map_or(0, |s| s.num_fragments()) as u64);
     }
 }
 
@@ -205,7 +211,13 @@ impl Stage for ClusterStage<'_> {
         let store = state.store.as_ref().expect("preprocess stage ran");
         let (clustering, stats) = match self.config.parallel_ranks {
             Some(p) => {
-                let report = cluster_parallel(store, p, &self.config.cluster, &self.config.master_worker);
+                let report = cluster_parallel_traced(
+                    store,
+                    p,
+                    &self.config.cluster,
+                    &self.config.master_worker,
+                    self.config.trace,
+                );
                 ctx.record_span(Span {
                     name: "gst_build".to_string(),
                     wall_seconds: report.gst_seconds,
@@ -219,17 +231,20 @@ impl Stage for ClusterStage<'_> {
                     children: Vec::new(),
                 });
                 ctx.set_ranks(report.ranks);
+                if self.config.trace.enabled {
+                    ctx.set_traces(report.traces);
+                }
                 (report.clustering, report.stats)
             }
             None => cluster_serial(store, &self.config.cluster),
         };
-        ctx.set("pairs_generated", stats.generated);
-        ctx.set("pairs_aligned", stats.aligned);
-        ctx.set("pairs_accepted", stats.accepted);
-        ctx.set("merges", stats.merges);
-        ctx.set("dp_cells", stats.dp_cells);
-        ctx.set("clusters", clustering.clusters.len() as u64);
-        ctx.set("non_singleton_clusters", clustering.num_non_singletons() as u64);
+        ctx.set(names::PAIRS_GENERATED, stats.generated);
+        ctx.set(names::PAIRS_ALIGNED, stats.aligned);
+        ctx.set(names::PAIRS_ACCEPTED, stats.accepted);
+        ctx.set(names::MERGES, stats.merges);
+        ctx.set(names::DP_CELLS, stats.dp_cells);
+        ctx.set(names::CLUSTERS, clustering.clusters.len() as u64);
+        ctx.set(names::NON_SINGLETON_CLUSTERS, clustering.num_non_singletons() as u64);
         state.clustering = Some(clustering);
         state.cluster_stats = stats;
     }
@@ -257,8 +272,8 @@ impl Stage for AssembleStage<'_> {
             &self.config.assembly,
             self.config.assembly_threads,
         );
-        ctx.set("assembled_clusters", state.assemblies.len() as u64);
-        ctx.set("contigs", state.assemblies.iter().map(|a| a.num_contigs() as u64).sum());
+        ctx.set(names::ASSEMBLED_CLUSTERS, state.assemblies.len() as u64);
+        ctx.set(names::CONTIGS, state.assemblies.iter().map(|a| a.num_contigs() as u64).sum());
     }
 }
 
@@ -299,11 +314,20 @@ impl Pipeline {
             &ClusterStage { config: &self.config },
             &AssembleStage { config: &self.config },
         ];
+        // The pipeline's main thread gets its own trace track for stage
+        // boundaries, on a rank id past the parallel section's ranks so
+        // the tracks never collide.
+        let mut tracer = self.config.trace.tracer(self.config.parallel_ranks.unwrap_or(0), "pipeline");
         for stage in stages {
+            tracer.begin(TraceCategory::Stage, stage.name());
             ctx.push(stage.name());
             stage.run(&mut state, ctx);
             let (wall, _cpu) = ctx.pop();
+            tracer.end(TraceCategory::Stage, stage.name());
             state.stage_seconds.push((stage.name(), wall));
+        }
+        if self.config.trace.enabled {
+            ctx.add_trace(tracer.finish());
         }
 
         let (preprocess_seconds, cluster_seconds, assembly_seconds) =
@@ -400,6 +424,7 @@ mod tests {
             master_worker: MasterWorkerConfig { batch: 16, pending_cap: 512, ..Default::default() },
             assembly: AssemblyConfig::default(),
             assembly_threads: 2,
+            trace: TraceSpec::off(),
         }
     }
 

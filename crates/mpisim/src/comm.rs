@@ -5,7 +5,8 @@ use crate::codec::{Decoder, Encoder};
 use crate::model::{CommStats, CostModel};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use pgasm_telemetry::TagStat;
+use pgasm_telemetry::trace::{RankTrace, TraceCategory, Tracer};
+use pgasm_telemetry::{names, TagStat};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Barrier};
@@ -129,6 +130,7 @@ pub struct Comm {
     coalesce: Option<CoalescePolicy>,
     queues: Vec<SendQueue>,
     cstats: CoalesceStats,
+    tracer: Tracer,
 }
 
 impl Comm {
@@ -187,6 +189,25 @@ impl Comm {
     /// Snapshot of this rank's coalescing counters.
     pub fn coalesce_stats(&self) -> CoalesceStats {
         self.cstats
+    }
+
+    /// Install an event tracer for this rank. The default tracer is
+    /// disabled, costing one branch per would-be event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The rank's tracer, for layers above the comm substrate (the
+    /// master–worker protocol, GST phases) to record their own events
+    /// onto the same track.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Take the rank's finished trace out, leaving a disabled tracer
+    /// behind. Call at the end of the rank body.
+    pub fn take_trace(&mut self) -> RankTrace {
+        std::mem::replace(&mut self.tracer, Tracer::disabled()).finish()
     }
 
     /// Asynchronous send (like `MPI_Isend` with unbounded buffering).
@@ -263,6 +284,12 @@ impl Comm {
             }
             self.cstats.msgs_coalesced += msgs.len() as u64;
             self.cstats.envelopes_sent += 1;
+            self.tracer.instant_args(
+                TraceCategory::Comm,
+                names::EV_COALESCE_FLUSH,
+                ("msgs", msgs.len() as u64),
+                ("bytes", (4 + framed) as u64),
+            );
             self.transmit(dest, TAG_COALESCED, e.finish());
         }
     }
@@ -278,6 +305,12 @@ impl Comm {
 
     /// Put one message on the wire (or this rank's own backlog).
     fn transmit(&mut self, dest: usize, tag: u32, data: Bytes) {
+        self.tracer.instant_args(
+            TraceCategory::Comm,
+            names::EV_SEND,
+            ("tag", tag as u64),
+            ("bytes", data.len() as u64),
+        );
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         let row = self.tag_traffic.entry(tag).or_default();
@@ -316,9 +349,13 @@ impl Comm {
             let m = match self.receiver.try_recv() {
                 Ok(m) => m,
                 Err(_) => {
+                    // The traced `wait` span brackets exactly the region
+                    // `wait_ns` measures, so the two accountings agree.
+                    self.tracer.begin(TraceCategory::Comm, names::EV_WAIT);
                     let start = Instant::now();
                     let m = self.receiver.recv().expect("all ranks exited");
                     self.stats.wait_ns += start.elapsed().as_nanos() as u64;
+                    self.tracer.end(TraceCategory::Comm, names::EV_WAIT);
                     m
                 }
             };
@@ -377,6 +414,12 @@ impl Comm {
     }
 
     fn note_recv(&mut self, m: &Msg) {
+        self.tracer.instant_args(
+            TraceCategory::Comm,
+            names::EV_RECV,
+            ("tag", m.tag as u64),
+            ("bytes", m.data.len() as u64),
+        );
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += m.data.len() as u64;
         let row = self.tag_traffic.entry(m.tag).or_default();
@@ -387,9 +430,11 @@ impl Comm {
     /// Synchronise all ranks (flushing staged sends first).
     pub fn barrier(&mut self) {
         self.flush_before_block();
+        self.tracer.begin(TraceCategory::Comm, names::EV_BARRIER);
         let start = Instant::now();
         self.barrier.wait();
         self.stats.barrier_ns += start.elapsed().as_nanos() as u64;
+        self.tracer.end(TraceCategory::Comm, names::EV_BARRIER);
     }
 
     /// Broadcast from `root`: the root passes `Some(data)`, everyone
@@ -555,6 +600,7 @@ where
                 coalesce: None,
                 queues: (0..p).map(|_| SendQueue::default()).collect(),
                 cstats: CoalesceStats::default(),
+                tracer: Tracer::disabled(),
             }
         })
         .collect();

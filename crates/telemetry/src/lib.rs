@@ -21,10 +21,15 @@
 
 pub mod cpu;
 pub mod json;
+pub mod names;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use cpu::thread_cpu_seconds;
 pub use json::{Json, JsonError};
-pub use report::{RankReport, RunReport, TagStat};
+pub use report::{RankReport, RunReport, TagStat, TraceSummary, SCHEMA_VERSION};
 pub use span::{RunContext, Span};
+pub use trace::{
+    IdleGapHistogram, RankTrace, Trace, TraceCategory, TraceEvent, TraceKind, TraceSpec, Tracer,
+};

@@ -1,0 +1,111 @@
+//! Canonical names for counters, tag labels, and trace events.
+//!
+//! Every layer that records a metric and every consumer that reads one
+//! back (bench tables, report assertions, the trace exporter) goes
+//! through these constants, so a typo'd counter name is a compile error
+//! instead of a silently empty metric.
+
+// ---- run / rank counters -------------------------------------------------
+
+/// Pairs yielded by the generators (paper Table 1 "generated").
+pub const PAIRS_GENERATED: &str = "pairs_generated";
+/// Pairs actually aligned (after the cluster-check skip).
+pub const PAIRS_ALIGNED: &str = "pairs_aligned";
+/// Aligned pairs that met the acceptance criteria.
+pub const PAIRS_ACCEPTED: &str = "pairs_accepted";
+/// Pairs the master selected into the pending buffer.
+pub const PAIRS_SELECTED: &str = "pairs_selected";
+/// Union–Find merges performed.
+pub const MERGES: &str = "merges";
+/// Dynamic-programming cells evaluated by the aligners.
+pub const DP_CELLS: &str = "dp_cells";
+/// Total clusters in the final partition.
+pub const CLUSTERS: &str = "clusters";
+/// Clusters with at least two members.
+pub const NON_SINGLETON_CLUSTERS: &str = "non_singleton_clusters";
+/// Reads entering the pipeline.
+pub const READS_IN: &str = "reads_in";
+/// Fragments surviving preprocessing.
+pub const FRAGMENTS: &str = "fragments";
+/// Non-singleton clusters handed to the assembler.
+pub const ASSEMBLED_CLUSTERS: &str = "assembled_clusters";
+/// Contigs produced across all clusters.
+pub const CONTIGS: &str = "contigs";
+
+// ---- master–worker protocol counters -------------------------------------
+
+/// Peak depth of the master's pending-work buffer.
+pub const PEAK_QUEUE_DEPTH: &str = "peak_queue_depth";
+/// Non-empty AW batches the master dispatched.
+pub const BATCHES_DISPATCHED: &str = "batches_dispatched";
+/// Deepest single drain of the master's inbox.
+pub const INBOX_DRAIN_DEPTH_MAX: &str = "inbox_drain_depth_max";
+/// Report/grant round-trips a worker completed.
+pub const BATCH_ROUND_TRIPS: &str = "batch_round_trips";
+/// Nanoseconds this rank spent blocked in `recv` over the whole run.
+pub const WAIT_NS_TOTAL: &str = "wait_ns_total";
+/// Nanoseconds this rank spent blocked in barriers over the whole run.
+pub const BARRIER_NS_TOTAL: &str = "barrier_ns_total";
+
+// ---- coalescing-layer counters -------------------------------------------
+
+/// Logical messages that travelled inside an envelope.
+pub const MSGS_COALESCED: &str = "msgs_coalesced";
+/// Envelopes put on the wire.
+pub const ENVELOPES_SENT: &str = "envelopes_sent";
+/// Queue flushes tripped by the byte threshold.
+pub const FLUSH_BY_BYTES: &str = "flush_by_bytes";
+/// Queue flushes tripped by the message-count threshold.
+pub const FLUSH_BY_MSGS: &str = "flush_by_msgs";
+/// Queue flushes forced by the rank blocking.
+pub const FLUSH_ON_BLOCK: &str = "flush_on_block";
+/// Explicit and ordering-forced queue flushes.
+pub const FLUSH_EXPLICIT: &str = "flush_explicit";
+
+// ---- tag labels -----------------------------------------------------------
+
+/// Worker → master alignment results (paper's `AR`).
+pub const TAG_W2M_AR: &str = "w2m_ar";
+/// Worker → master new pairs + generator status (paper's `NP`).
+pub const TAG_W2M_NP: &str = "w2m_np";
+/// Master → worker flow-control grant (paper's `R`).
+pub const TAG_M2W_R: &str = "m2w_r";
+/// Master → worker alignment batch (paper's `AW`).
+pub const TAG_M2W_AW: &str = "m2w_aw";
+/// Framed envelope carrying coalesced messages.
+pub const TAG_COALESCED: &str = "coalesced";
+
+// ---- trace event names ----------------------------------------------------
+
+/// Blocked in `recv` on an empty channel (span, category `comm`).
+pub const EV_WAIT: &str = "wait";
+/// Blocked in a barrier (span, category `comm`).
+pub const EV_BARRIER: &str = "barrier";
+/// One wire message sent (instant, category `comm`; args tag/bytes).
+pub const EV_SEND: &str = "send";
+/// One logical message delivered (instant, category `comm`).
+pub const EV_RECV: &str = "recv";
+/// A coalescing queue flushed into an envelope (instant, `comm`).
+pub const EV_COALESCE_FLUSH: &str = "coalesce_flush";
+/// Master handled an AR report (instant, category `master`).
+pub const EV_HANDLE_AR: &str = "handle_ar";
+/// Master handled an NP report (instant, category `master`).
+pub const EV_HANDLE_NP: &str = "handle_np";
+/// Master answering completed rounds / feeding parked workers (span).
+pub const EV_DISPATCH: &str = "dispatch";
+/// Master parked a passive worker (instant; arg worker).
+pub const EV_PARK: &str = "park";
+/// Master revived a parked worker with pending work (instant).
+pub const EV_UNPARK: &str = "unpark";
+/// Worker computing its allocated alignment batch (span, `align`).
+pub const EV_ALIGN_BATCH: &str = "align_batch";
+/// Worker generating the requested pairs (span, category `worker`).
+pub const EV_GENERATE: &str = "generate";
+/// GST: bucketing own suffixes (span, category `gst`).
+pub const EV_GST_BUCKET: &str = "gst_bucket";
+/// GST: suffix redistribution all-to-all (span, category `gst`).
+pub const EV_GST_REDISTRIBUTE: &str = "gst_redistribute";
+/// GST: fetching foreign fragments (span, category `gst`).
+pub const EV_GST_FETCH: &str = "gst_fetch";
+/// GST: building the local forest (span, category `gst`).
+pub const EV_GST_BUILD: &str = "gst_build";

@@ -4,8 +4,17 @@
 
 use crate::json::{Json, JsonError};
 use crate::span::Span;
+use crate::trace::IdleGapHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Version of the `pgasm.run_report` JSON schema this crate writes.
+///
+/// History: 1 = PR 1 format (implicit, stored under `"version"`);
+/// 2 = adds `schema_version`, per-rank `idle_gaps`, and the run-level
+/// `trace` summary. Parsers accept any version ≥ 1 and ignore fields
+/// they don't know (forward compatibility is tested).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Traffic and modelled cost for one message tag on one rank.
 ///
@@ -72,6 +81,9 @@ pub struct RankReport {
     pub counters: BTreeMap<String, u64>,
     /// Per-tag traffic rows, ascending by tag.
     pub comm: Vec<TagStat>,
+    /// Idle-gap histogram derived from this rank's trace (present only
+    /// when the run was traced).
+    pub idle_gaps: Option<IdleGapHistogram>,
 }
 
 impl RankReport {
@@ -86,14 +98,18 @@ impl RankReport {
     }
 
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("rank", Json::Num(self.rank as f64)),
             ("role", Json::Str(self.role.clone())),
             ("cpu_seconds", Json::Num(self.cpu_seconds)),
             ("idle_seconds", Json::Num(self.idle_seconds)),
             ("counters", counters_to_json(&self.counters)),
             ("comm", Json::Arr(self.comm.iter().map(TagStat::to_json).collect())),
-        ])
+        ];
+        if let Some(h) = &self.idle_gaps {
+            fields.push(("idle_gaps", h.to_json()));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<RankReport, JsonError> {
@@ -110,7 +126,46 @@ impl RankReport {
                 .iter()
                 .map(TagStat::from_json)
                 .collect::<Result<_, _>>()?,
+            idle_gaps: v.get("idle_gaps").map(IdleGapHistogram::from_json),
         })
+    }
+}
+
+/// Run-level trace digest folded into the report when a run was traced:
+/// master occupancy over time windows plus the drop counter. The full
+/// event stream lives in the separate Chrome trace JSON artifact.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Width, in seconds, of each occupancy window.
+    pub window_seconds: f64,
+    /// Busy fraction (1 − blocked share) of the master track per
+    /// window, in time order. Empty when no master track was traced.
+    pub master_occupancy: Vec<f64>,
+    /// Events dropped across all ranks (buffer overflow).
+    pub dropped_events: u64,
+}
+
+impl TraceSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("window_seconds", Json::Num(self.window_seconds)),
+            ("master_occupancy", Json::Arr(self.master_occupancy.iter().map(|&o| Json::Num(o)).collect())),
+            ("dropped_events", Json::Num(self.dropped_events as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> TraceSummary {
+        TraceSummary {
+            window_seconds: v.get("window_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            master_occupancy: v
+                .get("master_occupancy")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(Json::as_f64)
+                .collect(),
+            dropped_events: v.get("dropped_events").and_then(Json::as_u64).unwrap_or(0),
+        }
     }
 }
 
@@ -137,6 +192,9 @@ fn counters_from_json(v: Option<&Json>) -> Result<BTreeMap<String, u64>, JsonErr
 /// The complete, immutable record of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
+    /// JSON schema version this report was written with (see
+    /// [`SCHEMA_VERSION`]); 1 for reports predating the field.
+    pub schema_version: u32,
     /// Run label (command line, experiment id, …).
     pub label: String,
     /// Top-level span trees, in execution order.
@@ -145,6 +203,8 @@ pub struct RunReport {
     pub counters: BTreeMap<String, u64>,
     /// Per-rank channels from the run's parallel section.
     pub ranks: Vec<RankReport>,
+    /// Trace-derived digest; present only when the run was traced.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {
@@ -182,14 +242,20 @@ impl RunReport {
 
     /// Structured JSON value.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("format", Json::Str("pgasm.run_report".into())),
-            ("version", Json::Num(1.0)),
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            // Legacy alias kept so version-1 readers still recognise us.
+            ("version", Json::Num(self.schema_version as f64)),
             ("label", Json::Str(self.label.clone())),
             ("spans", Json::Arr(self.spans.iter().map(Span::to_json).collect())),
             ("counters", counters_to_json(&self.counters)),
             ("ranks", Json::Arr(self.ranks.iter().map(RankReport::to_json).collect())),
-        ])
+        ];
+        if let Some(t) = &self.trace {
+            fields.push(("trace", t.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Pretty-printed JSON document.
@@ -202,7 +268,16 @@ impl RunReport {
         if v.get("format").and_then(Json::as_str) != Some("pgasm.run_report") {
             return Err(JsonError { msg: "not a pgasm.run_report document".into(), at: 0 });
         }
+        // `schema_version` appeared in v2; older documents carry the
+        // legacy `version` number only. Unknown fields are ignored, so
+        // documents from *newer* writers still parse.
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .or_else(|| v.get("version").and_then(Json::as_u64))
+            .unwrap_or(1) as u32;
         Ok(RunReport {
+            schema_version,
             label: v.get("label").and_then(Json::as_str).unwrap_or_default().to_string(),
             spans: v
                 .get("spans")
@@ -219,6 +294,7 @@ impl RunReport {
                 .iter()
                 .map(RankReport::from_json)
                 .collect::<Result<_, _>>()?,
+            trace: v.get("trace").map(TraceSummary::from_json),
         })
     }
 
@@ -239,6 +315,7 @@ mod tests {
 
     fn sample() -> RunReport {
         RunReport {
+            schema_version: SCHEMA_VERSION,
             label: "unit".into(),
             spans: vec![Span {
                 name: "pipeline".into(),
@@ -269,7 +346,18 @@ mod tests {
                     bytes_recv: 2000,
                     modelled_seconds: 1e-4,
                 }],
+                idle_gaps: Some(IdleGapHistogram {
+                    bounds_ns: crate::trace::IDLE_GAP_BOUNDS_NS.to_vec(),
+                    counts: vec![0, 3, 1, 0, 0, 0, 0],
+                    total_blocked_ns: 250_000_000,
+                    max_gap_ns: 140_000,
+                }),
             }],
+            trace: Some(TraceSummary {
+                window_seconds: 0.1,
+                master_occupancy: vec![0.9, 0.8, 0.95],
+                dropped_events: 2,
+            }),
         }
     }
 
@@ -296,5 +384,34 @@ mod tests {
     fn rejects_foreign_documents() {
         assert!(RunReport::from_json_str("{\"format\": \"other\"}").is_err());
         assert!(RunReport::from_json_str("[1,2]").is_err());
+    }
+
+    #[test]
+    fn schema_version_round_trips_and_legacy_defaults_to_one() {
+        let text = sample().to_json_string();
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        // A PR-1-era document: no schema_version, numeric "version".
+        let legacy = "{\"format\": \"pgasm.run_report\", \"version\": 1, \"label\": \"old\"}";
+        let old = RunReport::from_json_str(legacy).unwrap();
+        assert_eq!(old.schema_version, 1);
+        assert_eq!(old.label, "old");
+        assert!(old.trace.is_none());
+    }
+
+    #[test]
+    fn forward_compat_ignores_unknown_fields() {
+        // A hypothetical v3 writer added fields we don't know about;
+        // parsing must still succeed and keep everything we do know.
+        let future = concat!(
+            "{\"format\": \"pgasm.run_report\", \"schema_version\": 3, \"version\": 3, ",
+            "\"label\": \"future\", \"counters\": {\"merges\": 7}, ",
+            "\"new_top_level_blob\": {\"x\": [1, 2, 3]}, ",
+            "\"ranks\": [{\"rank\": 0, \"role\": \"master\", \"novel_rank_field\": 42}]}"
+        );
+        let report = RunReport::from_json_str(future).unwrap();
+        assert_eq!(report.schema_version, 3);
+        assert_eq!(report.counter("merges"), 7);
+        assert_eq!(report.ranks[0].role, "master");
     }
 }

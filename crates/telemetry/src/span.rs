@@ -92,6 +92,7 @@ pub struct RunContext {
     roots: Vec<Span>,
     counters: BTreeMap<String, u64>,
     ranks: Vec<crate::RankReport>,
+    traces: Vec<crate::RankTrace>,
 }
 
 impl RunContext {
@@ -104,6 +105,7 @@ impl RunContext {
             roots: Vec::new(),
             counters: BTreeMap::new(),
             ranks: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -171,6 +173,28 @@ impl RunContext {
         self.ranks = ranks;
     }
 
+    /// Install the finished per-rank event traces for this run
+    /// (replacing any previous set).
+    pub fn set_traces(&mut self, traces: Vec<crate::RankTrace>) {
+        self.traces = traces;
+    }
+
+    /// Append one finished track (e.g. the pipeline's own thread).
+    pub fn add_trace(&mut self, trace: crate::RankTrace) {
+        self.traces.push(trace);
+    }
+
+    /// Traces recorded so far.
+    pub fn traces(&self) -> &[crate::RankTrace] {
+        &self.traces
+    }
+
+    /// Assemble the recorded tracks into an exportable [`crate::Trace`]
+    /// document (tracks sorted by rank).
+    pub fn trace_document(&self) -> crate::Trace {
+        crate::Trace::new(self.traces.clone())
+    }
+
     /// Number of open spans (0 when balanced).
     pub fn open_spans(&self) -> usize {
         self.stack.len()
@@ -179,9 +203,39 @@ impl RunContext {
     /// Finalize into an immutable report. Panics if spans are still
     /// open — an unbalanced push/pop is a caller bug worth failing
     /// loudly on.
+    ///
+    /// When traces were recorded, each rank channel gains its
+    /// [`crate::IdleGapHistogram`] (from the matching track's blocked
+    /// spans) and the report gains a [`crate::TraceSummary`] with the
+    /// master track's occupancy over ~20 time windows.
     pub fn finish(self) -> crate::RunReport {
         assert!(self.stack.is_empty(), "RunContext::finish with {} span(s) still open", self.stack.len());
-        crate::RunReport { label: self.label, spans: self.roots, counters: self.counters, ranks: self.ranks }
+        let mut ranks = self.ranks;
+        let trace = if self.traces.is_empty() {
+            None
+        } else {
+            for rank in &mut ranks {
+                if let Some(track) = self.traces.iter().find(|t| t.rank == rank.rank) {
+                    rank.idle_gaps = Some(crate::IdleGapHistogram::from_events(&track.events));
+                }
+            }
+            let (window_seconds, master_occupancy) = self
+                .traces
+                .iter()
+                .find(|t| t.label == "master")
+                .map(|t| crate::trace::occupancy_windows(&t.events, 20))
+                .unwrap_or((0.0, Vec::new()));
+            let dropped_events = self.traces.iter().map(|t| t.dropped_events).sum();
+            Some(crate::TraceSummary { window_seconds, master_occupancy, dropped_events })
+        };
+        crate::RunReport {
+            schema_version: crate::SCHEMA_VERSION,
+            label: self.label,
+            spans: self.roots,
+            counters: self.counters,
+            ranks,
+            trace,
+        }
     }
 }
 

@@ -62,6 +62,7 @@ USAGE:
   pgasm cluster  --reads <reads.fastq> [--out <clusters.txt>] [--ranks <p>]
                  [--w <n>] [--psi <n>] [--min-identity <f>] [--min-overlap <n>]
                  [--no-preprocess] [--metrics-json <report.json>]
+                 [--trace-json <out.trace.json>]
   pgasm assemble --reads <reads.fastq> --out <contigs.fasta> [same options]
 
 generate writes a synthetic sequencing project (reads as FASTQ; optionally
@@ -69,7 +70,10 @@ the reference genome(s) as FASTA). cluster runs preprocessing + clustering
 and writes one cluster per line. assemble additionally runs the per-cluster
 serial assembler and writes contigs as FASTA. --metrics-json writes the
 structured run report (per-stage wall/CPU spans, Table-1 counters, and —
-with --ranks — per-rank idle time and per-tag communication) as JSON.";
+with --ranks — per-rank idle time and per-tag communication) as JSON.
+--trace-json records per-rank timestamped events (stage, master, worker,
+comm, gst, align categories) and writes Chrome trace-event JSON — open it
+at ui.perfetto.dev, one track per rank.";
 
 #[derive(Default)]
 struct Opts {
@@ -201,6 +205,11 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
         cluster,
         parallel_ranks: if ranks >= 2 { Some(ranks) } else { None },
         assembly_threads: 4,
+        trace: if opts.get("trace-json").is_some() {
+            pgasm::telemetry::trace::TraceSpec::on()
+        } else {
+            pgasm::telemetry::trace::TraceSpec::off()
+        },
         ..Default::default()
     })
 }
@@ -211,6 +220,15 @@ fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineRep
     let pipeline = Pipeline::new(config);
     let mut ctx = pgasm::telemetry::RunContext::new(label);
     let report = pipeline.run_with_context(&reads, &[DnaSeq::from(VECTOR_SEQ)], &[], &mut ctx);
+    if let Some(path) = opts.get("trace-json") {
+        let doc = ctx.trace_document();
+        doc.write_chrome_json(std::path::Path::new(path)).map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "wrote {} trace track(s), {} categories to {path} (open at ui.perfetto.dev)",
+            doc.tracks.len(),
+            doc.categories().len()
+        );
+    }
     if let Some(path) = opts.get("metrics-json") {
         let run_report = ctx.finish();
         run_report.write_json(std::path::Path::new(path)).map_err(|e| format!("write {path}: {e}"))?;

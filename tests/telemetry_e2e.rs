@@ -9,7 +9,7 @@ use pgasm::cluster::{
 use pgasm::gst::{GenMode, GstConfig};
 use pgasm::simgen::genome::{Genome, GenomeSpec};
 use pgasm::simgen::sampler::{Sampler, SamplerConfig};
-use pgasm::telemetry::{RunContext, RunReport};
+use pgasm::telemetry::{names, RunContext, RunReport};
 
 fn test_store(seed: u64, n: usize) -> pgasm::seq::FragmentStore {
     let genome = Genome::generate(
@@ -56,9 +56,9 @@ fn work_counters_identical_between_serial_and_parallel() {
 
     // The same totals fall out of the per-rank telemetry channels.
     let worker_sum = |key: &str| -> u64 { report.ranks[1..].iter().map(|r| r.counter(key)).sum() };
-    assert_eq!(worker_sum("pairs_generated"), serial_stats.generated);
-    assert_eq!(worker_sum("pairs_aligned"), serial_stats.aligned);
-    assert_eq!(worker_sum("pairs_accepted"), serial_stats.accepted);
+    assert_eq!(worker_sum(names::PAIRS_GENERATED), serial_stats.generated);
+    assert_eq!(worker_sum(names::PAIRS_ALIGNED), serial_stats.aligned);
+    assert_eq!(worker_sum(names::PAIRS_ACCEPTED), serial_stats.accepted);
 }
 
 /// Per-tag `modelled_seconds` is priced on the *sender* only, so the
@@ -124,7 +124,7 @@ fn pipeline_run_report_survives_json_round_trip() {
     // Stage graph shape and counter consistency.
     let names: Vec<&str> = run.spans.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(names, vec!["preprocess", "cluster", "assemble"]);
-    assert_eq!(run.counter("pairs_generated"), report.cluster_stats.generated);
+    assert_eq!(run.counter(names::PAIRS_GENERATED), report.cluster_stats.generated);
     assert_eq!(run.ranks.len(), 3);
     assert!(run.ranks.iter().all(|r| !r.comm.is_empty()));
 
@@ -134,5 +134,8 @@ fn pipeline_run_report_survives_json_round_trip() {
     assert_eq!(back, run);
     // Spot-check a span and a rank counter survive re-parsing.
     assert_eq!(back.wall("cluster"), run.wall("cluster"));
-    assert_eq!(back.ranks[1].counter("batch_round_trips"), run.ranks[1].counter("batch_round_trips"));
+    assert_eq!(
+        back.ranks[1].counter(names::BATCH_ROUND_TRIPS),
+        run.ranks[1].counter(names::BATCH_ROUND_TRIPS)
+    );
 }

@@ -1,0 +1,163 @@
+//! End-to-end tracing: a traced pipeline run yields a well-formed
+//! Chrome trace document (one track per rank, ≥ 4 categories, ordered
+//! timestamps), and the event-derived blocked time agrees with the
+//! simulator's own `wait_ns`/`barrier_ns` accounting.
+
+use pgasm::cluster::{cluster_parallel_traced, ClusterParams, MasterWorkerConfig, Pipeline, PipelineConfig};
+use pgasm::gst::GstConfig;
+use pgasm::simgen::genome::{Genome, GenomeSpec};
+use pgasm::simgen::sampler::{Sampler, SamplerConfig};
+use pgasm::telemetry::{names, Json, RunContext, TraceSpec};
+
+fn test_reads(seed: u64, n: usize) -> pgasm::simgen::ReadSet {
+    let genome = Genome::generate(
+        &GenomeSpec {
+            length: 12_000,
+            repeat_fraction: 0.1,
+            repeat_families: 2,
+            repeat_len: (80, 160),
+            repeat_identity: 0.99,
+            islands: 0,
+            island_len: (1, 2),
+        },
+        seed,
+    );
+    let mut cfg = SamplerConfig::clean();
+    cfg.read_len = (130, 210);
+    let mut sampler = Sampler::new(&genome, cfg, seed + 1);
+    sampler.wgs(n)
+}
+
+#[test]
+fn traced_pipeline_exports_valid_chrome_trace() {
+    let reads = test_reads(7, 80);
+    let ranks = 3;
+    let config = PipelineConfig {
+        preprocess: None,
+        cluster: ClusterParams { gst: GstConfig { w: 10, psi: 18 }, ..Default::default() },
+        parallel_ranks: Some(ranks),
+        master_worker: MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() },
+        assembly_threads: 2,
+        trace: TraceSpec::on(),
+        ..Default::default()
+    };
+    let mut ctx = RunContext::new("traced");
+    Pipeline::new(config).run_with_context(&reads, &[], &[], &mut ctx);
+    let doc = ctx.trace_document();
+
+    // One track per parallel rank plus the pipeline's own track.
+    assert_eq!(doc.tracks.len(), ranks + 1);
+    let rank_ids: Vec<usize> = doc.tracks.iter().map(|t| t.rank).collect();
+    assert_eq!(rank_ids, vec![0, 1, 2, 3]);
+    assert!(doc.tracks.iter().any(|t| t.label == "master"));
+    assert!(doc.tracks.iter().any(|t| t.label == "pipeline"));
+
+    // The acceptance bar: at least four distinct event categories.
+    let cats = doc.categories();
+    assert!(cats.len() >= 4, "only {cats:?}");
+    for want in ["comm", "master", "stage", "worker"] {
+        assert!(cats.contains(&want), "missing category '{want}' in {cats:?}");
+    }
+
+    // The exported JSON parses and is ordered per track.
+    let json = doc.to_chrome_json().pretty();
+    let parsed = Json::parse(&json).unwrap();
+    assert!(parsed.get("schema_version").and_then(Json::as_u64).is_some());
+    let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+    assert!(events.len() > doc.tracks.len(), "no real events beyond metadata");
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) == Some("M") {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap();
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        assert!(ts >= *last_ts.get(&tid).unwrap_or(&0.0), "track {tid} not monotonic");
+        last_ts.insert(tid, ts);
+    }
+
+    // The run report folds in the trace digest.
+    let run = ctx.finish();
+    let trace = run.trace.expect("traced run carries a trace summary");
+    assert!(trace.window_seconds > 0.0);
+    assert!(!trace.master_occupancy.is_empty());
+    assert!(run.ranks.iter().all(|r| r.idle_gaps.is_some()));
+}
+
+/// The `wait`/`barrier` trace spans bracket exactly the regions the
+/// simulator charges to `wait_ns`/`barrier_ns`, so the two independent
+/// accountings of blocked time must agree within 5% (the spans strictly
+/// contain the timed region, so event-derived time can only be the
+/// slightly larger one).
+#[test]
+fn event_blocked_time_matches_wait_ns_accounting() {
+    let store = test_reads(19, 120).to_store();
+    let params = ClusterParams { gst: GstConfig { w: 10, psi: 18 }, ..Default::default() };
+    let config = MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() };
+    let report = cluster_parallel_traced(&store, 4, &params, &config, TraceSpec::on());
+
+    assert_eq!(report.traces.len(), 4);
+    let event_blocked: u64 = report.traces.iter().map(|t| t.blocked_ns()).sum();
+    let counter_blocked: u64 = report
+        .ranks
+        .iter()
+        .map(|r| r.counter(names::WAIT_NS_TOTAL) + r.counter(names::BARRIER_NS_TOTAL))
+        .sum();
+    assert!(counter_blocked > 0, "a master-worker run must block somewhere");
+    assert!(
+        event_blocked >= counter_blocked,
+        "trace spans contain the timed region: {event_blocked} < {counter_blocked}"
+    );
+    let ratio = event_blocked as f64 / counter_blocked as f64;
+    assert!(ratio < 1.05, "event-derived blocked time off by {:.2}% (> 5%)", (ratio - 1.0) * 100.0);
+    assert_eq!(report.traces.iter().map(|t| t.dropped_events).sum::<u64>(), 0, "default capacity overran");
+}
+
+/// The disabled tracer must cost < 1% of a smoke clustering run's wall
+/// time. A direct traced/untraced A/B is scheduler noise, so bound it
+/// deterministically: (events a traced run records) × (measured
+/// per-call cost of a disabled tracer) against the untraced wall time.
+#[test]
+fn disabled_tracer_overhead_is_under_one_percent_of_smoke_run() {
+    let store = test_reads(29, 150).to_store();
+    let params = ClusterParams { gst: GstConfig { w: 10, psi: 18 }, ..Default::default() };
+    let config = MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() };
+
+    // How many trace-call sites does this workload actually execute?
+    let traced = cluster_parallel_traced(&store, 4, &params, &config, TraceSpec::on());
+    let call_sites: u64 = traced.traces.iter().map(|t| t.events.len() as u64 + t.dropped_events).sum::<u64>();
+    assert!(call_sites > 0);
+
+    // Measured cost of one disabled call in this build profile.
+    let mut off = TraceSpec::off().tracer(0, "probe");
+    let reps: u32 = 1_000_000;
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        off.instant(pgasm::telemetry::TraceCategory::Comm, "probe");
+    }
+    let per_call = start.elapsed().as_secs_f64() / reps as f64;
+    assert!(off.finish().events.is_empty());
+
+    // Wall time of the same workload with tracing off.
+    let start = std::time::Instant::now();
+    cluster_parallel_traced(&store, 4, &params, &config, TraceSpec::off());
+    let wall = start.elapsed().as_secs_f64();
+
+    let overhead = call_sites as f64 * per_call;
+    assert!(
+        overhead < 0.01 * wall,
+        "disabled tracing would cost {overhead:.6}s over {call_sites} call sites \
+         on a {wall:.3}s run (>= 1%)"
+    );
+}
+
+/// Tracing off is the default and must leave no trace artifacts at all
+/// — no tracks, no summary, no per-rank histograms.
+#[test]
+fn untraced_run_carries_no_trace_artifacts() {
+    let store = test_reads(23, 60).to_store();
+    let params = ClusterParams { gst: GstConfig { w: 10, psi: 18 }, ..Default::default() };
+    let config = MasterWorkerConfig { batch: 8, pending_cap: 128, ..Default::default() };
+    let report = cluster_parallel_traced(&store, 3, &params, &config, TraceSpec::off());
+    assert!(report.traces.iter().all(|t| t.events.is_empty() && t.dropped_events == 0));
+}
