@@ -23,6 +23,11 @@ rm -f BENCH_ablation_coalescing.json
 PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_coalescing
 test -s BENCH_ablation_coalescing.json || { echo "missing BENCH_ablation_coalescing.json"; exit 1; }
 
+echo "==> alignment-kernel smoke bench"
+rm -f BENCH_ablation_align_kernel.json
+PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_align_kernel
+test -s BENCH_ablation_align_kernel.json || { echo "missing BENCH_ablation_align_kernel.json"; exit 1; }
+
 echo "==> bench regression gate (vs baselines/)"
 # Protocol round counts are scheduler-dependent in the ranks-as-threads
 # simulator, so message/envelope/modelled-comm counters wobble ±15% or

@@ -27,5 +27,8 @@ pub mod overlap;
 pub mod scoring;
 pub mod wmer;
 
-pub use overlap::{banded_overlap_align, overlap_align, OverlapResult};
+pub use overlap::{
+    banded_overlap_align, overlap_align, overlap_align_quality, overlap_align_quality_with,
+    overlap_align_two_phase, AlignKernel, AlignScratch, OverlapResult,
+};
 pub use scoring::{AcceptCriteria, Scoring};

@@ -6,16 +6,29 @@
 //! (or a containment). Identity over the aligned columns and the overlap
 //! length feed the [`crate::scoring::AcceptCriteria`] decision.
 //!
-//! Two variants are provided: a full O(mn) DP, and a *banded* DP anchored
-//! at the maximal match that generated the pair — the fast path of the
-//! framework, since the generator hands us the seed's diagonal for free.
+//! Three kernels are provided:
+//!
+//! - [`overlap_align_quality`] — full O(mn) DP with optional
+//!   quality-weighted identity (assembly-phase acceptance).
+//! - [`banded_overlap_align`] — single-pass banded DP anchored at the
+//!   maximal match that generated the pair; allocates its own matrices
+//!   and always runs traceback. Kept as the *legacy* reference kernel
+//!   for the `ablation_align_kernel` bench and the property tests.
+//! - [`overlap_align_two_phase`] — the production hot path. Phase 1 is a
+//!   score-only banded forward pass over two rolling rows held in a
+//!   reusable [`AlignScratch`] (no per-pair allocation, no traceback
+//!   matrix), with an early-exit bound that bails as soon as no
+//!   remaining in-band path can reach the score any acceptable overlap
+//!   must have. Phase 2 re-fills only the band window up to the best end
+//!   cell to recover the traceback, and runs only when the phase-1 score
+//!   can still satisfy the [`AcceptCriteria`] gate.
 //!
 //! Gap costs are linear (`gap_extend` per column). At the 1–2% error
 //! rates of Sanger-style fragments the accept/reject decision is
 //! insensitive to the affine refinement, which is available separately in
 //! [`crate::affine`] for consumers that need it.
 
-use crate::scoring::Scoring;
+use crate::scoring::{AcceptCriteria, Scoring};
 use serde::{Deserialize, Serialize};
 
 const NEG: i32 = i32::MIN / 4;
@@ -34,6 +47,26 @@ pub enum OverlapKind {
     BContained,
 }
 
+/// Which overlap kernel the clustering engines run per promising pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlignKernel {
+    /// Single-pass banded DP with full traceback matrices allocated per
+    /// pair (pre-two-phase behaviour; the ablation baseline).
+    Legacy,
+    /// Score-only rolling pass with early exit, plus a lazy traceback
+    /// window for pairs that can still pass the acceptance gate.
+    TwoPhase,
+}
+
+// Not `#[derive(Default)]`: the in-tree serde derive does not understand
+// the `#[default]` variant attribute that would require.
+#[allow(clippy::derivable_impls)]
+impl Default for AlignKernel {
+    fn default() -> Self {
+        AlignKernel::TwoPhase
+    }
+}
+
 /// Result of a suffix–prefix alignment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OverlapResult {
@@ -50,11 +83,29 @@ pub struct OverlapResult {
     /// Geometry of the overlap.
     pub kind: OverlapKind,
     /// DP cells evaluated (work accounting for the parallel runtime).
+    ///
+    /// Accounting contract: `cells == cells_phase1 + cells_phase2`,
+    /// where a cell is counted once each time its recurrence is
+    /// evaluated; boundary cells (free leading gaps) and traceback
+    /// walking are never counted. Single-pass kernels report all work
+    /// as phase 1, so historical `dp_cells` totals remain directly
+    /// comparable; the two-phase kernel counts its forward pass as
+    /// phase 1 and the lazily re-filled traceback window as phase 2.
     pub cells: u64,
+    /// Cells evaluated by the (score-only) forward pass.
+    pub cells_phase1: u64,
+    /// Cells re-evaluated by the traceback-window pass (0 when skipped).
+    pub cells_phase2: u64,
+    /// Phase 1 bailed before the last row: no in-band continuation could
+    /// reach the acceptance score floor.
+    pub early_exited: bool,
+    /// Phase 2 never ran: the final phase-1 score already misses the
+    /// acceptance floor, so identity/ranges are not computed.
+    pub traceback_skipped: bool,
 }
 
 impl OverlapResult {
-    fn empty(cells: u64) -> OverlapResult {
+    fn empty(cells_phase1: u64) -> OverlapResult {
         OverlapResult {
             score: 0,
             identity: 0.0,
@@ -62,7 +113,29 @@ impl OverlapResult {
             a_range: (0, 0),
             b_range: (0, 0),
             kind: OverlapKind::SuffixPrefix,
-            cells,
+            cells: cells_phase1,
+            cells_phase1,
+            cells_phase2: 0,
+            early_exited: false,
+            traceback_skipped: false,
+        }
+    }
+
+    /// A pair rejected by the score gate: ranges/identity are not
+    /// computed, so downstream acceptance must (and does) fail.
+    fn rejected(score: i32, cells_phase1: u64, early_exited: bool) -> OverlapResult {
+        OverlapResult {
+            score,
+            identity: 0.0,
+            overlap_len: 0,
+            a_range: (0, 0),
+            b_range: (0, 0),
+            kind: OverlapKind::SuffixPrefix,
+            cells: cells_phase1,
+            cells_phase1,
+            cells_phase2: 0,
+            early_exited,
+            traceback_skipped: true,
         }
     }
 
@@ -77,6 +150,197 @@ impl OverlapResult {
             OverlapKind::PrefixSuffix
         }
     }
+}
+
+/// Reusable scratch buffers for the alignment kernels.
+///
+/// Lifecycle: create one per worker (or engine), pre-size it with
+/// [`AlignScratch::for_sequences`], and pass it to every alignment call.
+/// Buffers only ever grow, so after the first adequately-sized pair the
+/// hot loop performs no heap allocation; [`AlignScratch::grow_events`]
+/// and [`AlignScratch::high_water_bytes`] let callers assert exactly
+/// that.
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    /// Rolling rows for the phase-1 score-only pass.
+    prev: Vec<i32>,
+    curr: Vec<i32>,
+    /// Band-window (or full-matrix) score + traceback matrices for the
+    /// phase-2 / quality passes.
+    dp: Vec<i32>,
+    tb: Vec<u8>,
+    grows: u64,
+}
+
+impl AlignScratch {
+    pub fn new() -> AlignScratch {
+        AlignScratch::default()
+    }
+
+    /// Pre-size for banded alignments of sequences up to `max_len` bases
+    /// at band half-width `band`, so the hot loop never reallocates.
+    pub fn for_sequences(max_len: usize, band: usize) -> AlignScratch {
+        let mut s = AlignScratch::new();
+        let width = (2 * band + 1).min(2 * max_len + 1);
+        s.ensure_rows(width + 2);
+        s.ensure_window((max_len + 1) * (width + 2));
+        s.grows = 0;
+        s
+    }
+
+    fn ensure_rows(&mut self, w: usize) {
+        if self.prev.len() < w {
+            self.grows += 1;
+            self.prev.resize(w, NEG);
+            self.curr.resize(w, NEG);
+        }
+    }
+
+    fn ensure_window(&mut self, len: usize) {
+        if self.dp.len() < len {
+            self.grows += 1;
+            self.dp.resize(len, NEG);
+            self.tb.resize(len, 3);
+        }
+    }
+
+    /// High-water scratch footprint in bytes. Buffers never shrink, so
+    /// this is monotone; a flat reading across batches means the hot
+    /// loop allocated nothing.
+    pub fn high_water_bytes(&self) -> u64 {
+        (4 * (self.prev.capacity() + self.curr.capacity() + self.dp.capacity()) + self.tb.capacity()) as u64
+    }
+
+    /// Number of times any buffer grew since construction / pre-sizing.
+    pub fn grow_events(&self) -> u64 {
+        self.grows
+    }
+}
+
+/// Band geometry shared by the banded kernels: diagonals
+/// `seed_diag ± band`, *clamped* to `[-n, m]` — diagonals outside that
+/// range contain no valid DP cell, so clamping shrinks the row width for
+/// short pairs without changing the in-band cell set. `w` includes one
+/// NEG padding slot on each side so the up/left neighbours of edge cells
+/// read NEG instead of branching.
+struct Band {
+    d_lo: i64,
+    d_hi: i64,
+    w: usize,
+}
+
+impl Band {
+    fn new(m: usize, n: usize, seed_diag: i64, band: usize) -> Option<Band> {
+        let band = band as i64;
+        let d_lo = (seed_diag - band).max(-(n as i64));
+        let d_hi = (seed_diag + band).min(m as i64);
+        if d_lo > d_hi {
+            return None;
+        }
+        Some(Band { d_lo, d_hi, w: (d_hi - d_lo + 1) as usize + 2 })
+    }
+
+    /// Inclusive in-band column range of row `i`, clamped to `[0, n]`.
+    /// May be empty (`lo > hi`) when the band has not yet entered — or
+    /// has already left — the valid rectangle.
+    #[inline]
+    fn row_range(&self, i: usize, n: usize) -> (i64, i64) {
+        ((i as i64 - self.d_hi).max(0), (i as i64 - self.d_lo).min(n as i64))
+    }
+
+    /// Window slot of column `j` in row `i`; slots 0 and `w - 1` are the
+    /// NEG padding. Key identity: the slot of `(i-1, j-1)` equals the
+    /// slot of `(i, j)`, so `diag = prev[slot]`, `up = prev[slot + 1]`,
+    /// `left = curr[slot - 1]`.
+    #[inline]
+    fn slot(&self, i: usize, j: i64) -> usize {
+        (j - (i as i64 - self.d_hi) + 1) as usize
+    }
+}
+
+/// Minimum score any alignment passing `c` can have under `s`, or `None`
+/// when no useful bound exists.
+///
+/// Derivation: an accepted alignment has `cols ≥ min_overlap` columns of
+/// which a fraction `≥ q = min_identity` are matches (masked bases never
+/// match, and score mismatched columns as mismatches, so the identity
+/// numerator is exactly the set of match-scored columns). With
+/// `worst = min(mismatch, gap_extend, 0)` every non-match column scores
+/// at least `worst`, hence
+/// `score ≥ cols·(q·match + (1−q)·worst) ≥ min_overlap·per_col` whenever
+/// `per_col > 0`. Integer scores then give `score ≥ ceil(min_overlap·per_col)`.
+/// `q` is nudged down by 1e-9 to stay below the epsilon in
+/// [`AcceptCriteria::accepts`]. When `match_score ≤ 0` or `per_col ≤ 0`
+/// the bound is vacuous and the gate is disabled.
+fn acceptance_floor(c: &AcceptCriteria, s: &Scoring) -> Option<i32> {
+    if s.match_score <= 0 {
+        return None;
+    }
+    let worst = s.mismatch.min(s.gap_extend).min(0) as f64;
+    let q = (c.min_identity - 1e-9).clamp(0.0, 1.0);
+    let per_col = q * s.match_score as f64 + (1.0 - q) * worst;
+    if per_col <= 0.0 {
+        return None;
+    }
+    Some((c.min_overlap as f64 * per_col).ceil() as i32)
+}
+
+/// Walk a traceback matrix from `end` back to the alignment start.
+/// Returns `(a_range, b_range, cols, identity)`; with `quals` the
+/// identity is quality-weighted exactly as in [`overlap_align_quality`].
+fn walk_traceback(
+    a: &[u8],
+    b: &[u8],
+    quals: Option<(&[u8], &[u8])>,
+    tb: &[u8],
+    idx: impl Fn(usize, usize) -> usize,
+    end: (usize, usize),
+) -> ((usize, usize), (usize, usize), usize, f64) {
+    let (mut i, mut j) = end;
+    let mut cols = 0usize;
+    // Quality-weighted tallies; without quality every weight is 1.0 and
+    // the ratio reduces to plain matches / columns.
+    let (mut w_match, mut w_total) = (0.0f64, 0.0f64);
+    let weight = |qi: Option<usize>, qj: Option<usize>| -> f64 {
+        match quals {
+            None => 1.0,
+            Some((qa, qb)) => {
+                let wa = qi.map(|x| qa[x] as f64);
+                let wb = qj.map(|x| qb[x] as f64);
+                match (wa, wb) {
+                    (Some(x), Some(y)) => x.min(y).max(1.0),
+                    (Some(x), None) | (None, Some(x)) => x.max(1.0),
+                    (None, None) => 1.0,
+                }
+            }
+        }
+    };
+    while i > 0 && j > 0 {
+        match tb[idx(i, j)] {
+            0 => {
+                cols += 1;
+                let wgt = weight(Some(i - 1), Some(j - 1));
+                w_total += wgt;
+                if a[i - 1] == b[j - 1] && pgasm_seq::is_base_code(a[i - 1]) {
+                    w_match += wgt;
+                }
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                cols += 1;
+                w_total += weight(Some(i - 1), None);
+                i -= 1;
+            }
+            2 => {
+                cols += 1;
+                w_total += weight(None, Some(j - 1));
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    ((i, end.0), (j, end.1), cols, if w_total == 0.0 { 0.0 } else { w_match / w_total })
 }
 
 /// Full O(mn) suffix–prefix alignment of `a` vs `b`.
@@ -99,6 +363,19 @@ pub fn overlap_align_quality(
     quals: Option<(&[u8], &[u8])>,
     s: &Scoring,
 ) -> OverlapResult {
+    overlap_align_quality_with(a, b, quals, s, &mut AlignScratch::new())
+}
+
+/// As [`overlap_align_quality`], but running on a caller-provided
+/// [`AlignScratch`] so batch callers (e.g. the assembly overlap stage)
+/// pay for the O(mn) matrices once instead of per pair.
+pub fn overlap_align_quality_with(
+    a: &[u8],
+    b: &[u8],
+    quals: Option<(&[u8], &[u8])>,
+    s: &Scoring,
+    scratch: &mut AlignScratch,
+) -> OverlapResult {
     let (m, n) = (a.len(), b.len());
     if m == 0 || n == 0 {
         return OverlapResult::empty(0);
@@ -108,9 +385,17 @@ pub fn overlap_align_quality(
         assert_eq!(qb.len(), n, "quality track must match sequence length");
     }
     let w = n + 1;
-    let mut dp = vec![0i32; (m + 1) * w];
-    // 0 = diag, 1 = up, 2 = left, 3 = boundary stop.
-    let mut tb = vec![3u8; (m + 1) * w];
+    scratch.ensure_window((m + 1) * w);
+    let dp = &mut scratch.dp[..(m + 1) * w];
+    let tb = &mut scratch.tb[..(m + 1) * w];
+    // Only the boundary needs reinitialising: every interior dp/tb cell
+    // is overwritten below before it is read, boundary tb is never read
+    // (traceback stops at i == 0 or j == 0), and the end scans only read
+    // boundary dp on row 0 / column 0, which are zeroed here.
+    dp[..w].fill(0);
+    for i in 1..=m {
+        dp[i * w] = 0;
+    }
     for i in 1..=m {
         for j in 1..=n {
             let diag = dp[(i - 1) * w + j - 1] + s.subst(a[i - 1], b[j - 1]);
@@ -142,114 +427,68 @@ pub fn overlap_align_quality(
             end = (i, n);
         }
     }
-    let (mut i, mut j) = end;
-    let mut cols = 0usize;
-    // Quality-weighted tallies; without quality every weight is 1.0 and
-    // the ratio reduces to plain matches / columns.
-    let (mut w_match, mut w_total) = (0.0f64, 0.0f64);
-    let weight = |qi: Option<usize>, qj: Option<usize>| -> f64 {
-        match quals {
-            None => 1.0,
-            Some((qa, qb)) => {
-                let wa = qi.map(|x| qa[x] as f64);
-                let wb = qj.map(|x| qb[x] as f64);
-                match (wa, wb) {
-                    (Some(x), Some(y)) => x.min(y).max(1.0),
-                    (Some(x), None) | (None, Some(x)) => x.max(1.0),
-                    (None, None) => 1.0,
-                }
-            }
-        }
-    };
-    while i > 0 && j > 0 {
-        match tb[i * w + j] {
-            0 => {
-                cols += 1;
-                let wgt = weight(Some(i - 1), Some(j - 1));
-                w_total += wgt;
-                if a[i - 1] == b[j - 1] && pgasm_seq::is_base_code(a[i - 1]) {
-                    w_match += wgt;
-                }
-                i -= 1;
-                j -= 1;
-            }
-            1 => {
-                cols += 1;
-                w_total += weight(Some(i - 1), None);
-                i -= 1;
-            }
-            2 => {
-                cols += 1;
-                w_total += weight(None, Some(j - 1));
-                j -= 1;
-            }
-            _ => break,
-        }
-    }
-    let a_range = (i, end.0);
-    let b_range = (j, end.1);
+    let (a_range, b_range, cols, identity) = walk_traceback(a, b, quals, tb, |i, j| i * w + j, end);
     OverlapResult {
         score: best_score,
-        identity: if w_total == 0.0 { 0.0 } else { w_match / w_total },
+        identity,
         overlap_len: cols,
         a_range,
         b_range,
         kind: OverlapResult::classify(m, n, a_range, b_range),
         cells: (m * n) as u64,
+        cells_phase1: (m * n) as u64,
+        cells_phase2: 0,
+        early_exited: false,
+        traceback_skipped: false,
     }
 }
 
 /// Banded suffix–prefix alignment restricted to diagonals
 /// `seed_diag ± band`, where `seed_diag = a_pos − b_pos` of the maximal
-/// match that generated the pair. Runs in O((m + n) · band) time.
+/// match that generated the pair. Runs in O((m + n) · band) time, with
+/// the window clamped to the valid diagonal range `[-n, m]` so short
+/// pairs with `band ≫ min(m, n)` stop paying the full `2·band + 1` row
+/// width.
 ///
-/// With a sufficiently wide band this equals [`overlap_align`]; with the
-/// default band (≈ 2 + expected indels) it is the production fast path.
+/// With a sufficiently wide band this equals [`overlap_align`]; this
+/// single-pass variant allocates per call and always runs traceback —
+/// it is the [`AlignKernel::Legacy`] reference that
+/// [`overlap_align_two_phase`] is checked against.
 pub fn banded_overlap_align(a: &[u8], b: &[u8], seed_diag: i64, band: usize, s: &Scoring) -> OverlapResult {
     let (m, n) = (a.len(), b.len());
     if m == 0 || n == 0 {
         return OverlapResult::empty(0);
     }
-    let band = band as i64;
-    let width = (2 * band + 1) as usize;
-    let w = width + 2; // padding column on each side of the band window
-    let row_lo = |i: i64| -> i64 { i - seed_diag - band };
+    let Some(bw) = Band::new(m, n, seed_diag, band) else {
+        return OverlapResult::empty(0);
+    };
+    let w = bw.w;
     let mut dp = vec![NEG; (m + 1) * w];
     let mut tb = vec![3u8; (m + 1) * w];
     let mut cells = 0u64;
     // Row 0: free leading gap in a — dp(0, j) = 0 for in-band j.
     {
-        let lo = row_lo(0);
-        for off in 0..width as i64 {
-            let j = lo + off;
-            if (0..=n as i64).contains(&j) {
-                dp[(off + 1) as usize] = 0;
-            }
+        let (lo, hi) = bw.row_range(0, n);
+        for j in lo..=hi {
+            dp[bw.slot(0, j)] = 0;
         }
     }
     for i in 1..=m {
-        let lo = row_lo(i as i64);
-        let prev_lo = row_lo(i as i64 - 1);
-        for off in 0..width as i64 {
-            let j = lo + off;
-            if !(0..=n as i64).contains(&j) {
-                continue;
-            }
-            let idx = i * w + (off + 1) as usize;
+        let (lo, hi) = bw.row_range(i, n);
+        let base = i * w;
+        let pbase = (i - 1) * w;
+        for j in lo..=hi {
+            let sl = bw.slot(i, j);
             if j == 0 {
                 // Free leading gap in b.
-                dp[idx] = 0;
-                tb[idx] = 3;
+                dp[base + sl] = 0;
                 continue;
             }
             cells += 1;
-            // Offsets of (i-1, j-1), (i-1, j), (i, j-1) in their windows.
-            let d_off = (j - 1) - prev_lo; // in row i-1
-            let u_off = j - prev_lo;
-            let l_off = (off + 1) - 1;
-            let diag = get(&dp, (i - 1) * w, d_off, w) + s.subst(a[i - 1], b[j as usize - 1]);
-            let up = get(&dp, (i - 1) * w, u_off, w) + s.gap_extend;
-            let left = dp[i * w + l_off as usize] + s.gap_extend;
+            let ju = j as usize;
+            let diag = dp[pbase + sl] + s.subst(a[i - 1], b[ju - 1]);
+            let up = dp[pbase + sl + 1] + s.gap_extend;
+            let left = dp[base + sl - 1] + s.gap_extend;
             let (best, dir) = if diag >= up && diag >= left {
                 (diag, 0u8)
             } else if up >= left {
@@ -257,85 +496,262 @@ pub fn banded_overlap_align(a: &[u8], b: &[u8], seed_diag: i64, band: usize, s: 
             } else {
                 (left, 2)
             };
-            dp[idx] = best;
-            tb[idx] = dir;
+            dp[base + sl] = best;
+            tb[base + sl] = dir;
         }
     }
     // Scan for the best end on the last row and on column n.
     let mut best_score = NEG;
-    let mut end: Option<(usize, i64)> = None;
+    let mut end: Option<(usize, usize)> = None;
     {
-        let lo = row_lo(m as i64);
-        for off in 0..width as i64 {
-            let j = lo + off;
-            if (0..=n as i64).contains(&j) && dp[m * w + (off + 1) as usize] > best_score {
-                best_score = dp[m * w + (off + 1) as usize];
-                end = Some((m, j));
+        let (lo, hi) = bw.row_range(m, n);
+        for j in lo..=hi {
+            if dp[m * w + bw.slot(m, j)] > best_score {
+                best_score = dp[m * w + bw.slot(m, j)];
+                end = Some((m, j as usize));
             }
         }
     }
     for i in 0..=m {
-        let lo = row_lo(i as i64);
-        let off = n as i64 - lo;
-        if (0..width as i64).contains(&off) && dp[i * w + (off + 1) as usize] > best_score {
-            best_score = dp[i * w + (off + 1) as usize];
-            end = Some((i, n as i64));
+        let (lo, hi) = bw.row_range(i, n);
+        if (lo..=hi).contains(&(n as i64)) && dp[i * w + bw.slot(i, n as i64)] > best_score {
+            best_score = dp[i * w + bw.slot(i, n as i64)];
+            end = Some((i, n));
         }
     }
-    let Some((ei, ej)) = end else {
+    let Some(end) = end else {
         return OverlapResult::empty(cells);
     };
     if best_score <= NEG / 2 {
         return OverlapResult::empty(cells);
     }
-    // Traceback.
-    let (mut i, mut j) = (ei, ej);
-    let (mut matches, mut cols) = (0usize, 0usize);
-    loop {
-        if i == 0 || j == 0 {
-            break;
-        }
-        let off = j - row_lo(i as i64);
-        let dir = tb[i * w + (off + 1) as usize];
-        match dir {
-            0 => {
-                cols += 1;
-                if a[i - 1] == b[j as usize - 1] && pgasm_seq::is_base_code(a[i - 1]) {
-                    matches += 1;
-                }
-                i -= 1;
-                j -= 1;
-            }
-            1 => {
-                cols += 1;
-                i -= 1;
-            }
-            2 => {
-                cols += 1;
-                j -= 1;
-            }
-            _ => break,
-        }
-    }
-    let a_range = (i, ei);
-    let b_range = (j as usize, ej as usize);
+    let (a_range, b_range, cols, identity) =
+        walk_traceback(a, b, None, &tb, |i, j| i * w + bw.slot(i, j as i64), end);
     OverlapResult {
         score: best_score,
-        identity: if cols == 0 { 0.0 } else { matches as f64 / cols as f64 },
+        identity,
         overlap_len: cols,
         a_range,
         b_range,
         kind: OverlapResult::classify(m, n, a_range, b_range),
         cells,
+        cells_phase1: cells,
+        cells_phase2: 0,
+        early_exited: false,
+        traceback_skipped: false,
     }
 }
 
-#[inline]
-fn get(dp: &[i32], row_base: usize, off: i64, w: usize) -> i32 {
-    if (0..(w as i64 - 2)).contains(&off) {
-        dp[row_base + (off + 1) as usize]
-    } else {
-        NEG
+/// Two-phase banded suffix–prefix alignment — the production hot path.
+///
+/// **Phase 1** runs the banded forward recurrence over two rolling rows
+/// from `scratch`, tracking only scores: the running best over column
+/// `n`, and finally the best over the last row — the same end-cell
+/// selection (and tie-breaks) as [`banded_overlap_align`]. When `gate`
+/// is given (and `quals` is not — weighted identity is not monotone in
+/// score), each row also maintains an upper bound on any completable
+/// alignment: the best in-band cell plus a perfect-match extension over
+/// the remaining rectangle, a later in-band restart from column 0, or an
+/// already-seen column-`n` end. If that bound drops below the
+/// [`acceptance_floor`] the kernel bails (`early_exited`) — a pair the
+/// full kernel would accept can never be exited this way, because its
+/// optimal score is itself bounded by the exit bound.
+///
+/// **Phase 2** runs only when the phase-1 score can still pass the gate:
+/// it re-fills the band window up to the winning end cell (columns
+/// clamped to it) into `scratch`'s window matrices and walks the
+/// traceback, yielding exactly the legacy kernel's identity, ranges and
+/// classification. Gated-out pairs skip it (`traceback_skipped`) and
+/// report empty ranges with identity 0, which the gate rejects anyway.
+///
+/// With `gate: None` the result equals [`banded_overlap_align`] on every
+/// field except the phase split of `cells`.
+#[allow(clippy::too_many_arguments)]
+pub fn overlap_align_two_phase(
+    a: &[u8],
+    b: &[u8],
+    seed_diag: i64,
+    band: usize,
+    s: &Scoring,
+    gate: Option<&AcceptCriteria>,
+    quals: Option<(&[u8], &[u8])>,
+    scratch: &mut AlignScratch,
+) -> OverlapResult {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return OverlapResult::empty(0);
+    }
+    if let Some((qa, qb)) = quals {
+        assert_eq!(qa.len(), m, "quality track must match sequence length");
+        assert_eq!(qb.len(), n, "quality track must match sequence length");
+    }
+    let Some(bw) = Band::new(m, n, seed_diag, band) else {
+        return OverlapResult::empty(0);
+    };
+    let floor = match (gate, quals) {
+        (Some(c), None) => acceptance_floor(c, s),
+        _ => None,
+    };
+    let w = bw.w;
+    scratch.ensure_rows(w);
+    let mut cells1 = 0u64;
+    let mut best_score = NEG;
+    let mut end: Option<(usize, usize)> = None;
+    {
+        let mut prev: &mut [i32] = &mut scratch.prev[..w];
+        let mut curr: &mut [i32] = &mut scratch.curr[..w];
+        // Running best over column n, with the same first-index-of-max
+        // tie-break as the legacy kernel's ascending strict-`>` scan.
+        let mut coln_best = NEG;
+        let mut coln_i = 0usize;
+        let (lo0, hi0) = bw.row_range(0, n);
+        prev.fill(NEG);
+        for j in lo0..=hi0 {
+            prev[bw.slot(0, j)] = 0;
+        }
+        if (lo0..=hi0).contains(&(n as i64)) {
+            coln_best = 0;
+            coln_i = 0;
+        }
+        for i in 1..=m {
+            let (lo, hi) = bw.row_range(i, n);
+            curr.fill(NEG);
+            // Upper bound on any alignment whose path crosses row i.
+            let mut row_bound = NEG;
+            for j in lo..=hi {
+                let sl = bw.slot(i, j);
+                if j == 0 {
+                    // Free leading gap in b.
+                    curr[sl] = 0;
+                    if floor.is_some() {
+                        row_bound = row_bound.max(s.match_score * (m - i).min(n) as i32);
+                    }
+                    continue;
+                }
+                cells1 += 1;
+                let ju = j as usize;
+                let diag = prev[sl] + s.subst(a[i - 1], b[ju - 1]);
+                let up = prev[sl + 1] + s.gap_extend;
+                let left = curr[sl - 1] + s.gap_extend;
+                let best = if diag >= up && diag >= left {
+                    diag
+                } else if up >= left {
+                    up
+                } else {
+                    left
+                };
+                curr[sl] = best;
+                if ju == n && best > coln_best {
+                    coln_best = best;
+                    coln_i = i;
+                }
+                if floor.is_some() && best > NEG / 2 {
+                    row_bound = row_bound.max(best + s.match_score * (m - i).min(n - ju) as i32);
+                }
+            }
+            if let Some(f) = floor {
+                if i < m {
+                    // Alignments not crossing row i either already ended
+                    // on column n above it, or start at a later in-band
+                    // (i0, 0) — possible only while i < d_hi.
+                    let restart =
+                        if (i as i64) < bw.d_hi { s.match_score * (m - i - 1).min(n) as i32 } else { NEG };
+                    if row_bound.max(coln_best).max(restart) < f {
+                        return OverlapResult::rejected(0, cells1, true);
+                    }
+                }
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        // `prev` now holds row m: scan it, then fold in the column-n best.
+        let (lo, hi) = bw.row_range(m, n);
+        for j in lo..=hi {
+            let v = prev[bw.slot(m, j)];
+            if v > best_score {
+                best_score = v;
+                end = Some((m, j as usize));
+            }
+        }
+        if coln_best > best_score {
+            best_score = coln_best;
+            end = Some((coln_i, n));
+        }
+    }
+    let Some((ei, ej)) = end else {
+        return OverlapResult::empty(cells1);
+    };
+    if best_score <= NEG / 2 {
+        return OverlapResult::empty(cells1);
+    }
+    if let Some(f) = floor {
+        if best_score < f {
+            return OverlapResult::rejected(best_score, cells1, false);
+        }
+    }
+    // Phase 2: re-fill the band window through the end cell. Cells with
+    // i ≤ ei, j ≤ ej depend on nothing outside that rectangle, so the
+    // clamped window reproduces the legacy matrix (and traceback) there.
+    let rows = ei + 1;
+    scratch.ensure_window(rows * w);
+    let dp = &mut scratch.dp[..rows * w];
+    let tb = &mut scratch.tb[..rows * w];
+    let mut cells2 = 0u64;
+    {
+        let (lo, hi) = bw.row_range(0, n);
+        dp[..w].fill(NEG);
+        tb[..w].fill(3);
+        for j in lo..=hi.min(ej as i64) {
+            dp[bw.slot(0, j)] = 0;
+        }
+    }
+    for i in 1..=ei {
+        let (lo, hi) = bw.row_range(i, n);
+        let hi = hi.min(ej as i64);
+        let base = i * w;
+        let pbase = (i - 1) * w;
+        dp[base..base + w].fill(NEG);
+        tb[base..base + w].fill(3);
+        for j in lo..=hi {
+            let sl = bw.slot(i, j);
+            if j == 0 {
+                dp[base + sl] = 0;
+                continue;
+            }
+            cells2 += 1;
+            let ju = j as usize;
+            let diag = dp[pbase + sl] + s.subst(a[i - 1], b[ju - 1]);
+            let up = dp[pbase + sl + 1] + s.gap_extend;
+            let left = dp[base + sl - 1] + s.gap_extend;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0u8)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            dp[base + sl] = best;
+            tb[base + sl] = dir;
+        }
+    }
+    debug_assert_eq!(
+        dp[ei * w + bw.slot(ei, ej as i64)],
+        best_score,
+        "phase-2 window must reproduce the phase-1 end cell"
+    );
+    let (a_range, b_range, cols, identity) =
+        walk_traceback(a, b, quals, tb, |i, j| i * w + bw.slot(i, j as i64), (ei, ej));
+    OverlapResult {
+        score: best_score,
+        identity,
+        overlap_len: cols,
+        a_range,
+        b_range,
+        kind: OverlapResult::classify(m, n, a_range, b_range),
+        cells: cells1 + cells2,
+        cells_phase1: cells1,
+        cells_phase2: cells2,
+        early_exited: false,
+        traceback_skipped: false,
     }
 }
 
@@ -449,6 +865,21 @@ mod tests {
     }
 
     #[test]
+    fn band_clamp_keeps_results_on_short_pairs() {
+        // band ≫ both lengths: the clamped window must still reproduce
+        // the full-matrix result (every valid diagonal is in band).
+        let a = DnaSeq::from("ATGAGGTACCCTTGCA");
+        let b = DnaSeq::from("CCTTGCAGGATCGATT");
+        let full = overlap_align(a.codes(), b.codes(), &s());
+        let banded = banded_overlap_align(a.codes(), b.codes(), 3, 10_000, &s());
+        assert_eq!(banded.score, full.score);
+        assert_eq!(banded.overlap_len, full.overlap_len);
+        assert_eq!(banded.a_range, full.a_range);
+        assert_eq!(banded.b_range, full.b_range);
+        assert_eq!(banded.cells, (a.len() * b.len()) as u64, "clamped band covers exactly the full matrix");
+    }
+
+    #[test]
     fn quality_weighting_discounts_low_quality_mismatches() {
         // 20-base dovetail with one mismatch planted at overlap column 10.
         let a = DnaSeq::from("TTTTTTTTATCGGATCGTAGGCTAAGTC");
@@ -484,8 +915,129 @@ mod tests {
     }
 
     #[test]
+    fn quality_scratch_reuse_matches_fresh() {
+        let a = DnaSeq::from("TTTTTTTTATCGGATCGTAGGCTAAGTC");
+        let b = DnaSeq::from("ATCGGATCGTAGGCTAAGTCGGGGGGGG");
+        let s = Scoring::DEFAULT;
+        let mut scratch = AlignScratch::new();
+        // Dirty the scratch with an unrelated (larger) alignment first.
+        let big = DnaSeq::from("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT");
+        let _ = overlap_align_quality_with(big.codes(), big.codes(), None, &s, &mut scratch);
+        let fresh = overlap_align_quality(a.codes(), b.codes(), None, &s);
+        let reused = overlap_align_quality_with(a.codes(), b.codes(), None, &s, &mut scratch);
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
     fn empty_inputs() {
         assert_eq!(overlap_align(&[], &[], &s()).overlap_len, 0);
         assert_eq!(banded_overlap_align(&[], DnaSeq::from("ACG").codes(), 0, 4, &s()).overlap_len, 0);
+        let mut scratch = AlignScratch::new();
+        let r =
+            overlap_align_two_phase(&[], DnaSeq::from("ACG").codes(), 0, 4, &s(), None, None, &mut scratch);
+        assert_eq!(r.overlap_len, 0);
+        assert_eq!(r.cells, 0);
+    }
+
+    fn assert_same_alignment(tp: &OverlapResult, legacy: &OverlapResult) {
+        assert_eq!(tp.score, legacy.score, "two-phase {tp:?} legacy {legacy:?}");
+        assert_eq!(tp.identity, legacy.identity, "two-phase {tp:?} legacy {legacy:?}");
+        assert_eq!(tp.overlap_len, legacy.overlap_len);
+        assert_eq!(tp.a_range, legacy.a_range);
+        assert_eq!(tp.b_range, legacy.b_range);
+        assert_eq!(tp.kind, legacy.kind);
+    }
+
+    #[test]
+    fn two_phase_ungated_matches_banded() {
+        let cases: Vec<(DnaSeq, DnaSeq, i64, usize)> = vec![
+            (DnaSeq::from("ATGAGGTACCCTTGCAAGT"), DnaSeq::from("CCTTGCAAGTGGATCGATT"), 9, 64),
+            (DnaSeq::from("TTTTTTATCGGATCGAGGCTAAGTC"), DnaSeq::from("ATCGGATCGTAGGCTAAGTCAAAAA"), 6, 8),
+            (DnaSeq::from("AAAAAAAAAAAAAAA"), DnaSeq::from("CCCCCCCCCCCCCCC"), 0, 6),
+            (DnaSeq::from("GGTACCCT"), DnaSeq::from("ATGAGGTACCCTTGCA"), -4, 24),
+        ];
+        let mut scratch = AlignScratch::new();
+        for (a, b, diag, band) in &cases {
+            let legacy = banded_overlap_align(a.codes(), b.codes(), *diag, *band, &s());
+            let tp =
+                overlap_align_two_phase(a.codes(), b.codes(), *diag, *band, &s(), None, None, &mut scratch);
+            assert_same_alignment(&tp, &legacy);
+            assert_eq!(tp.cells_phase1, legacy.cells, "phase 1 covers the same band");
+            assert_eq!(tp.cells, tp.cells_phase1 + tp.cells_phase2);
+            assert!(!tp.early_exited && !tp.traceback_skipped);
+        }
+    }
+
+    #[test]
+    fn two_phase_gate_preserves_accepted_pairs() {
+        // A clean 60-base dovetail passes AcceptCriteria::CLUSTERING; the
+        // gated kernel must return exactly the ungated (= legacy) result.
+        let shared = "ATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTC";
+        let a = DnaSeq::from(format!("TTGCATTGCA{shared}").as_str());
+        let b = DnaSeq::from(format!("{shared}GGATCGGATC").as_str());
+        let mut scratch = AlignScratch::new();
+        let gate = AcceptCriteria::CLUSTERING;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), 10, 24, &s());
+        assert!(gate.accepts(legacy.identity, legacy.overlap_len), "test fixture must be acceptable");
+        let tp = overlap_align_two_phase(a.codes(), b.codes(), 10, 24, &s(), Some(&gate), None, &mut scratch);
+        assert_same_alignment(&tp, &legacy);
+        assert!(!tp.early_exited && !tp.traceback_skipped);
+    }
+
+    #[test]
+    fn two_phase_gate_rejects_junk_cheaply() {
+        // Unrelated sequences with a long tail: the early-exit bound
+        // must fire and charge fewer cells than the legacy kernel.
+        let a = DnaSeq::from("A".repeat(400).as_str());
+        let b = DnaSeq::from("C".repeat(400).as_str());
+        let gate = AcceptCriteria::CLUSTERING;
+        let mut scratch = AlignScratch::new();
+        let legacy = banded_overlap_align(a.codes(), b.codes(), 0, 24, &s());
+        assert!(!gate.accepts(legacy.identity, legacy.overlap_len));
+        let tp = overlap_align_two_phase(a.codes(), b.codes(), 0, 24, &s(), Some(&gate), None, &mut scratch);
+        assert!(tp.early_exited, "pure-mismatch pair must early-exit: {tp:?}");
+        assert!(tp.traceback_skipped);
+        assert_eq!(tp.cells_phase2, 0);
+        assert!(tp.cells < legacy.cells, "two-phase {} vs legacy {}", tp.cells, legacy.cells);
+        assert!(!gate.accepts(tp.identity, tp.overlap_len), "gated result must remain rejected");
+    }
+
+    #[test]
+    fn two_phase_scratch_never_grows_after_presize() {
+        let max_len = 64usize;
+        let band = 8usize;
+        let mut scratch = AlignScratch::for_sequences(max_len, band);
+        assert_eq!(scratch.grow_events(), 0);
+        let hw = scratch.high_water_bytes();
+        let a = DnaSeq::from("ATGAGGTACCCTTGCAAGTATGAGGTACCCTTGCAAGTATGAGGTACCCTTGCAAGT");
+        let b = DnaSeq::from("CCTTGCAAGTGGATCGATTCCTTGCAAGTGGATCGATTCCTTGCAAGTGGATCGATT");
+        for diag in -8..8 {
+            let _ = overlap_align_two_phase(a.codes(), b.codes(), diag, band, &s(), None, None, &mut scratch);
+            let _ = overlap_align_two_phase(
+                a.codes(),
+                b.codes(),
+                diag,
+                band,
+                &s(),
+                Some(&AcceptCriteria::CLUSTERING),
+                None,
+                &mut scratch,
+            );
+        }
+        assert_eq!(scratch.grow_events(), 0, "hot loop must not reallocate");
+        assert_eq!(scratch.high_water_bytes(), hw, "high-water must stay flat");
+    }
+
+    #[test]
+    fn acceptance_floor_matches_hand_computation() {
+        // CLUSTERING (0.94 / 40) under DEFAULT (+1 / −2 / ext −1):
+        // per_col ≈ 0.94·1 + 0.06·(−2) = 0.82 → ceil(40 · 0.82) = 33.
+        let f = acceptance_floor(&AcceptCriteria::CLUSTERING, &Scoring::DEFAULT).unwrap();
+        assert_eq!(f, 33);
+        // Degenerate criteria must disable the gate, not mis-gate.
+        let degenerate = AcceptCriteria { min_identity: 0.0, min_overlap: 0 };
+        assert!(acceptance_floor(&degenerate, &Scoring::DEFAULT).is_none());
+        let no_match = Scoring { match_score: 0, ..Scoring::DEFAULT };
+        assert!(acceptance_floor(&AcceptCriteria::CLUSTERING, &no_match).is_none());
     }
 }

@@ -1,8 +1,8 @@
 //! Pairwise overlap detection within one cluster.
 
 use crate::AssemblyConfig;
-use pgasm_align::overlap::overlap_align_quality;
-use pgasm_align::OverlapResult;
+use pgasm_align::overlap::overlap_align_quality_with;
+use pgasm_align::{AlignScratch, OverlapResult};
 use pgasm_seq::{DnaSeq, KmerIter, QualityTrack};
 use std::collections::{HashMap, HashSet};
 
@@ -76,8 +76,10 @@ pub fn find_overlaps(
             }
         }
     }
-    // Verify by alignment.
+    // Verify by alignment — one scratch for the whole candidate sweep,
+    // so the full-matrix DP buffers are allocated once, not per pair.
     let criteria = if quals.is_some() { config.quality_criteria } else { config.criteria };
+    let mut scratch = AlignScratch::new();
     let mut edges = Vec::new();
     for (i, j, rc) in candidates {
         let b_owned;
@@ -101,7 +103,7 @@ pub fn find_overlaps(
                 Some((qa, qb))
             }
         };
-        let r = overlap_align_quality(reads[i].codes(), b, q, &config.scoring);
+        let r = overlap_align_quality_with(reads[i].codes(), b, q, &config.scoring, &mut scratch);
         if criteria.accepts(r.identity, r.overlap_len) {
             edges.push(OverlapEdge { i, j, rc, result: r });
         }

@@ -74,6 +74,7 @@ pub fn ordering(scale: f64) -> [(String, u64); 3] {
     let decider = PairDecider { store: &ds, params };
     let run_order = |pairs: &[PromisingPair]| -> (u64, Vec<Vec<u32>>) {
         let mut uf = UnionFind::new(n);
+        let mut scratch = decider.new_scratch();
         let mut aligned = 0u64;
         for p in pairs {
             let (fa, fb) = decider.fragments_of(p);
@@ -81,8 +82,8 @@ pub fn ordering(scale: f64) -> [(String, u64); 3] {
                 continue;
             }
             aligned += 1;
-            let (ok, _) = decider.align(p);
-            if ok {
+            let r = decider.align_full(p, &mut scratch);
+            if params.criteria.accepts(r.identity, r.overlap_len) {
                 uf.union(fa.0, fb.0);
             }
         }

@@ -1,0 +1,5 @@
+//! Tentpole ablation: legacy banded kernel vs the two-phase gated
+//! kernel on a rejection-heavy repeat-trap workload.
+fn main() {
+    pgasm_bench::align_kernel::run(pgasm_bench::util::env_scale());
+}

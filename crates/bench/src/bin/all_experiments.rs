@@ -15,5 +15,6 @@ fn main() {
     pgasm_bench::ablations::filter(scale);
     pgasm_bench::ablations::resolution(scale);
     pgasm_bench::coalescing::run(scale);
+    pgasm_bench::align_kernel::run(scale);
     println!("\nall experiments complete");
 }

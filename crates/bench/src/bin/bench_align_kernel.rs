@@ -1,0 +1,129 @@
+//! Micro-benchmark for the overlap kernels: DP cells per pair and
+//! nanoseconds per pair, legacy banded vs two-phase, on an accepted
+//! (genuine dovetail) and a rejected (repeat-trap) pair population.
+//!
+//! The clustering-level ablation (`ablation_align_kernel`) measures the
+//! end-to-end cell budget; this binary isolates the kernels themselves
+//! so a regression in the per-pair constant factor is visible without
+//! the pair-generation noise around it.
+
+use pgasm_align::{banded_overlap_align, overlap_align_two_phase, AcceptCriteria, AlignScratch, Scoring};
+use pgasm_bench::util::*;
+
+/// Splitmix-style generator (mirrors `datasets::repeat_trap_store`).
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_codes(state: &mut u64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| (next_u64(state) & 3) as u8).collect()
+}
+
+/// Genuine dovetails: suffix of `a` equals prefix of `b` (overlap 200).
+fn accepted_pairs(n: usize, rng: &mut u64) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
+    (0..n)
+        .map(|_| {
+            let genome = random_codes(rng, 800);
+            let a = genome[..500].to_vec();
+            let b = genome[300..].to_vec();
+            (a, b, 300)
+        })
+        .collect()
+}
+
+/// Repeat traps: one shared exact 60-mer, unrelated flanks — every pair
+/// is rejected after crossing the long right flank.
+fn rejected_pairs(n: usize, rng: &mut u64) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
+    let repeat = random_codes(rng, 60);
+    let read = |rng: &mut u64| {
+        let left = 30 + (next_u64(rng) % 21) as usize;
+        let right = 900 + (next_u64(rng) % 501) as usize;
+        let mut codes = random_codes(rng, left);
+        codes.extend_from_slice(&repeat);
+        codes.extend(random_codes(rng, right));
+        (codes, left as i64)
+    };
+    (0..n)
+        .map(|_| {
+            let (a, la) = read(rng);
+            let (b, lb) = read(rng);
+            (a, b, la - lb)
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = env_scale();
+    let n_pairs = ((400.0 * scale) as usize).max(50);
+    let reps = 5usize;
+    let band = 24usize;
+    // Match the clustering-level ablation's scoring so the per-pair
+    // numbers line up with its aggregate cell counts.
+    let scoring = Scoring { match_score: 1, mismatch: -7, gap_open: -8, gap_extend: -5 };
+    let criteria = AcceptCriteria::CLUSTERING;
+    let mut rng = 4242u64;
+    let populations =
+        [("accepted", accepted_pairs(n_pairs, &mut rng)), ("rejected", rejected_pairs(n_pairs, &mut rng))];
+
+    let (rows, report) = with_run_report("bench_align_kernel", |ctx| {
+        let mut rows: Vec<(String, u64, u64)> = Vec::new();
+        for (pop, pairs) in &populations {
+            let max_len = pairs.iter().map(|(a, b, _)| a.len().max(b.len())).max().unwrap_or(0);
+            for kernel in ["legacy", "two_phase"] {
+                let arm = format!("{pop}_{kernel}");
+                let mut scratch = AlignScratch::for_sequences(max_len, band);
+                let mut cells = 0u64;
+                let mut accepted = 0u64;
+                ctx.scope(&arm, |_| {
+                    for _ in 0..reps {
+                        for (a, b, diag) in pairs {
+                            let r = if kernel == "legacy" {
+                                banded_overlap_align(a, b, *diag, band, &scoring)
+                            } else {
+                                overlap_align_two_phase(
+                                    a,
+                                    b,
+                                    *diag,
+                                    band,
+                                    &scoring,
+                                    Some(&criteria),
+                                    None,
+                                    &mut scratch,
+                                )
+                            };
+                            cells += r.cells;
+                            if criteria.accepts(r.identity, r.overlap_len) {
+                                accepted += 1;
+                            }
+                        }
+                    }
+                });
+                // Both kernels must agree on every accept/reject call.
+                let expect = if *pop == "accepted" { (reps * pairs.len()) as u64 } else { 0 };
+                assert_eq!(accepted, expect, "{arm}: unexpected accept count");
+                assert_eq!(scratch.grow_events(), 0, "{arm}: scratch grew after pre-sizing");
+                let n_align = (reps * pairs.len()) as u64;
+                ctx.set(&format!("{arm}_cells_per_pair"), cells / n_align);
+                rows.push((arm, cells / n_align, n_align));
+            }
+        }
+        rows
+    });
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(arm, cells_per_pair, n_align)| {
+            let ns_per_pair = report.wall(arm) * 1e9 / *n_align as f64;
+            vec![arm.clone(), fmt_count(*cells_per_pair), format!("{ns_per_pair:.0} ns")]
+        })
+        .collect();
+    print_table(
+        "bench_align_kernel: per-pair kernel cost (band 24, harsh scoring)",
+        &["population_kernel", "cells/pair", "time/pair"],
+        &table,
+    );
+}

@@ -119,6 +119,54 @@ pub fn sargasso(species: usize, n_reads: usize, seed: u64) -> Prepared {
     preprocess("sargasso-like", d.reads, d.genomes, true)
 }
 
+/// Splitmix-style generator for the synthetic stores below (no external
+/// RNG crates in the workspace).
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_codes(state: &mut u64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| (next_u64(state) & 3) as u8).collect()
+}
+
+/// Repeat-trap store for the alignment-kernel ablation: a workload
+/// dominated by promising pairs that *fail* verification.
+///
+/// Every trap read is `short unique left flank (30–50 bp) + one exact
+/// shared 60 bp repeat + long unique right flank (900–1400 bp)`. The
+/// shared repeat seeds a promising pair between every two trap reads,
+/// but the suffix–prefix alignment must then cross the long random
+/// flanks, so the pair is always rejected — after the repeat the score
+/// decays steeply and a score-bounded kernel can stop early, while a
+/// full banded pass grinds through the entire right flank. A small
+/// exactly-tiled backbone (reads sharing genuine 100 bp overlaps) rides
+/// along so the run also exercises accepted pairs and produces a
+/// non-trivial clustering to compare across kernels.
+pub fn repeat_trap_store(n_trap: usize, seed: u64) -> FragmentStore {
+    let mut rng = seed;
+    let repeat = random_codes(&mut rng, 60);
+    let mut store = FragmentStore::new();
+    // Backbone: one 800 bp genome tiled by 200 bp reads at stride 100.
+    let genome = random_codes(&mut rng, 800);
+    for start in (0..=600).step_by(100) {
+        store.push_codes(&genome[start..start + 200]);
+    }
+    // Trap reads.
+    for _ in 0..n_trap {
+        let left = 30 + (next_u64(&mut rng) % 21) as usize;
+        let right = 900 + (next_u64(&mut rng) % 501) as usize;
+        let mut codes = random_codes(&mut rng, left);
+        codes.extend_from_slice(&repeat);
+        codes.extend(random_codes(&mut rng, right));
+        store.push_codes(&codes);
+    }
+    store
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +186,18 @@ mod tests {
         // Without masking more bases survive (nothing is X-ed out or
         // invalidated by repeat content).
         assert!(unmasked.total_bp() >= masked.total_bp());
+    }
+
+    #[test]
+    fn repeat_trap_store_shape() {
+        let s = repeat_trap_store(12, 7);
+        // 7 backbone reads + 12 traps.
+        assert_eq!(s.num_seqs(), 19);
+        // Trap reads carry the 60 bp repeat plus both flanks.
+        assert!((7..19).all(|i| s.len_of(pgasm_seq::SeqId(i)) >= 60 + 30 + 900));
+        // Deterministic for a fixed seed.
+        let t = repeat_trap_store(12, 7);
+        assert_eq!(s.get(pgasm_seq::SeqId(8)), t.get(pgasm_seq::SeqId(8)));
     }
 
     #[test]

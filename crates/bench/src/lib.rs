@@ -11,6 +11,7 @@
 //! grow every experiment proportionally.
 
 pub mod ablations;
+pub mod align_kernel;
 pub mod coalescing;
 pub mod datasets;
 pub mod fig5;

@@ -9,7 +9,10 @@
 
 use crate::geometry::{overlap_edge, GeomUnion, GeomUnionFind};
 use crate::unionfind::UnionFind;
-use pgasm_align::{banded_overlap_align, AcceptCriteria, OverlapResult, Scoring};
+use pgasm_align::{
+    banded_overlap_align, overlap_align_two_phase, AcceptCriteria, AlignKernel, AlignScratch, OverlapResult,
+    Scoring,
+};
 use pgasm_gst::{GenMode, Gst, GstConfig, PairGenerator, PromisingPair};
 use pgasm_seq::{FragId, FragmentStore, SeqId};
 use serde::{Deserialize, Serialize};
@@ -41,6 +44,9 @@ pub struct ClusterParams {
     pub resolve_inconsistent: bool,
     /// Translation tolerance (bases) for geometry consistency checks.
     pub geometry_tolerance: i64,
+    /// Which alignment kernel decides pairs (two-phase in production;
+    /// legacy kept for the `ablation_align_kernel` comparison).
+    pub kernel: AlignKernel,
 }
 
 impl Default for ClusterParams {
@@ -54,6 +60,7 @@ impl Default for ClusterParams {
             canonical_strands: true,
             resolve_inconsistent: false,
             geometry_tolerance: 48,
+            kernel: AlignKernel::default(),
         }
     }
 }
@@ -69,8 +76,20 @@ pub struct ClusterStats {
     pub accepted: u64,
     /// Accepted alignments that merged two clusters (≤ n − 1).
     pub merges: u64,
-    /// DP cells evaluated (alignment workload).
+    /// DP cells evaluated (alignment workload). Always
+    /// `dp_cells_phase1 + dp_cells_phase2`, so it stays comparable with
+    /// pre-split (single-pass-kernel) numbers.
     pub dp_cells: u64,
+    /// DP cells of the score-only forward passes (all cells for
+    /// single-pass kernels).
+    pub dp_cells_phase1: u64,
+    /// DP cells of the lazy traceback-window passes.
+    pub dp_cells_phase2: u64,
+    /// Alignments abandoned mid-pass by the early-exit bound.
+    pub early_exits: u64,
+    /// Alignments whose traceback pass was skipped after a full
+    /// forward pass.
+    pub tracebacks_skipped: u64,
     /// Accepted overlaps refused because their implied geometry
     /// contradicted the cluster (only with
     /// [`ClusterParams::resolve_inconsistent`]).
@@ -95,8 +114,21 @@ impl ClusterStats {
             accepted: self.accepted + o.accepted,
             merges: self.merges + o.merges,
             dp_cells: self.dp_cells + o.dp_cells,
+            dp_cells_phase1: self.dp_cells_phase1 + o.dp_cells_phase1,
+            dp_cells_phase2: self.dp_cells_phase2 + o.dp_cells_phase2,
+            early_exits: self.early_exits + o.early_exits,
+            tracebacks_skipped: self.tracebacks_skipped + o.tracebacks_skipped,
             inconsistent: self.inconsistent + o.inconsistent,
         }
+    }
+
+    /// Fold one alignment's work accounting into the counters.
+    pub fn record_align(&mut self, r: &OverlapResult) {
+        self.dp_cells += r.cells;
+        self.dp_cells_phase1 += r.cells_phase1;
+        self.dp_cells_phase2 += r.cells_phase2;
+        self.early_exits += r.early_exited as u64;
+        self.tracebacks_skipped += r.traceback_skipped as u64;
     }
 }
 
@@ -193,20 +225,36 @@ impl<'s> PairDecider<'s> {
         (self.store.seq_to_fragment(p.a).0, self.store.seq_to_fragment(p.b).0)
     }
 
-    /// Compute the banded suffix–prefix alignment for a pair and return
-    /// `(accepted, cells)`.
-    pub fn align(&self, p: &PromisingPair) -> (bool, u64) {
-        let r = self.align_full(p);
-        (self.params.criteria.accepts(r.identity, r.overlap_len), r.cells)
+    /// A scratch pre-sized for every sequence in this decider's store at
+    /// the configured band, so the alignment loop never reallocates.
+    pub fn new_scratch(&self) -> AlignScratch {
+        let max_len = self.store.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        AlignScratch::for_sequences(max_len, self.params.band)
     }
 
-    /// As [`PairDecider::align`] but returning the full alignment result
-    /// (the geometry-aware engine needs the aligned ranges).
-    pub fn align_full(&self, p: &PromisingPair) -> OverlapResult {
+    /// Compute the banded suffix–prefix alignment for a pair with the
+    /// configured kernel. The two-phase kernel is gated by
+    /// `params.criteria`: pairs that cannot pass it come back with
+    /// `traceback_skipped` set and empty ranges, which the acceptance
+    /// check rejects (the geometry-aware engine only reads ranges of
+    /// accepted alignments, which always run phase 2).
+    pub fn align_full(&self, p: &PromisingPair, scratch: &mut AlignScratch) -> OverlapResult {
         let a = self.store.get(p.a);
         let b = self.store.get(p.b);
         let diag = p.a_pos as i64 - p.b_pos as i64;
-        banded_overlap_align(a, b, diag, self.params.band, &self.params.scoring)
+        match self.params.kernel {
+            AlignKernel::Legacy => banded_overlap_align(a, b, diag, self.params.band, &self.params.scoring),
+            AlignKernel::TwoPhase => overlap_align_two_phase(
+                a,
+                b,
+                diag,
+                self.params.band,
+                &self.params.scoring,
+                Some(&self.params.criteria),
+                None,
+                scratch,
+            ),
+        }
     }
 
     /// The overlap-implied relative pose `x_a → x_b` (fragment-forward
@@ -237,6 +285,7 @@ pub fn cluster_serial(store: &FragmentStore, params: &ClusterParams) -> (Cluster
         same_fragment_skip(a, b) || (canonical && canonical_skip(a, b))
     });
     let decider = PairDecider { store: &ds, params: *params };
+    let mut scratch = decider.new_scratch();
     let mut stats = ClusterStats::default();
     if params.resolve_inconsistent {
         // Phase 1: align every pair, collecting accepted edges.
@@ -245,8 +294,8 @@ pub fn cluster_serial(store: &FragmentStore, params: &ClusterParams) -> (Cluster
             stats.generated += 1;
             stats.aligned += 1;
             let (fa, fb) = decider.fragments_of(&pair);
-            let r = decider.align_full(&pair);
-            stats.dp_cells += r.cells;
+            let r = decider.align_full(&pair, &mut scratch);
+            stats.record_align(&r);
             if decider.params.criteria.accepts(r.identity, r.overlap_len) {
                 stats.accepted += 1;
                 edges.push((fa.0, fb.0, decider.edge_of(&pair, &r), r.overlap_len as u32));
@@ -263,9 +312,9 @@ pub fn cluster_serial(store: &FragmentStore, params: &ClusterParams) -> (Cluster
             continue;
         }
         stats.aligned += 1;
-        let (accepted, cells) = decider.align(&pair);
-        stats.dp_cells += cells;
-        if accepted {
+        let r = decider.align_full(&pair, &mut scratch);
+        stats.record_align(&r);
+        if decider.params.criteria.accepts(r.identity, r.overlap_len) {
             stats.accepted += 1;
             if uf.union(fa.0, fb.0) {
                 stats.merges += 1;
@@ -312,12 +361,13 @@ pub fn cluster_exhaustive(store: &FragmentStore, params: &ClusterParams) -> (Clu
     let mut uf = UnionFind::new(n);
     let mut stats = ClusterStats::default();
     let decider = PairDecider { store: &ds, params: *params };
+    let mut scratch = decider.new_scratch();
     for pair in generator {
         stats.generated += 1;
         stats.aligned += 1;
-        let (accepted, cells) = decider.align(&pair);
-        stats.dp_cells += cells;
-        if accepted {
+        let r = decider.align_full(&pair, &mut scratch);
+        stats.record_align(&r);
+        if decider.params.criteria.accepts(r.identity, r.overlap_len) {
             stats.accepted += 1;
             let (fa, fb) = decider.fragments_of(&pair);
             if uf.union(fa.0, fb.0) {

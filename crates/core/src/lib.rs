@@ -38,10 +38,11 @@ pub mod pipeline;
 pub mod unionfind;
 pub mod validation;
 
-pub use clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
+pub use clustering::{cluster_exhaustive, cluster_serial, ClusterParams, ClusterStats, Clustering};
 pub use master_worker::{
     cluster_parallel, cluster_parallel_traced, MasterWorkerConfig, ParallelClusterReport,
 };
 pub use parallel_gst::{build_distributed_gst, DistributedGstReport};
+pub use pgasm_align::{AlignKernel, AlignScratch};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
 pub use unionfind::UnionFind;

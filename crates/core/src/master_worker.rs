@@ -346,7 +346,15 @@ impl Master<'_> {
                         );
                     }
                 }
-                self.stats.dp_cells += d.get_u64();
+                // Trailing work accounting: per-phase DP-cell split plus
+                // the early-exit / skipped-traceback tallies.
+                let c1 = d.get_u64();
+                let c2 = d.get_u64();
+                self.stats.dp_cells += c1 + c2;
+                self.stats.dp_cells_phase1 += c1;
+                self.stats.dp_cells_phase2 += c2;
+                self.stats.early_exits += d.get_u64();
+                self.stats.tracebacks_skipped += d.get_u64();
             }
             TAG_W2M_NP => {
                 // New promising pairs: keep only those whose fragments
@@ -510,6 +518,10 @@ fn master_loop(
         (names::PEAK_QUEUE_DEPTH.to_string(), m.peak_queue_depth),
         (names::BATCHES_DISPATCHED.to_string(), m.batches_dispatched),
         (names::INBOX_DRAIN_DEPTH_MAX.to_string(), drain_depth_max),
+        (names::ALIGN_PHASE1_CELLS.to_string(), stats.dp_cells_phase1),
+        (names::ALIGN_PHASE2_CELLS.to_string(), stats.dp_cells_phase2),
+        (names::ALIGN_EARLY_EXIT.to_string(), stats.early_exits),
+        (names::ALIGN_TRACEBACK_SKIPPED.to_string(), stats.tracebacks_skipped),
     ]);
     RankOutcome {
         clustering: Some(m.clusters.finish(&mut stats)),
@@ -586,9 +598,22 @@ fn worker_loop(
         same_fragment_skip(a, b) || (canonical && canonical_skip(a, b))
     });
     let decider = PairDecider { store: ds, params };
+    // One scratch per worker, pre-sized for the longest sequence in the
+    // store: reused across every AW batch, so the alignment hot loop
+    // performs no per-pair heap allocation (grow_events stays 0).
+    let mut scratch = decider.new_scratch();
     let mut aw: Vec<PromisingPair> = Vec::new();
     let mut results: Vec<(PromisingPair, bool, u32, u32, u32)> = Vec::new();
-    let mut cells_delta: u64 = 0;
+    // Per-round work-accounting deltas (reset after each AR report)...
+    let mut cells1_delta: u64 = 0;
+    let mut cells2_delta: u64 = 0;
+    let mut early_delta: u64 = 0;
+    let mut skip_delta: u64 = 0;
+    // ...and whole-run totals for the rank counters.
+    let mut cells_phase1: u64 = 0;
+    let mut cells_phase2: u64 = 0;
+    let mut early_exits: u64 = 0;
+    let mut tracebacks_skipped: u64 = 0;
     let mut r = config.batch;
     let mut np: Vec<PromisingPair> = Vec::new();
     let mut pairs_generated: u64 = 0;
@@ -608,8 +633,11 @@ fn worker_loop(
             );
         }
         for pair in aw.drain(..) {
-            let r = decider.align_full(&pair);
-            cells_delta += r.cells;
+            let r = decider.align_full(&pair, &mut scratch);
+            cells1_delta += r.cells_phase1;
+            cells2_delta += r.cells_phase2;
+            early_delta += r.early_exited as u64;
+            skip_delta += r.traceback_skipped as u64;
             let accepted = params.criteria.accepts(r.identity, r.overlap_len);
             pairs_aligned += 1;
             pairs_accepted += accepted as u64;
@@ -617,6 +645,12 @@ fn worker_loop(
         }
         if had_aw {
             comm.tracer_mut().end(TraceCategory::Align, names::EV_ALIGN_BATCH);
+            comm.tracer_mut().instant_args(
+                TraceCategory::Align,
+                names::EV_ALIGN_CELLS,
+                ("phase1", cells1_delta),
+                ("phase2", cells2_delta),
+            );
         }
         // Generate the requested number of new pairs.
         np.clear();
@@ -639,8 +673,15 @@ fn worker_loop(
             e.put_u32(b_start);
             e.put_u32(overlap_len);
         }
-        e.put_u64(cells_delta);
-        cells_delta = 0;
+        e.put_u64(cells1_delta);
+        e.put_u64(cells2_delta);
+        e.put_u64(early_delta);
+        e.put_u64(skip_delta);
+        cells_phase1 += cells1_delta;
+        cells_phase2 += cells2_delta;
+        early_exits += early_delta;
+        tracebacks_skipped += skip_delta;
+        (cells1_delta, cells2_delta, early_delta, skip_delta) = (0, 0, 0, 0);
         comm.send(0, TAG_W2M_AR, e.finish());
         let mut e = Encoder::with_capacity(8 + np.len() * 20);
         e.put_u32(active as u32);
@@ -663,6 +704,12 @@ fn worker_loop(
                     (names::PAIRS_ALIGNED.to_string(), pairs_aligned),
                     (names::PAIRS_ACCEPTED.to_string(), pairs_accepted),
                     (names::BATCH_ROUND_TRIPS.to_string(), round_trips),
+                    (names::ALIGN_PHASE1_CELLS.to_string(), cells_phase1),
+                    (names::ALIGN_PHASE2_CELLS.to_string(), cells_phase2),
+                    (names::ALIGN_EARLY_EXIT.to_string(), early_exits),
+                    (names::ALIGN_TRACEBACK_SKIPPED.to_string(), tracebacks_skipped),
+                    (names::ALIGN_SCRATCH_BYTES_PEAK.to_string(), scratch.high_water_bytes()),
+                    (names::ALIGN_SCRATCH_GROWS.to_string(), scratch.grow_events()),
                 ]));
             }
             r = d.get_u32() as usize;
@@ -906,6 +953,27 @@ mod tests {
         }
         // Workers report at least one batch round-trip.
         assert!(report.ranks[1..].iter().all(|r| r.counter("batch_round_trips") >= 1));
+    }
+
+    #[test]
+    fn worker_align_counters_are_consistent_and_allocation_free() {
+        let store = test_store();
+        let report = cluster_parallel(&store, 3, &params(), &config());
+        let s = report.stats;
+        assert_eq!(s.dp_cells, s.dp_cells_phase1 + s.dp_cells_phase2, "cell accounting must split cleanly");
+        let w1: u64 = report.ranks[1..].iter().map(|r| r.counter("align_phase1_cells")).sum();
+        let w2: u64 = report.ranks[1..].iter().map(|r| r.counter("align_phase2_cells")).sum();
+        let skips: u64 = report.ranks[1..].iter().map(|r| r.counter("align_traceback_skipped")).sum();
+        assert_eq!(w1, s.dp_cells_phase1);
+        assert_eq!(w2, s.dp_cells_phase2);
+        assert_eq!(skips, s.tracebacks_skipped);
+        assert_eq!(report.ranks[0].counter("align_phase1_cells"), s.dp_cells_phase1);
+        for r in &report.ranks[1..] {
+            // The zero-allocation invariant: the pre-sized scratch never
+            // grew, and its high-water mark is a real (non-zero) figure.
+            assert!(r.counter("align_scratch_bytes_peak") > 0);
+            assert_eq!(r.counter("align_scratch_grows"), 0, "worker hot loop reallocated: {:?}", r.counters);
+        }
     }
 
     #[test]

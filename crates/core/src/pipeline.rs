@@ -243,6 +243,10 @@ impl Stage for ClusterStage<'_> {
         ctx.set(names::PAIRS_ACCEPTED, stats.accepted);
         ctx.set(names::MERGES, stats.merges);
         ctx.set(names::DP_CELLS, stats.dp_cells);
+        ctx.set(names::ALIGN_PHASE1_CELLS, stats.dp_cells_phase1);
+        ctx.set(names::ALIGN_PHASE2_CELLS, stats.dp_cells_phase2);
+        ctx.set(names::ALIGN_EARLY_EXIT, stats.early_exits);
+        ctx.set(names::ALIGN_TRACEBACK_SKIPPED, stats.tracebacks_skipped);
         ctx.set(names::CLUSTERS, clustering.clusters.len() as u64);
         ctx.set(names::NON_SINGLETON_CLUSTERS, clustering.num_non_singletons() as u64);
         state.clustering = Some(clustering);

@@ -19,6 +19,20 @@ pub const PAIRS_SELECTED: &str = "pairs_selected";
 pub const MERGES: &str = "merges";
 /// Dynamic-programming cells evaluated by the aligners.
 pub const DP_CELLS: &str = "dp_cells";
+/// DP cells evaluated by the score-only forward pass (phase 1).
+pub const ALIGN_PHASE1_CELLS: &str = "align_phase1_cells";
+/// DP cells re-evaluated by the lazy traceback-window pass (phase 2).
+pub const ALIGN_PHASE2_CELLS: &str = "align_phase2_cells";
+/// Alignments abandoned mid-pass by the early-exit score bound.
+pub const ALIGN_EARLY_EXIT: &str = "align_early_exit";
+/// Alignments whose traceback pass was skipped (score below the
+/// acceptance floor after a full forward pass).
+pub const ALIGN_TRACEBACK_SKIPPED: &str = "align_traceback_skipped";
+/// High-water bytes held by a rank's alignment scratch buffers.
+pub const ALIGN_SCRATCH_BYTES_PEAK: &str = "align_scratch_bytes_peak";
+/// Times the alignment scratch had to grow after its pre-sizing
+/// (should stay 0 — the zero-allocation hot-loop invariant).
+pub const ALIGN_SCRATCH_GROWS: &str = "align_scratch_grows";
 /// Total clusters in the final partition.
 pub const CLUSTERS: &str = "clusters";
 /// Clusters with at least two members.
@@ -99,6 +113,8 @@ pub const EV_PARK: &str = "park";
 pub const EV_UNPARK: &str = "unpark";
 /// Worker computing its allocated alignment batch (span, `align`).
 pub const EV_ALIGN_BATCH: &str = "align_batch";
+/// Per-batch DP-cell split (instant, category `align`; args phase1/phase2).
+pub const EV_ALIGN_CELLS: &str = "align_cells";
 /// Worker generating the requested pairs (span, category `worker`).
 pub const EV_GENERATE: &str = "generate";
 /// GST: bucketing own suffixes (span, category `gst`).

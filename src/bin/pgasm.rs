@@ -254,6 +254,10 @@ fn cluster(opts: &Opts) -> Result<(), String> {
         s.savings() * 100.0,
         s.accepted
     );
+    println!(
+        "kernel: {} DP cells (phase1 {}, phase2 {}), {} early exits, {} tracebacks skipped",
+        s.dp_cells, s.dp_cells_phase1, s.dp_cells_phase2, s.early_exits, s.tracebacks_skipped
+    );
     if let Some(out) = opts.get("out") {
         use std::io::Write;
         let mut f = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);

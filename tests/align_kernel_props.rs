@@ -1,0 +1,164 @@
+//! Property tests for the two-phase overlap kernel: it must be
+//! observationally identical to the legacy banded kernel on every pair
+//! it fully evaluates, and its early exit must never fire on a pair the
+//! acceptance criteria would accept.
+
+use pgasm::align::overlap::overlap_align_quality_with;
+use pgasm::align::{
+    banded_overlap_align, overlap_align_quality, overlap_align_two_phase, AcceptCriteria, AlignScratch,
+    Scoring,
+};
+use pgasm::seq::DnaSeq;
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..4, len).prop_map(DnaSeq::from_codes)
+}
+
+/// Like `dna` but with masked positions (code 4 never matches anything,
+/// itself included).
+fn masked_dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    proptest::collection::vec(0u8..5, len).prop_map(DnaSeq::from_codes)
+}
+
+/// A pair of sequences sharing a planted suffix–prefix overlap.
+fn overlapping_pair() -> impl Strategy<Value = (DnaSeq, DnaSeq, usize)> {
+    (dna(30..80), dna(20..60), dna(30..80)).prop_map(|(left, shared, right)| {
+        let mut a = left;
+        a.extend_from(&shared);
+        let mut b = shared.clone();
+        b.extend_from(&right);
+        (a, b, shared.len())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ungated, the two-phase kernel is the legacy banded kernel: same
+    /// score, ranges, overlap length, identity — and the score-only
+    /// pass visits exactly the legacy kernel's cell set.
+    #[test]
+    fn ungated_two_phase_matches_legacy(
+        (a, b, shared) in overlapping_pair(),
+        wobble in -3i64..=3,
+        band in 8usize..64,
+    ) {
+        let s = Scoring::DEFAULT;
+        let diag = (a.len() - shared) as i64 + wobble;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), diag, band, &s);
+        let mut scratch = AlignScratch::new();
+        let two = overlap_align_two_phase(a.codes(), b.codes(), diag, band, &s, None, None, &mut scratch);
+        prop_assert_eq!(legacy.score, two.score);
+        prop_assert_eq!(legacy.a_range, two.a_range);
+        prop_assert_eq!(legacy.b_range, two.b_range);
+        prop_assert_eq!(legacy.overlap_len, two.overlap_len);
+        prop_assert!((legacy.identity - two.identity).abs() < 1e-12);
+        prop_assert_eq!(legacy.cells, two.cells_phase1);
+        prop_assert!(!two.early_exited);
+    }
+
+    /// Masked bases (which never match) change the scores but not the
+    /// equivalence of the two kernels.
+    #[test]
+    fn masked_bases_keep_kernels_equivalent(
+        a in masked_dna(20..120),
+        b in masked_dna(20..120),
+        diag in -20i64..=20,
+    ) {
+        let s = Scoring::DEFAULT;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), diag, 16, &s);
+        let mut scratch = AlignScratch::new();
+        let two = overlap_align_two_phase(a.codes(), b.codes(), diag, 16, &s, None, None, &mut scratch);
+        prop_assert_eq!(legacy.score, two.score);
+        prop_assert_eq!(legacy.a_range, two.a_range);
+        prop_assert_eq!(legacy.b_range, two.b_range);
+        prop_assert_eq!(legacy.overlap_len, two.overlap_len);
+        prop_assert!((legacy.identity - two.identity).abs() < 1e-12);
+    }
+
+    /// With the acceptance gate on, any pair the legacy kernel's result
+    /// would pass is returned bit-identically: the early exit never
+    /// fires on an acceptable pair and its traceback is never skipped.
+    #[test]
+    fn gate_never_drops_an_acceptable_pair(
+        (a, b, shared) in overlapping_pair(),
+        wobble in -3i64..=3,
+    ) {
+        let s = Scoring::DEFAULT;
+        let criteria = AcceptCriteria::CLUSTERING;
+        let diag = (a.len() - shared) as i64 + wobble;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), diag, 24, &s);
+        let mut scratch = AlignScratch::new();
+        let two = overlap_align_two_phase(
+            a.codes(), b.codes(), diag, 24, &s, Some(&criteria), None, &mut scratch,
+        );
+        if criteria.accepts(legacy.identity, legacy.overlap_len) {
+            prop_assert!(!two.early_exited, "early exit fired on an acceptable pair");
+            prop_assert!(!two.traceback_skipped, "traceback skipped on an acceptable pair");
+            prop_assert_eq!(legacy.score, two.score);
+            prop_assert_eq!(legacy.a_range, two.a_range);
+            prop_assert_eq!(legacy.b_range, two.b_range);
+            prop_assert_eq!(legacy.overlap_len, two.overlap_len);
+            prop_assert!((legacy.identity - two.identity).abs() < 1e-12);
+        } else {
+            // The gate may only ever reject — and it must reject with a
+            // result the criteria also reject.
+            prop_assert!(!criteria.accepts(two.identity, two.overlap_len));
+        }
+        // Either way both kernels agree on the accept/reject decision.
+        prop_assert_eq!(
+            criteria.accepts(legacy.identity, legacy.overlap_len),
+            criteria.accepts(two.identity, two.overlap_len)
+        );
+    }
+
+    /// The quality-weighted path through the reusable scratch equals
+    /// the plain entry point, and a band wider than both sequences
+    /// makes the two-phase kernel reproduce the full quality DP.
+    #[test]
+    fn quality_path_matches(
+        (a, b, shared) in overlapping_pair(),
+        qa_base in 10u8..40,
+        qb_base in 10u8..40,
+    ) {
+        let s = Scoring::DEFAULT;
+        let qa = vec![qa_base; a.len()];
+        let qb = vec![qb_base; b.len()];
+        let fresh = overlap_align_quality(a.codes(), b.codes(), Some((&qa, &qb)), &s);
+        let mut scratch = AlignScratch::new();
+        // Warm the scratch on an unrelated pair first: reuse must not
+        // leak state between alignments.
+        let _ = overlap_align_quality_with(b.codes(), a.codes(), None, &s, &mut scratch);
+        let reused = overlap_align_quality_with(a.codes(), b.codes(), Some((&qa, &qb)), &s, &mut scratch);
+        prop_assert_eq!(fresh.score, reused.score);
+        prop_assert_eq!(fresh.a_range, reused.a_range);
+        prop_assert_eq!(fresh.b_range, reused.b_range);
+        prop_assert!((fresh.identity - reused.identity).abs() < 1e-12);
+
+        let diag = (a.len() - shared) as i64;
+        let band = a.len() + b.len();
+        let two = overlap_align_two_phase(
+            a.codes(), b.codes(), diag, band, &s, None, Some((&qa, &qb)), &mut scratch,
+        );
+        prop_assert_eq!(fresh.score, two.score);
+        prop_assert_eq!(fresh.overlap_len, two.overlap_len);
+        prop_assert!((fresh.identity - two.identity).abs() < 1e-12);
+    }
+
+    /// Empty sequences are a no-op for every kernel.
+    #[test]
+    fn empty_sequences_yield_empty_results(a in dna(0..40), diag in -5i64..=5) {
+        let s = Scoring::DEFAULT;
+        let empty: &[u8] = &[];
+        let mut scratch = AlignScratch::new();
+        for (x, y) in [(a.codes(), empty), (empty, a.codes()), (empty, empty)] {
+            let legacy = banded_overlap_align(x, y, diag, 8, &s);
+            let two = overlap_align_two_phase(x, y, diag, 8, &s, None, None, &mut scratch);
+            prop_assert_eq!(legacy.score, 0);
+            prop_assert_eq!(two.score, 0);
+            prop_assert_eq!(two.overlap_len, 0);
+            prop_assert_eq!(two.cells, 0);
+        }
+    }
+}
