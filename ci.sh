@@ -10,7 +10,7 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> distributed tests"
-cargo test -q --test distributed --test adversarial_protocol --test telemetry_e2e
+cargo test -q --test distributed --test adversarial_protocol --test telemetry_e2e --test assembly_balance
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -27,6 +27,11 @@ echo "==> alignment-kernel smoke bench"
 rm -f BENCH_ablation_align_kernel.json
 PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_align_kernel
 test -s BENCH_ablation_align_kernel.json || { echo "missing BENCH_ablation_align_kernel.json"; exit 1; }
+
+echo "==> assembly-balance smoke bench"
+rm -f BENCH_ablation_assembly_balance.json
+PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_assembly_balance
+test -s BENCH_ablation_assembly_balance.json || { echo "missing BENCH_ablation_assembly_balance.json"; exit 1; }
 
 echo "==> bench regression gate (vs baselines/)"
 # Protocol round counts are scheduler-dependent in the ranks-as-threads
@@ -47,8 +52,11 @@ rm -f ci_reads.fastq ci.trace.json ci.metrics.json
 cargo run --release -q --bin pgasm -- generate --kind maize --out ci_reads.fastq --scale 0.2 --seed 7
 cargo run --release -q --bin pgasm -- cluster --reads ci_reads.fastq --ranks 4 \
   --trace-json ci.trace.json --metrics-json ci.metrics.json
-# 4 ranks + the pipeline's own track; all six event categories.
-cargo run --release -q -p pgasm-bench --bin trace_check -- ci.trace.json --min-categories 4 --min-tracks 5
+# 4 clustering ranks + the pipeline's own track + 4 distributed-assembly
+# tracks; the assemble category is mandatory now that `--ranks` runs the
+# assembly phase through the task engine.
+cargo run --release -q -p pgasm-bench --bin trace_check -- ci.trace.json \
+  --min-categories 5 --min-tracks 9 --require assemble
 rm -f ci_reads.fastq ci.trace.json ci.metrics.json
 
 echo "CI OK"

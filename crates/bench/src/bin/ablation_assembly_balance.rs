@@ -1,0 +1,5 @@
+//! Assembly-phase load-balance ablation: LPT vs static chunking on the
+//! engine-hosted distributed assembly stage.
+fn main() {
+    pgasm_bench::assembly_balance::run(pgasm_bench::util::env_scale());
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! trace_check <trace.json> [--min-categories <n>] [--min-tracks <n>]
+//!             [--require <category>]...
 //! ```
 //!
 //! Asserts the Chrome trace-event document is well-formed:
@@ -13,7 +14,10 @@
 //! - every `B` has a matching `E` on the same track, category, and
 //!   name — no dangling or crossing spans per (tid, cat, name);
 //! - at least `--min-categories` distinct categories and
-//!   `--min-tracks` distinct tracks appear (defaults 4 and 1).
+//!   `--min-tracks` distinct tracks appear (defaults 4 and 1);
+//! - every `--require`d category (repeatable) appears at least once —
+//!   `ci.sh` uses this to pin down phase coverage (e.g. the distributed
+//!   assembly phase must emit `assemble` events).
 
 use pgasm_telemetry::Json;
 use std::collections::BTreeMap;
@@ -24,9 +28,15 @@ fn run() -> Result<String, String> {
     let mut path = None;
     let mut min_categories = 4usize;
     let mut min_tracks = 1usize;
+    let mut required: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--require" => {
+                let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
+                required.push(value.clone());
+                i += 2;
+            }
             "--min-categories" | "--min-tracks" => {
                 let value = argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))?;
                 let n: usize = value.parse().map_err(|_| format!("bad {} '{value}'", argv[i]))?;
@@ -44,7 +54,8 @@ fn run() -> Result<String, String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    let path = path.ok_or("usage: trace_check <trace.json> [--min-categories n] [--min-tracks n]")?;
+    let path = path
+        .ok_or("usage: trace_check <trace.json> [--min-categories n] [--min-tracks n] [--require cat]...")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {}", e.msg))?;
 
@@ -110,6 +121,14 @@ fn run() -> Result<String, String> {
     }
     if tracks.len() < min_tracks {
         return Err(format!("only {} tracks, need >= {min_tracks}", tracks.len()));
+    }
+    for cat in &required {
+        if !categories.contains_key(cat) {
+            return Err(format!(
+                "required category '{cat}' absent (saw {:?})",
+                categories.keys().collect::<Vec<_>>()
+            ));
+        }
     }
     Ok(format!(
         "{path}: {timed} events on {} track(s), {} categories ({}), all spans paired, timestamps monotonic",

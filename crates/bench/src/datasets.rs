@@ -167,6 +167,38 @@ pub fn repeat_trap_store(n_trap: usize, seed: u64) -> FragmentStore {
     store
 }
 
+/// Heavy-tailed assembly workload for the load-balance ablation: one
+/// dominant island tiled densely (the cluster that dominates §8's
+/// per-processor assembly time) plus many small islands. Reads tile
+/// each island exactly, so clustering recovers one cluster per island
+/// and the per-cluster assembly cost profile is a textbook heavy tail —
+/// the regime where largest-first (LPT) scheduling beats contiguous
+/// chunking.
+pub fn heavy_tailed_store(scale: f64, seed: u64) -> FragmentStore {
+    let mut rng = seed;
+    let mut store = FragmentStore::new();
+    // Dominant island: ~4 kbp at scale 1, 200 bp reads every 60 bp.
+    let giant_len = ((4000.0 * scale) as usize).max(1500);
+    let giant = random_codes(&mut rng, giant_len);
+    let mut at = 0;
+    while at + 200 <= giant.len() {
+        store.push_codes(&giant[at..at + 200]);
+        at += 60;
+    }
+    // Small islands: 600 bp each, sparser tiling — a handful of reads
+    // per cluster. At least 8 so p = 8 has work for every worker.
+    let islands = ((8.0 * scale) as usize).max(8);
+    for _ in 0..islands {
+        let g = random_codes(&mut rng, 600);
+        let mut at = 0;
+        while at + 200 <= g.len() {
+            store.push_codes(&g[at..at + 200]);
+            at += 90;
+        }
+    }
+    store
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +230,16 @@ mod tests {
         // Deterministic for a fixed seed.
         let t = repeat_trap_store(12, 7);
         assert_eq!(s.get(pgasm_seq::SeqId(8)), t.get(pgasm_seq::SeqId(8)));
+    }
+
+    #[test]
+    fn heavy_tailed_store_shape() {
+        let s = heavy_tailed_store(1.0, 11);
+        // ~64 giant-island reads + 8 islands x 5 reads.
+        assert!(s.num_seqs() > 60, "{}", s.num_seqs());
+        // Deterministic for a fixed seed.
+        let t = heavy_tailed_store(1.0, 11);
+        assert_eq!(s.get(pgasm_seq::SeqId(3)), t.get(pgasm_seq::SeqId(3)));
     }
 
     #[test]

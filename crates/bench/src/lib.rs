@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod align_kernel;
+pub mod assembly_balance;
 pub mod coalescing;
 pub mod datasets;
 pub mod fig5;

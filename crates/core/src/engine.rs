@@ -1,0 +1,572 @@
+//! Generic distributed task engine — the event-driven master–worker
+//! protocol of §7, extracted from the clustering runtime so any
+//! workload can ride it.
+//!
+//! The engine owns everything the paper's Figs. 6–8 describe about
+//! *work distribution* and nothing about the work itself:
+//!
+//! - the four-message protocol shape — workers report results
+//!   ([`TAG_W2M_AR`]) and newly generated tasks plus generator status
+//!   ([`TAG_W2M_NP`]); the master answers with a flow-control grant
+//!   carrying termination ([`TAG_M2W_R`]) and a task batch
+//!   ([`TAG_M2W_AW`]);
+//! - the master's event pump: drain **all** queued reports through
+//!   `try_recv` before dispatching, block in `recv` only on a truly
+//!   empty inbox;
+//! - the pending-task buffer, the [`compute_r`] flow-control rule, the
+//!   park/unpark service for passive workers, and clean termination
+//!   (every worker passive + parked, nothing pending or in flight);
+//! - protocol trace instrumentation (dispatch spans, handle/park/unpark
+//!   instants) and the protocol counters (peak queue depth, batches
+//!   dispatched, inbox drain depth, round-trips).
+//!
+//! What a *task* is, how it travels on the wire, how results are
+//! encoded, and which of the announced tasks are worth dispatching are
+//! the client's business, expressed through three small traits:
+//! [`Task`] (wire codec), [`TaskSource`] (master-side absorption and
+//! selection), and [`TaskSink`] (worker-side compute and generation).
+//! Clustering (`crate::master_worker`) is the first client —
+//! re-hosted with its wire format, counters, and trace events
+//! preserved bit-for-bit — and distributed per-cluster assembly
+//! (`crate::assemble_dist`) is the second, seeding the master's queue
+//! up-front with workers that never generate (a degenerate but fully
+//! legal instance of the same protocol).
+//!
+//! The engine works over the `mpisim` rank model, so the coalescing
+//! layer, per-tag traffic accounting, and blocked-time attribution all
+//! apply to any client unchanged.
+
+use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::{Comm, Msg};
+use pgasm_telemetry::names;
+use pgasm_telemetry::trace::{TraceCategory, Tracer};
+use std::collections::VecDeque;
+
+/// Worker → master: computed results (the paper's `AR`). The body is
+/// entirely client-encoded ([`TaskSink::run_batch`] writes it,
+/// [`TaskSource::absorb_results`] reads it).
+pub const TAG_W2M_AR: u32 = 1;
+/// Master → worker: flow-control grant `r` (paper's `R`); also carries
+/// the termination flag, so every master transmission starts here.
+pub const TAG_M2W_R: u32 = 2;
+/// Worker → master: newly generated tasks + generator status (paper's
+/// `NP`); doubles as the request for the next allocation.
+pub const TAG_W2M_NP: u32 = 3;
+/// Master → worker: the allocated task batch (paper's `AW`).
+pub const TAG_M2W_AW: u32 = 4;
+
+/// Engine runtime knobs — the protocol-shape subset of what used to be
+/// `MasterWorkerConfig` (coalescing stays with the caller, which owns
+/// the `Comm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Task batch size `b` (tasks per AW message).
+    pub batch: usize,
+    /// Capacity of the master's pending-task buffer (flow-control
+    /// target; the buffer itself degrades gracefully if exceeded).
+    pub pending_cap: usize,
+}
+
+/// A unit of work that can cross the simulated wire.
+pub trait Task: Sized {
+    /// Append this task's wire form to `e`.
+    fn encode(&self, e: &mut Encoder);
+    /// Decode one task (must consume exactly what [`Task::encode`]
+    /// wrote).
+    fn decode(d: &mut Decoder) -> Self;
+    /// Encoder pre-allocation hint, bytes per task.
+    fn encoded_size_hint(&self) -> usize {
+        20
+    }
+}
+
+/// Master-side client logic: absorb worker results the moment they are
+/// drained, and decide which announced tasks still need doing.
+pub trait TaskSource<T: Task> {
+    /// Consume one worker's result report (the `AR` body this client's
+    /// [`TaskSink::run_batch`] encoded). Called per message as the
+    /// inbox drains, so client state is maximally fresh when batches
+    /// are cut.
+    fn absorb_results(&mut self, src: usize, d: &mut Decoder);
+    /// A worker announced `task`; return `true` to queue it for
+    /// dispatch. Called once per announced task, in arrival order.
+    fn select(&mut self, task: &T) -> bool;
+}
+
+/// Worker-side client logic: compute allocated batches and generate new
+/// tasks on request.
+pub trait TaskSink<T: Task> {
+    /// Compute the batch allocated last round (possibly empty — the
+    /// opening report) and append the result-report body to `e`. The
+    /// body must always be well-formed: the matching
+    /// [`TaskSource::absorb_results`] decodes every report, including
+    /// the empty opening one.
+    fn run_batch(&mut self, tracer: &mut Tracer, batch: &mut Vec<T>, e: &mut Encoder);
+    /// Generate up to `r` new tasks into `out`; return whether the
+    /// generator can still yield more (*active*). A sink with nothing
+    /// to generate returns `false` immediately and the engine parks the
+    /// worker until the master finds it other ranks' work.
+    fn generate(&mut self, tracer: &mut Tracer, r: usize, out: &mut Vec<T>) -> bool;
+}
+
+/// Protocol-level tallies from one master run; the client folds these
+/// into its own counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MasterReport {
+    /// Tasks workers announced over NP (the client's "generated").
+    pub tasks_announced: u64,
+    /// Announced tasks the source selected into the pending buffer.
+    pub tasks_selected: u64,
+    /// Peak depth of the pending-task buffer.
+    pub peak_queue_depth: u64,
+    /// Non-empty AW batches dispatched.
+    pub batches_dispatched: u64,
+    /// Deepest single drain of the inbox.
+    pub inbox_drain_depth_max: u64,
+}
+
+/// Protocol-level tallies from one worker run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerReport {
+    /// Tasks this worker's generator produced.
+    pub tasks_generated: u64,
+    /// Report/grant round-trips completed.
+    pub round_trips: u64,
+}
+
+/// The master's mutable protocol state, separated from the event loop
+/// so message handling (absorption, selection) and dispatch (batch
+/// cutting, flow control) read as the two halves of Fig. 7 they are.
+struct Master<'s, T, S> {
+    source: &'s mut S,
+    b: usize,
+    pending_cap: usize,
+    pending: VecDeque<T>,
+    /// Worker's generator still has tasks to yield.
+    worker_active: Vec<bool>,
+    /// Worker reported its round (NP arrived) and awaits an R+AW reply.
+    need_reply: Vec<bool>,
+    /// Worker is passive with no allocation in flight: blocked in a
+    /// receive, revivable with an unsolicited grant (Idle_Workers).
+    parked: Vec<bool>,
+    /// An allocation is in flight to this worker (a report will come).
+    outstanding: Vec<bool>,
+    report: MasterReport,
+}
+
+impl<T: Task, S: TaskSource<T>> Master<'_, T, S> {
+    /// Apply one worker message the moment it is drained — result
+    /// absorption (AR) and task selection (NP) interleave with message
+    /// progress instead of waiting for a dispatch turn.
+    fn handle(&mut self, msg: &Msg) {
+        let i = msg.src;
+        let mut d = Decoder::new(msg.data.clone());
+        match msg.tag {
+            TAG_W2M_AR => self.source.absorb_results(i, &mut d),
+            TAG_W2M_NP => {
+                // Newly announced tasks: keep only those the source
+                // still wants *right now*.
+                let active = d.get_u32() == 1;
+                self.worker_active[i] = active;
+                let np_count = d.get_u32();
+                for _ in 0..np_count {
+                    let task = T::decode(&mut d);
+                    self.report.tasks_announced += 1;
+                    if self.source.select(&task) {
+                        self.pending.push_back(task);
+                        self.report.tasks_selected += 1;
+                    }
+                }
+                self.report.peak_queue_depth = self.report.peak_queue_depth.max(self.pending.len() as u64);
+                // NP closes the worker's round: it now awaits a grant.
+                self.need_reply[i] = true;
+                self.outstanding[i] = false;
+            }
+            t => unreachable!("unexpected tag {t} at the master"),
+        }
+    }
+
+    /// Answer every worker whose round completed and feed parked
+    /// workers from the pending buffer (Fig. 7's Idle_Workers service).
+    fn dispatch(&mut self, comm: &mut Comm) {
+        let p = self.worker_active.len();
+        for i in 1..p {
+            if !self.need_reply[i] {
+                continue;
+            }
+            self.need_reply[i] = false;
+            let batch = drain_batch(&mut self.pending, self.b);
+            let r = self.flow_control();
+            if batch.is_empty() && !self.worker_active[i] {
+                // Nothing to do and nothing left to generate: park it
+                // (the empty AW tells the worker to block).
+                self.parked[i] = true;
+                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_PARK, "worker", i as u64);
+                send_grant(comm, i, r, &batch, false);
+            } else {
+                if !batch.is_empty() {
+                    self.report.batches_dispatched += 1;
+                }
+                self.outstanding[i] = true;
+                send_grant(comm, i, r, &batch, false);
+            }
+        }
+        for j in 1..p {
+            if self.parked[j] && !self.pending.is_empty() {
+                let batch = drain_batch(&mut self.pending, self.b);
+                let r = self.flow_control();
+                self.report.batches_dispatched += 1;
+                self.parked[j] = false;
+                self.outstanding[j] = true;
+                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_UNPARK, "worker", j as u64);
+                send_grant(comm, j, r, &batch, false);
+            }
+        }
+    }
+
+    fn flow_control(&self) -> usize {
+        compute_r(
+            self.b,
+            self.pending_cap,
+            self.pending.len(),
+            &self.worker_active,
+            self.report.tasks_announced,
+            self.report.tasks_selected,
+        )
+    }
+
+    /// Every worker passive and parked, nothing pending, nothing in
+    /// flight.
+    fn finished(&self) -> bool {
+        let p = self.worker_active.len();
+        (1..p).all(|i| !self.worker_active[i] && self.parked[i] && !self.outstanding[i])
+            && self.pending.is_empty()
+    }
+}
+
+/// Run the master's event loop (paper Fig. 7) on rank 0. `seed_tasks`
+/// pre-loads the pending buffer for workloads where the master owns the
+/// whole task list (distributed assembly); task-generating workloads
+/// (clustering) pass an empty seed. Returns when every worker has been
+/// sent its termination grant.
+pub fn run_master<T: Task, S: TaskSource<T>>(
+    comm: &mut Comm,
+    config: &EngineConfig,
+    source: &mut S,
+    seed_tasks: Vec<T>,
+) -> MasterReport {
+    let p = comm.size();
+    let seeded = seed_tasks.len() as u64;
+    let mut m = Master {
+        source,
+        b: config.batch,
+        pending_cap: config.pending_cap,
+        pending: {
+            let mut q = VecDeque::with_capacity(config.pending_cap.max(seed_tasks.len()));
+            q.extend(seed_tasks);
+            q
+        },
+        worker_active: vec![true; p],
+        need_reply: vec![false; p],
+        parked: vec![false; p],
+        // Workers open with an unsolicited first report.
+        outstanding: {
+            let mut o = vec![true; p];
+            o[0] = false;
+            o
+        },
+        report: MasterReport { peak_queue_depth: seeded, ..MasterReport::default() },
+    };
+    let mut drain_depth: u64 = 0;
+
+    loop {
+        // Event pump: consume everything already queued before any
+        // dispatch decision — results from fast workers land before
+        // batches are cut for slow ones.
+        if let Some(msg) = comm.try_recv(None, None) {
+            drain_depth += 1;
+            note_handled(comm, &msg);
+            m.handle(&msg);
+            continue;
+        }
+        m.report.inbox_drain_depth_max = m.report.inbox_drain_depth_max.max(drain_depth);
+
+        // Inbox empty: answer completed rounds, revive parked workers.
+        comm.tracer_mut().begin(TraceCategory::Master, names::EV_DISPATCH);
+        m.dispatch(comm);
+        comm.tracer_mut().end(TraceCategory::Master, names::EV_DISPATCH);
+
+        if m.finished() {
+            for i in 1..p {
+                debug_assert!(m.parked[i], "at termination every worker is parked");
+                send_grant::<T>(comm, i, 0, &[], true);
+            }
+            // Replies may still sit in the coalescing queues; this rank
+            // never blocks again, so push them out explicitly.
+            comm.flush_all();
+            break;
+        }
+
+        // Nothing left to do until a worker reports: block (this also
+        // flushes the grants staged above).
+        let msg = comm.recv(None, None);
+        drain_depth = 1;
+        note_handled(comm, &msg);
+        m.handle(&msg);
+    }
+    m.report
+}
+
+/// Mark a drained worker report on the master's track, by message kind.
+fn note_handled(comm: &mut Comm, msg: &Msg) {
+    let name = if msg.tag == TAG_W2M_AR { names::EV_HANDLE_AR } else { names::EV_HANDLE_NP };
+    comm.tracer_mut().instant_arg(TraceCategory::Master, name, "src", msg.src as u64);
+}
+
+fn drain_batch<T>(pending: &mut VecDeque<T>, b: usize) -> Vec<T> {
+    let take = b.min(pending.len());
+    pending.drain(..take).collect()
+}
+
+/// Send one master→worker allocation: the `R` flow-control grant
+/// (termination flag + next request size) followed, for live grants, by
+/// the `AW` task batch. *Every* master transmission — round reply,
+/// unsolicited grant to a parked worker, termination — goes through
+/// here, so the M2W wire format has exactly one encoder and the worker
+/// exactly one decode path.
+fn send_grant<T: Task>(comm: &mut Comm, dest: usize, r: usize, batch: &[T], terminate: bool) {
+    let mut e = Encoder::with_capacity(8);
+    e.put_u32(terminate as u32);
+    e.put_u32(r as u32);
+    comm.send(dest, TAG_M2W_R, e.finish());
+    if terminate {
+        return;
+    }
+    let mut e = Encoder::with_capacity(4 + batch.iter().map(Task::encoded_size_hint).sum::<usize>());
+    e.put_u32(batch.len() as u32);
+    for task in batch {
+        task.encode(&mut e);
+    }
+    comm.send(dest, TAG_M2W_AW, e.finish());
+}
+
+/// The paper's flow-control rule (§7): request enough tasks that about
+/// `b` of them will be selected for dispatch, without overflowing the
+/// pending buffer. Never zero: under backpressure (pending buffer at
+/// capacity) an active worker must still drain its generator one task
+/// at a time, otherwise it spins in empty report/grant round-trips and
+/// the run stops progressing toward generator exhaustion.
+pub fn compute_r(
+    b: usize,
+    cap: usize,
+    pending: usize,
+    active: &[bool],
+    generated: u64,
+    selected: u64,
+) -> usize {
+    let p_active = active[1..].iter().filter(|&&a| a).count().max(1);
+    let ratio = if generated < 64 { 0.5 } else { (selected as f64 / generated as f64).max(0.02) };
+    let by_ratio = (b as f64 / ratio).ceil() as usize;
+    let by_capacity = cap.saturating_sub(pending) / p_active;
+    by_ratio.min(by_capacity).min(8 * b).max(1)
+}
+
+/// Run a worker's event loop (paper Fig. 8) on ranks 1..p: compute the
+/// previously allocated batch, generate the `r` tasks the master asked
+/// for, report both, receive the next allocation — parking when passive
+/// and idle until the master finds work or terminates the run.
+pub fn run_worker<T: Task, S: TaskSink<T>>(
+    comm: &mut Comm,
+    config: &EngineConfig,
+    sink: &mut S,
+) -> WorkerReport {
+    let mut report = WorkerReport::default();
+    let mut r = config.batch;
+    let mut aw: Vec<T> = Vec::new();
+    let mut np: Vec<T> = Vec::new();
+    loop {
+        // Compute the tasks allocated last round, encoding the result
+        // report as the client defines it.
+        let mut e = Encoder::new();
+        sink.run_batch(comm.tracer_mut(), &mut aw, &mut e);
+        aw.clear();
+        let ar = e.finish();
+        // Generate the requested number of new tasks.
+        np.clear();
+        let active = sink.generate(comm.tracer_mut(), r, &mut np);
+        report.tasks_generated += np.len() as u64;
+        // Report: results (AR) and new tasks (NP) travel as two
+        // fine-grained messages so the coalescing layer can fold them —
+        // plus whatever other rounds are queued — into one envelope
+        // toward the master.
+        comm.send(0, TAG_W2M_AR, ar);
+        let mut e = Encoder::with_capacity(8 + np.iter().map(Task::encoded_size_hint).sum::<usize>());
+        e.put_u32(active as u32);
+        e.put_u32(np.len() as u32);
+        for task in &np {
+            task.encode(&mut e);
+        }
+        comm.send(0, TAG_W2M_NP, e.finish());
+        report.round_trips += 1;
+        // Receive the next grant (possibly parking idle first). The R
+        // message always arrives; a live grant is followed by its AW
+        // batch.
+        loop {
+            let m = comm.recv(Some(0), Some(TAG_M2W_R));
+            let mut d = Decoder::new(m.data);
+            let terminate = d.get_u32() == 1;
+            if terminate {
+                return report;
+            }
+            r = d.get_u32() as usize;
+            let m = comm.recv(Some(0), Some(TAG_M2W_AW));
+            let mut d = Decoder::new(m.data);
+            let count = d.get_u32();
+            aw = (0..count).map(|_| T::decode(&mut d)).collect();
+            if aw.is_empty() && !active {
+                // Passive with no work: park and wait for an
+                // unsolicited allocation or termination.
+                comm.tracer_mut().instant(TraceCategory::Worker, names::EV_PARK);
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy client: tasks are plain integers, workers square them.
+    /// Exercises the protocol shell with no domain logic at all.
+    impl Task for u32 {
+        fn encode(&self, e: &mut Encoder) {
+            e.put_u32(*self);
+        }
+        fn decode(d: &mut Decoder) -> u32 {
+            d.get_u32()
+        }
+        fn encoded_size_hint(&self) -> usize {
+            4
+        }
+    }
+
+    struct SumSource {
+        sum: u64,
+        results: u64,
+        seen: Vec<u32>,
+    }
+
+    impl TaskSource<u32> for SumSource {
+        fn absorb_results(&mut self, _src: usize, d: &mut Decoder) {
+            let count = d.get_u32();
+            for _ in 0..count {
+                self.sum += d.get_u64();
+                self.results += 1;
+            }
+        }
+        fn select(&mut self, task: &u32) -> bool {
+            self.seen.push(*task);
+            // Odd numbers are "already done" — mimics the cluster-check
+            // skip so selection is exercised.
+            task.is_multiple_of(2)
+        }
+    }
+
+    struct RangeSink {
+        next: u32,
+        stop: u32,
+        computed: u64,
+    }
+
+    impl TaskSink<u32> for RangeSink {
+        fn run_batch(&mut self, _tracer: &mut Tracer, batch: &mut Vec<u32>, e: &mut Encoder) {
+            e.put_u32(batch.len() as u32);
+            for t in batch.drain(..) {
+                self.computed += 1;
+                e.put_u64(t as u64 * t as u64);
+            }
+        }
+        fn generate(&mut self, _tracer: &mut Tracer, r: usize, out: &mut Vec<u32>) -> bool {
+            for _ in 0..r {
+                if self.next >= self.stop {
+                    break;
+                }
+                out.push(self.next);
+                self.next += 1;
+            }
+            self.next < self.stop
+        }
+    }
+
+    fn run_toy(p: usize, per_worker: u32, batch: usize, cap: usize) -> (u64, u64, MasterReport) {
+        let outcomes = pgasm_mpisim::run(p, move |comm| {
+            let cfg = EngineConfig { batch, pending_cap: cap };
+            if comm.rank() == 0 {
+                let mut source = SumSource { sum: 0, results: 0, seen: Vec::new() };
+                let report = run_master(comm, &cfg, &mut source, Vec::new());
+                assert_eq!(report.tasks_announced as usize, source.seen.len());
+                Some((source.sum, source.results, report))
+            } else {
+                let base = (comm.rank() as u32 - 1) * per_worker;
+                let mut sink = RangeSink { next: base, stop: base + per_worker, computed: 0 };
+                run_worker(comm, &cfg, &mut sink);
+                None
+            }
+        });
+        outcomes.into_iter().flatten().next().expect("master outcome")
+    }
+
+    #[test]
+    fn toy_client_computes_every_selected_task_once() {
+        for p in [2usize, 3, 5] {
+            let per_worker = 40;
+            let (sum, results, report) = run_toy(p, per_worker, 4, 64);
+            let n = (p as u32 - 1) * per_worker;
+            let expected: u64 = (0..n).filter(|t| t % 2 == 0).map(|t| t as u64 * t as u64).sum();
+            assert_eq!(sum, expected, "p = {p}");
+            assert_eq!(results as u32, n.div_ceil(2), "p = {p}");
+            assert_eq!(report.tasks_announced, n as u64);
+            assert_eq!(report.tasks_selected as u32, n.div_ceil(2));
+            assert!(report.batches_dispatched >= 1);
+        }
+    }
+
+    #[test]
+    fn seeded_master_drives_passive_workers() {
+        // Workers generate nothing; the master's seed is the whole task
+        // list — the distributed-assembly usage pattern.
+        let seed: Vec<u32> = (0..30).map(|i| i * 2).collect();
+        let expected: u64 = seed.iter().map(|&t| t as u64 * t as u64).sum();
+        let (sum, computed) = pgasm_mpisim::run(4, move |comm| {
+            let cfg = EngineConfig { batch: 1, pending_cap: 64 };
+            if comm.rank() == 0 {
+                let mut source = SumSource { sum: 0, results: 0, seen: Vec::new() };
+                let report = run_master(comm, &cfg, &mut source, seed.clone());
+                assert_eq!(report.tasks_announced, 0, "passive workers announce nothing");
+                assert_eq!(report.peak_queue_depth, seed.len() as u64);
+                assert_eq!(source.results, seed.len() as u64);
+                (source.sum, 0)
+            } else {
+                let mut sink = RangeSink { next: 0, stop: 0, computed: 0 };
+                run_worker(comm, &cfg, &mut sink);
+                (0, sink.computed)
+            }
+        })
+        .into_iter()
+        .fold((0, 0), |(s, c), (s2, c2)| (s + s2, c + c2));
+        assert_eq!(sum, expected);
+        assert_eq!(computed, 30);
+    }
+
+    #[test]
+    fn tiny_pending_buffer_still_terminates() {
+        // Backpressure regression for the generic shell: cap < batch
+        // once livelocked the clustering client (the r >= 1 clamp).
+        let (sum, _, _) = run_toy(3, 25, 8, 2);
+        let n = 2 * 25u32;
+        let expected: u64 = (0..n).filter(|t| t % 2 == 0).map(|t| t as u64 * t as u64).sum();
+        assert_eq!(sum, expected);
+    }
+}

@@ -16,11 +16,21 @@
 //!   buckets need through two collective steps, build local subtree
 //!   forests. Reports the measured-computation / modelled-communication
 //!   breakdown of Fig. 5.
+//! - [`engine`] — the generic distributed task engine: the §7
+//!   event-driven master–worker protocol (AR/NP/R/AW messages, flow
+//!   control, park/unpark, termination, protocol tracing) factored out
+//!   of clustering so any workload can ride it through the
+//!   `Task`/`TaskSource`/`TaskSink` traits.
 //! - [`master_worker`] — the single-master / many-workers clustering
-//!   runtime (§7, Figs. 6–8): workers generate promising pairs from
-//!   their local GST portions and compute alignments; the master owns
-//!   the Union–Find, the pending-work queue, the idle-worker list, and
-//!   the flow-control formula for the per-worker pair-request size `r`.
+//!   runtime (§7, Figs. 6–8), re-hosted on [`engine`]: workers generate
+//!   promising pairs from their local GST portions and compute
+//!   alignments; the master owns the Union–Find, the pending-work
+//!   queue, the idle-worker list, and the flow-control formula for the
+//!   per-worker pair-request size `r`.
+//! - [`assemble_dist`] — the §8 "trivially parallel" assembly phase as
+//!   a second engine client: the master schedules whole clusters
+//!   largest-first (LPT) onto worker ranks, workers assemble and ship
+//!   contigs back, with the same telemetry surface as clustering.
 //! - [`pipeline`] — end-to-end convenience: preprocess → cluster →
 //!   per-cluster assembly, with the summary statistics §8 reports.
 //! - [`geometry`] — the §10 future-work extension implemented:
@@ -30,7 +40,9 @@
 //!   provenance (the §9.1 "clusters mapping to a single benchmark
 //!   region" statistic, made exact).
 
+pub mod assemble_dist;
 pub mod clustering;
+pub mod engine;
 pub mod geometry;
 pub mod master_worker;
 pub mod parallel_gst;
@@ -38,7 +50,9 @@ pub mod pipeline;
 pub mod unionfind;
 pub mod validation;
 
+pub use assemble_dist::{assemble_parallel, assemble_parallel_traced, AssignPolicy, DistAssembleReport};
 pub use clustering::{cluster_exhaustive, cluster_serial, ClusterParams, ClusterStats, Clustering};
+pub use engine::{EngineConfig, MasterReport, Task, TaskSink, TaskSource, WorkerReport};
 pub use master_worker::{
     cluster_parallel, cluster_parallel_traced, MasterWorkerConfig, ParallelClusterReport,
 };

@@ -1,42 +1,29 @@
 //! The single-master / multiple-worker parallel clustering runtime
-//! (paper §7, Figs. 6–8).
+//! (paper §7, Figs. 6–8) — the first client of the generic
+//! [`crate::engine`] distributed task engine.
 //!
-//! Rank 0 is the master: it owns the Union–Find cluster store, the
-//! fixed-capacity `Pending_Work_Buf`, and the `Idle_Workers` list; it
-//! selects which generated pairs still need alignment, dispatches work
-//! in batches of `b`, and regulates each worker's next pair-generation
-//! request `r` so that pair inflow roughly matches alignment outflow
-//! without overflowing the pending buffer.
+//! The protocol itself (the event-driven master pump, AR/NP/R/AW
+//! message shapes, `compute_r` flow control, park/unpark, coalescing
+//! interaction, termination) lives in [`crate::engine`]; this module
+//! supplies what makes it *clustering*:
 //!
-//! The master is *event-driven*: it drains **all** queued worker
-//! reports through `Comm::try_recv` before dispatching anything,
-//! applies Union–Find merges and pair selection per message as the
-//! inbox drains (so cluster state is maximally fresh when batches are
-//! cut), and blocks in `recv` only when the inbox is truly empty. One
-//! slow worker therefore never serialises everyone else's replies —
-//! the availability collapse §7.2 reports (90% → 70%) came from the
-//! synchronous one-recv-one-dispatch loop this replaces.
+//! - rank 0's [`ClusterSource`]: the Union–Find cluster store (or the
+//!   §10 geometry-aware variant), Union–Find merges applied per drained
+//!   `AR` report, and the cluster-check pair selection that discards
+//!   generated pairs whose fragments already co-cluster;
+//! - ranks 1..p's [`ClusterSink`]: the per-rank GST pair generator
+//!   (decreasing maximal-match order, which "roughly approximates the
+//!   global sorted order in practice", §7), the two-phase alignment
+//!   kernel with its reusable zero-allocation scratch, and the AR wire
+//!   format (per-pair verdicts plus the DP-cell / early-exit / skipped-
+//!   traceback work accounting);
+//! - the phase orchestration around the engine: distributed GST build,
+//!   protocol-message coalescing, per-rank timing/blocked-time capture,
+//!   tag relabelling, and the [`RankReport`] channels.
 //!
-//! The protocol speaks the paper's message types (Figs. 6–8) as
-//! *separate* wire messages: workers send `AR` (alignment results) and
-//! `NP` (new pairs + generator status), the master answers with `R`
-//! (flow-control grant, which also carries termination) and `AW`
-//! (alignment work batch). Fine-grained messages keep the state machine
-//! simple; the `mpisim` coalescing layer (see `CoalescePolicy`)
-//! re-aggregates each burst into one framed envelope per destination,
-//! so the wire cost stays that of the old fused messages while the α
-//! latency term is paid once per envelope.
-//!
-//! Ranks 1..p are workers: each builds its portion of the distributed
-//! GST, then iterates — *compute the previously allocated alignment
-//! batch, generate the `r` pairs the master asked for, report both, and
-//! receive the next allocation*. Pair generation within a rank is in
-//! decreasing maximal-match order, which "roughly approximates the
-//! global sorted order in practice" (§7).
-//!
-//! A worker whose generator is exhausted (*passive*) parks in a blocking
-//! receive; the master keeps it busy with pending alignments from other
-//! workers' pairs, which is the load-balancing behaviour of Fig. 6.
+//! The wire format, protocol tags, counters, and trace events are
+//! exactly those of the pre-extraction runtime — the re-hosting is
+//! behaviour-preserving bit-for-bit.
 //!
 //! Substitution note (see DESIGN.md): workers read fragment sequences
 //! for alignment from the shared read-only store; protocol traffic
@@ -47,28 +34,22 @@
 use crate::clustering::{
     canonical_skip, same_fragment_skip, ClusterParams, ClusterStats, Clustering, PairDecider,
 };
+use crate::engine::{
+    run_master, run_worker, EngineConfig, Task, TaskSink, TaskSource, TAG_M2W_AW, TAG_M2W_R, TAG_W2M_AR,
+    TAG_W2M_NP,
+};
 use crate::parallel_gst::{compute_owners, rank_build_gst, RankGstReport};
 use crate::unionfind::UnionFind;
+use pgasm_align::AlignScratch;
 use pgasm_gst::{PairGenerator, PromisingPair};
 use pgasm_mpisim::codec::{Decoder, Encoder};
-use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel, Msg};
+use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
-use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec};
+use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec, Tracer};
 use pgasm_telemetry::{names, RankReport};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::time::Instant;
-
-/// Worker → master: alignment results (paper's `AR`) + DP-cell tally.
-const TAG_W2M_AR: u32 = 1;
-/// Master → worker: flow-control grant `r` (paper's `R`); also carries
-/// the termination flag, so every master transmission starts here.
-const TAG_M2W_R: u32 = 2;
-/// Worker → master: newly generated pairs + generator status (paper's
-/// `NP`); doubles as the request for the next allocation.
-const TAG_W2M_NP: u32 = 3;
-/// Master → worker: the allocated alignment batch (paper's `AW`).
-const TAG_M2W_AW: u32 = 4;
 
 /// Master–worker *runtime* configuration: protocol knobs only. What to
 /// cluster and how (GST window, scoring, acceptance, mode) lives in
@@ -91,6 +72,14 @@ pub struct MasterWorkerConfig {
 impl Default for MasterWorkerConfig {
     fn default() -> Self {
         MasterWorkerConfig { batch: 64, pending_cap: 4096, coalesce: Some(CoalescePolicy::default()) }
+    }
+}
+
+impl MasterWorkerConfig {
+    /// The engine-facing subset (coalescing stays with this module,
+    /// which owns the `Comm` setup).
+    fn engine(&self) -> EngineConfig {
+        EngineConfig { batch: self.batch, pending_cap: self.pending_cap }
     }
 }
 
@@ -141,21 +130,25 @@ struct RankOutcome {
     trace: RankTrace,
 }
 
-fn encode_pair(e: &mut Encoder, p: &PromisingPair) {
-    e.put_u32(p.a.0);
-    e.put_u32(p.b.0);
-    e.put_u32(p.a_pos);
-    e.put_u32(p.b_pos);
-    e.put_u32(p.match_len);
-}
+/// A promising pair travels as five `u32`s (the engine's default
+/// 20-byte size hint is exact).
+impl Task for PromisingPair {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u32(self.a.0);
+        e.put_u32(self.b.0);
+        e.put_u32(self.a_pos);
+        e.put_u32(self.b_pos);
+        e.put_u32(self.match_len);
+    }
 
-fn decode_pair(d: &mut Decoder) -> PromisingPair {
-    PromisingPair {
-        a: SeqId(d.get_u32()),
-        b: SeqId(d.get_u32()),
-        a_pos: d.get_u32(),
-        b_pos: d.get_u32(),
-        match_len: d.get_u32(),
+    fn decode(d: &mut Decoder) -> PromisingPair {
+        PromisingPair {
+            a: SeqId(d.get_u32()),
+            b: SeqId(d.get_u32()),
+            a_pos: d.get_u32(),
+            b_pos: d.get_u32(),
+            match_len: d.get_u32(),
+        }
     }
 }
 
@@ -288,160 +281,54 @@ pub fn cluster_parallel_traced(
     }
 }
 
-/// The master's mutable protocol state, separated from the event loop
-/// so message handling (merges, selection) and dispatch (batch cutting,
-/// flow control) read as the two halves of Fig. 7 they are.
-struct Master<'a> {
+/// Master-side clustering client: owns the cluster store and the work
+/// statistics, applies Union–Find merges (AR) the moment reports drain,
+/// and selects only pairs whose fragments are in different clusters
+/// *right now* (NP) — the two halves of Fig. 7 the engine delegates.
+struct ClusterSource<'a> {
     ds: &'a FragmentStore,
-    b: usize,
-    pending_cap: usize,
     clusters: MasterClusters,
-    pending: VecDeque<PromisingPair>,
-    /// Worker's generator still has pairs to yield.
-    worker_active: Vec<bool>,
-    /// Worker reported its round (NP arrived) and awaits an R+AW reply.
-    need_reply: Vec<bool>,
-    /// Worker is passive with no allocation in flight: blocked in a
-    /// receive, revivable with an unsolicited grant (Idle_Workers).
-    parked: Vec<bool>,
-    /// An allocation is in flight to this worker (a report will come).
-    outstanding: Vec<bool>,
     stats: ClusterStats,
-    selected: u64,
-    peak_queue_depth: u64,
-    batches_dispatched: u64,
 }
 
-impl Master<'_> {
-    /// Apply one worker message to the cluster state the moment it is
-    /// drained — Union–Find merges (AR) and pair selection (NP)
-    /// interleave with message progress instead of waiting for a
-    /// dispatch turn.
-    fn handle(&mut self, msg: &Msg) {
-        let i = msg.src;
-        let mut d = Decoder::new(msg.data.clone());
-        match msg.tag {
-            TAG_W2M_AR => {
-                // Alignment results: merge clusters for accepted
-                // overlaps.
-                let ar_count = d.get_u32();
-                for _ in 0..ar_count {
-                    let a = SeqId(d.get_u32());
-                    let bq = SeqId(d.get_u32());
-                    let accepted = d.get_u32() == 1;
-                    let a_start = d.get_u32();
-                    let b_start = d.get_u32();
-                    let overlap_len = d.get_u32();
-                    self.stats.aligned += 1;
-                    if accepted {
-                        self.stats.accepted += 1;
-                        self.clusters.record_accept(
-                            self.ds,
-                            a,
-                            bq,
-                            a_start,
-                            b_start,
-                            overlap_len,
-                            &mut self.stats,
-                        );
-                    }
-                }
-                // Trailing work accounting: per-phase DP-cell split plus
-                // the early-exit / skipped-traceback tallies.
-                let c1 = d.get_u64();
-                let c2 = d.get_u64();
-                self.stats.dp_cells += c1 + c2;
-                self.stats.dp_cells_phase1 += c1;
-                self.stats.dp_cells_phase2 += c2;
-                self.stats.early_exits += d.get_u64();
-                self.stats.tracebacks_skipped += d.get_u64();
-            }
-            TAG_W2M_NP => {
-                // New promising pairs: keep only those whose fragments
-                // are in different clusters *right now*.
-                let active = d.get_u32() == 1;
-                self.worker_active[i] = active;
-                let np_count = d.get_u32();
-                for _ in 0..np_count {
-                    let pair = decode_pair(&mut d);
-                    self.stats.generated += 1;
-                    let fa = self.ds.seq_to_fragment(pair.a).0 .0;
-                    let fb = self.ds.seq_to_fragment(pair.b).0 .0;
-                    if !self.clusters.skip_pair(fa, fb) {
-                        self.pending.push_back(pair);
-                        self.selected += 1;
-                    }
-                }
-                self.peak_queue_depth = self.peak_queue_depth.max(self.pending.len() as u64);
-                // NP closes the worker's round: it now awaits a grant.
-                self.need_reply[i] = true;
-                self.outstanding[i] = false;
-            }
-            t => unreachable!("unexpected tag {t} at the master"),
-        }
-    }
-
-    /// Answer every worker whose round completed and feed parked
-    /// workers from the pending buffer (Fig. 7's Idle_Workers service).
-    fn dispatch(&mut self, comm: &mut Comm) {
-        let p = self.worker_active.len();
-        for i in 1..p {
-            if !self.need_reply[i] {
-                continue;
-            }
-            self.need_reply[i] = false;
-            let batch = drain_batch(&mut self.pending, self.b);
-            let r = self.flow_control();
-            if batch.is_empty() && !self.worker_active[i] {
-                // Nothing to do and nothing left to generate: park it
-                // (the empty AW tells the worker to block).
-                self.parked[i] = true;
-                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_PARK, "worker", i as u64);
-                send_grant(comm, i, r, &[], false);
-            } else {
-                if !batch.is_empty() {
-                    self.batches_dispatched += 1;
-                }
-                self.outstanding[i] = true;
-                send_grant(comm, i, r, &batch, false);
+impl TaskSource<PromisingPair> for ClusterSource<'_> {
+    fn absorb_results(&mut self, _src: usize, d: &mut Decoder) {
+        // Alignment results: merge clusters for accepted overlaps.
+        let ar_count = d.get_u32();
+        for _ in 0..ar_count {
+            let a = SeqId(d.get_u32());
+            let bq = SeqId(d.get_u32());
+            let accepted = d.get_u32() == 1;
+            let a_start = d.get_u32();
+            let b_start = d.get_u32();
+            let overlap_len = d.get_u32();
+            self.stats.aligned += 1;
+            if accepted {
+                self.stats.accepted += 1;
+                self.clusters.record_accept(self.ds, a, bq, a_start, b_start, overlap_len, &mut self.stats);
             }
         }
-        for j in 1..p {
-            if self.parked[j] && !self.pending.is_empty() {
-                let batch = drain_batch(&mut self.pending, self.b);
-                let r = self.flow_control();
-                self.batches_dispatched += 1;
-                self.parked[j] = false;
-                self.outstanding[j] = true;
-                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_UNPARK, "worker", j as u64);
-                send_grant(comm, j, r, &batch, false);
-            }
-        }
+        // Trailing work accounting: per-phase DP-cell split plus the
+        // early-exit / skipped-traceback tallies.
+        let c1 = d.get_u64();
+        let c2 = d.get_u64();
+        self.stats.dp_cells += c1 + c2;
+        self.stats.dp_cells_phase1 += c1;
+        self.stats.dp_cells_phase2 += c2;
+        self.stats.early_exits += d.get_u64();
+        self.stats.tracebacks_skipped += d.get_u64();
     }
 
-    fn flow_control(&self) -> usize {
-        compute_r(
-            self.b,
-            self.pending_cap,
-            self.pending.len(),
-            &self.worker_active,
-            self.stats.generated,
-            self.selected,
-        )
-    }
-
-    /// Every worker passive and parked, nothing pending, nothing in
-    /// flight.
-    fn finished(&self) -> bool {
-        let p = self.worker_active.len();
-        (1..p).all(|i| !self.worker_active[i] && self.parked[i] && !self.outstanding[i])
-            && self.pending.is_empty()
+    fn select(&mut self, pair: &PromisingPair) -> bool {
+        let fa = self.ds.seq_to_fragment(pair.a).0 .0;
+        let fb = self.ds.seq_to_fragment(pair.b).0 .0;
+        !self.clusters.skip_pair(fa, fb)
     }
 }
 
-/// The master's event loop (paper Fig. 7), event-driven: drain *all*
-/// queued reports, then dispatch, and block only on a truly empty
-/// inbox.
+/// The master's side of the run: host the engine's event loop with a
+/// [`ClusterSource`], then fold protocol tallies and cluster statistics
+/// into the rank counters.
 fn master_loop(
     comm: &mut Comm,
     ds: &FragmentStore,
@@ -449,82 +336,28 @@ fn master_loop(
     params: &ClusterParams,
     config: &MasterWorkerConfig,
 ) -> RankOutcome {
-    let p = comm.size();
-    let mut m = Master {
-        ds,
-        b: config.batch,
-        pending_cap: config.pending_cap,
-        clusters: MasterClusters::new(n, params),
-        pending: VecDeque::with_capacity(config.pending_cap),
-        worker_active: vec![true; p],
-        need_reply: vec![false; p],
-        parked: vec![false; p],
-        // Workers open with an unsolicited first report.
-        outstanding: {
-            let mut o = vec![true; p];
-            o[0] = false;
-            o
-        },
-        stats: ClusterStats::default(),
-        selected: 0,
-        peak_queue_depth: 0,
-        batches_dispatched: 0,
-    };
-    let mut drain_depth: u64 = 0;
-    let mut drain_depth_max: u64 = 0;
-
-    loop {
-        // Event pump: consume everything already queued before any
-        // dispatch decision — merges from fast workers land before
-        // batches are cut for slow ones.
-        if let Some(msg) = comm.try_recv(None, None) {
-            drain_depth += 1;
-            note_handled(comm, &msg);
-            m.handle(&msg);
-            continue;
-        }
-        drain_depth_max = drain_depth_max.max(drain_depth);
-
-        // Inbox empty: answer completed rounds, revive parked workers.
-        comm.tracer_mut().begin(TraceCategory::Master, names::EV_DISPATCH);
-        m.dispatch(comm);
-        comm.tracer_mut().end(TraceCategory::Master, names::EV_DISPATCH);
-
-        if m.finished() {
-            for i in 1..p {
-                debug_assert!(m.parked[i], "at termination every worker is parked");
-                send_grant(comm, i, 0, &[], true);
-            }
-            // Replies may still sit in the coalescing queues; this rank
-            // never blocks again, so push them out explicitly.
-            comm.flush_all();
-            break;
-        }
-
-        // Nothing left to do until a worker reports: block (this also
-        // flushes the grants staged above).
-        let msg = comm.recv(None, None);
-        drain_depth = 1;
-        note_handled(comm, &msg);
-        m.handle(&msg);
-    }
-
-    let mut stats = m.stats;
+    let mut source =
+        ClusterSource { ds, clusters: MasterClusters::new(n, params), stats: ClusterStats::default() };
+    let em = run_master(comm, &config.engine(), &mut source, Vec::new());
+    let ClusterSource { clusters, mut stats, .. } = source;
+    // The engine counts announced tasks; for clustering that *is* the
+    // generated-pairs total (every NP pair is announced exactly once).
+    stats.generated = em.tasks_announced;
     let counters = BTreeMap::from([
         (names::PAIRS_GENERATED.to_string(), stats.generated),
         (names::PAIRS_ALIGNED.to_string(), stats.aligned),
         (names::PAIRS_ACCEPTED.to_string(), stats.accepted),
-        (names::PAIRS_SELECTED.to_string(), m.selected),
-        (names::PEAK_QUEUE_DEPTH.to_string(), m.peak_queue_depth),
-        (names::BATCHES_DISPATCHED.to_string(), m.batches_dispatched),
-        (names::INBOX_DRAIN_DEPTH_MAX.to_string(), drain_depth_max),
+        (names::PAIRS_SELECTED.to_string(), em.tasks_selected),
+        (names::PEAK_QUEUE_DEPTH.to_string(), em.peak_queue_depth),
+        (names::BATCHES_DISPATCHED.to_string(), em.batches_dispatched),
+        (names::INBOX_DRAIN_DEPTH_MAX.to_string(), em.inbox_drain_depth_max),
         (names::ALIGN_PHASE1_CELLS.to_string(), stats.dp_cells_phase1),
         (names::ALIGN_PHASE2_CELLS.to_string(), stats.dp_cells_phase2),
         (names::ALIGN_EARLY_EXIT.to_string(), stats.early_exits),
         (names::ALIGN_TRACEBACK_SKIPPED.to_string(), stats.tracebacks_skipped),
     ]);
     RankOutcome {
-        clustering: Some(m.clusters.finish(&mut stats)),
+        clustering: Some(clusters.finish(&mut stats)),
         stats: Some(stats),
         gst_report: RankGstReport::default(),
         cluster_seconds: 0.0,
@@ -537,54 +370,88 @@ fn master_loop(
     }
 }
 
-/// Mark a drained worker report on the master's track, by message kind.
-fn note_handled(comm: &mut Comm, msg: &Msg) {
-    let name = if msg.tag == TAG_W2M_AR { names::EV_HANDLE_AR } else { names::EV_HANDLE_NP };
-    comm.tracer_mut().instant_arg(TraceCategory::Master, name, "src", msg.src as u64);
+/// Worker-side clustering client: computes allocated alignment batches
+/// with the two-phase kernel (reusing one pre-sized scratch — the
+/// alignment hot loop performs no per-pair heap allocation) and
+/// generates pairs from the rank-local GST on request.
+struct ClusterSink<'a, F: FnMut(SeqId, SeqId) -> bool> {
+    gen: PairGenerator<F>,
+    decider: PairDecider<'a>,
+    scratch: AlignScratch,
+    results: Vec<(PromisingPair, bool, u32, u32, u32)>,
+    // Per-round work-accounting deltas (reset after each AR report)...
+    cells1_delta: u64,
+    cells2_delta: u64,
+    early_delta: u64,
+    skip_delta: u64,
+    // ...and whole-run totals for the rank counters.
+    cells_phase1: u64,
+    cells_phase2: u64,
+    early_exits: u64,
+    tracebacks_skipped: u64,
+    pairs_aligned: u64,
+    pairs_accepted: u64,
 }
 
-fn drain_batch(pending: &mut VecDeque<PromisingPair>, b: usize) -> Vec<PromisingPair> {
-    let take = b.min(pending.len());
-    pending.drain(..take).collect()
-}
-
-/// Send one master→worker allocation: the `R` flow-control grant
-/// (termination flag + next request size) followed, for live grants, by
-/// the `AW` alignment batch. *Every* master transmission — round reply,
-/// unsolicited grant to a parked worker, termination — goes through
-/// here, so the M2W wire format has exactly one encoder and the worker
-/// exactly one decode path.
-fn send_grant(comm: &mut Comm, dest: usize, r: usize, batch: &[PromisingPair], terminate: bool) {
-    let mut e = Encoder::with_capacity(8);
-    e.put_u32(terminate as u32);
-    e.put_u32(r as u32);
-    comm.send(dest, TAG_M2W_R, e.finish());
-    if terminate {
-        return;
+impl<F: FnMut(SeqId, SeqId) -> bool> TaskSink<PromisingPair> for ClusterSink<'_, F> {
+    fn run_batch(&mut self, tracer: &mut Tracer, batch: &mut Vec<PromisingPair>, e: &mut Encoder) {
+        // Compute the alignments allocated last round.
+        let had_aw = !batch.is_empty();
+        if had_aw {
+            tracer.begin_arg(TraceCategory::Align, names::EV_ALIGN_BATCH, "pairs", batch.len() as u64);
+        }
+        for pair in batch.drain(..) {
+            let r = self.decider.align_full(&pair, &mut self.scratch);
+            self.cells1_delta += r.cells_phase1;
+            self.cells2_delta += r.cells_phase2;
+            self.early_delta += r.early_exited as u64;
+            self.skip_delta += r.traceback_skipped as u64;
+            let accepted = self.decider.params.criteria.accepts(r.identity, r.overlap_len);
+            self.pairs_aligned += 1;
+            self.pairs_accepted += accepted as u64;
+            self.results.push((pair, accepted, r.a_range.0 as u32, r.b_range.0 as u32, r.overlap_len as u32));
+        }
+        if had_aw {
+            tracer.end(TraceCategory::Align, names::EV_ALIGN_BATCH);
+            tracer.instant_args(
+                TraceCategory::Align,
+                names::EV_ALIGN_CELLS,
+                ("phase1", self.cells1_delta),
+                ("phase2", self.cells2_delta),
+            );
+        }
+        // The AR report: per-pair verdicts, then the round's DP-cell /
+        // early-exit / skipped-traceback deltas.
+        e.put_u32(self.results.len() as u32);
+        for (pair, accepted, a_start, b_start, overlap_len) in self.results.drain(..) {
+            e.put_u32(pair.a.0);
+            e.put_u32(pair.b.0);
+            e.put_u32(accepted as u32);
+            e.put_u32(a_start);
+            e.put_u32(b_start);
+            e.put_u32(overlap_len);
+        }
+        e.put_u64(self.cells1_delta);
+        e.put_u64(self.cells2_delta);
+        e.put_u64(self.early_delta);
+        e.put_u64(self.skip_delta);
+        self.cells_phase1 += self.cells1_delta;
+        self.cells_phase2 += self.cells2_delta;
+        self.early_exits += self.early_delta;
+        self.tracebacks_skipped += self.skip_delta;
+        (self.cells1_delta, self.cells2_delta, self.early_delta, self.skip_delta) = (0, 0, 0, 0);
     }
-    let mut e = Encoder::with_capacity(4 + batch.len() * 20);
-    e.put_u32(batch.len() as u32);
-    for pair in batch {
-        encode_pair(&mut e, pair);
+
+    fn generate(&mut self, tracer: &mut Tracer, r: usize, out: &mut Vec<PromisingPair>) -> bool {
+        tracer.begin_arg(TraceCategory::Worker, names::EV_GENERATE, "requested", r as u64);
+        self.gen.next_batch(r, out);
+        tracer.end(TraceCategory::Worker, names::EV_GENERATE);
+        !self.gen.is_exhausted()
     }
-    comm.send(dest, TAG_M2W_AW, e.finish());
 }
 
-/// The paper's flow-control rule (§7): request enough pairs that about
-/// `b` of them will be selected for alignment, without overflowing the
-/// pending buffer. Never zero: under backpressure (pending buffer at
-/// capacity) an active worker must still drain its generator one pair
-/// at a time, otherwise it spins in empty report/grant round-trips and
-/// the run stops progressing toward generator exhaustion.
-fn compute_r(b: usize, cap: usize, pending: usize, active: &[bool], generated: u64, selected: u64) -> usize {
-    let p_active = active[1..].iter().filter(|&&a| a).count().max(1);
-    let ratio = if generated < 64 { 0.5 } else { (selected as f64 / generated as f64).max(0.02) };
-    let by_ratio = (b as f64 / ratio).ceil() as usize;
-    let by_capacity = cap.saturating_sub(pending) / p_active;
-    by_ratio.min(by_capacity).min(8 * b).max(1)
-}
-
-/// A worker's event loop (paper Fig. 8).
+/// A worker's side of the run: host the engine's event loop with a
+/// [`ClusterSink`] over the rank-local GST.
 fn worker_loop(
     comm: &mut Comm,
     ds: &FragmentStore,
@@ -594,138 +461,43 @@ fn worker_loop(
 ) -> RankOutcome {
     let params = *params;
     let canonical = params.canonical_strands;
-    let mut gen = PairGenerator::new(gst, params.mode, move |a, b| {
+    let gen = PairGenerator::new(gst, params.mode, move |a, b| {
         same_fragment_skip(a, b) || (canonical && canonical_skip(a, b))
     });
     let decider = PairDecider { store: ds, params };
     // One scratch per worker, pre-sized for the longest sequence in the
     // store: reused across every AW batch, so the alignment hot loop
     // performs no per-pair heap allocation (grow_events stays 0).
-    let mut scratch = decider.new_scratch();
-    let mut aw: Vec<PromisingPair> = Vec::new();
-    let mut results: Vec<(PromisingPair, bool, u32, u32, u32)> = Vec::new();
-    // Per-round work-accounting deltas (reset after each AR report)...
-    let mut cells1_delta: u64 = 0;
-    let mut cells2_delta: u64 = 0;
-    let mut early_delta: u64 = 0;
-    let mut skip_delta: u64 = 0;
-    // ...and whole-run totals for the rank counters.
-    let mut cells_phase1: u64 = 0;
-    let mut cells_phase2: u64 = 0;
-    let mut early_exits: u64 = 0;
-    let mut tracebacks_skipped: u64 = 0;
-    let mut r = config.batch;
-    let mut np: Vec<PromisingPair> = Vec::new();
-    let mut pairs_generated: u64 = 0;
-    let mut pairs_aligned: u64 = 0;
-    let mut pairs_accepted: u64 = 0;
-    let mut round_trips: u64 = 0;
-
-    loop {
-        // Compute the alignments allocated last round.
-        let had_aw = !aw.is_empty();
-        if had_aw {
-            comm.tracer_mut().begin_arg(
-                TraceCategory::Align,
-                names::EV_ALIGN_BATCH,
-                "pairs",
-                aw.len() as u64,
-            );
-        }
-        for pair in aw.drain(..) {
-            let r = decider.align_full(&pair, &mut scratch);
-            cells1_delta += r.cells_phase1;
-            cells2_delta += r.cells_phase2;
-            early_delta += r.early_exited as u64;
-            skip_delta += r.traceback_skipped as u64;
-            let accepted = params.criteria.accepts(r.identity, r.overlap_len);
-            pairs_aligned += 1;
-            pairs_accepted += accepted as u64;
-            results.push((pair, accepted, r.a_range.0 as u32, r.b_range.0 as u32, r.overlap_len as u32));
-        }
-        if had_aw {
-            comm.tracer_mut().end(TraceCategory::Align, names::EV_ALIGN_BATCH);
-            comm.tracer_mut().instant_args(
-                TraceCategory::Align,
-                names::EV_ALIGN_CELLS,
-                ("phase1", cells1_delta),
-                ("phase2", cells2_delta),
-            );
-        }
-        // Generate the requested number of new pairs.
-        np.clear();
-        comm.tracer_mut().begin_arg(TraceCategory::Worker, names::EV_GENERATE, "requested", r as u64);
-        gen.next_batch(r, &mut np);
-        comm.tracer_mut().end(TraceCategory::Worker, names::EV_GENERATE);
-        pairs_generated += np.len() as u64;
-        let active = !gen.is_exhausted();
-        // Report: alignment results (AR) and new pairs (NP) travel as
-        // two fine-grained messages so the coalescing layer can fold
-        // them — plus whatever other rounds are queued — into one
-        // envelope toward the master.
-        let mut e = Encoder::with_capacity(12 + results.len() * 24);
-        e.put_u32(results.len() as u32);
-        for (pair, accepted, a_start, b_start, overlap_len) in results.drain(..) {
-            e.put_u32(pair.a.0);
-            e.put_u32(pair.b.0);
-            e.put_u32(accepted as u32);
-            e.put_u32(a_start);
-            e.put_u32(b_start);
-            e.put_u32(overlap_len);
-        }
-        e.put_u64(cells1_delta);
-        e.put_u64(cells2_delta);
-        e.put_u64(early_delta);
-        e.put_u64(skip_delta);
-        cells_phase1 += cells1_delta;
-        cells_phase2 += cells2_delta;
-        early_exits += early_delta;
-        tracebacks_skipped += skip_delta;
-        (cells1_delta, cells2_delta, early_delta, skip_delta) = (0, 0, 0, 0);
-        comm.send(0, TAG_W2M_AR, e.finish());
-        let mut e = Encoder::with_capacity(8 + np.len() * 20);
-        e.put_u32(active as u32);
-        e.put_u32(np.len() as u32);
-        for pair in &np {
-            encode_pair(&mut e, pair);
-        }
-        comm.send(0, TAG_W2M_NP, e.finish());
-        round_trips += 1;
-        // Receive the next grant (possibly parking idle first). The R
-        // message always arrives; a live grant is followed by its AW
-        // batch.
-        loop {
-            let m = comm.recv(Some(0), Some(TAG_M2W_R));
-            let mut d = Decoder::new(m.data);
-            let terminate = d.get_u32() == 1;
-            if terminate {
-                return worker_outcome(BTreeMap::from([
-                    (names::PAIRS_GENERATED.to_string(), pairs_generated),
-                    (names::PAIRS_ALIGNED.to_string(), pairs_aligned),
-                    (names::PAIRS_ACCEPTED.to_string(), pairs_accepted),
-                    (names::BATCH_ROUND_TRIPS.to_string(), round_trips),
-                    (names::ALIGN_PHASE1_CELLS.to_string(), cells_phase1),
-                    (names::ALIGN_PHASE2_CELLS.to_string(), cells_phase2),
-                    (names::ALIGN_EARLY_EXIT.to_string(), early_exits),
-                    (names::ALIGN_TRACEBACK_SKIPPED.to_string(), tracebacks_skipped),
-                    (names::ALIGN_SCRATCH_BYTES_PEAK.to_string(), scratch.high_water_bytes()),
-                    (names::ALIGN_SCRATCH_GROWS.to_string(), scratch.grow_events()),
-                ]));
-            }
-            r = d.get_u32() as usize;
-            let m = comm.recv(Some(0), Some(TAG_M2W_AW));
-            let mut d = Decoder::new(m.data);
-            let count = d.get_u32();
-            aw = (0..count).map(|_| decode_pair(&mut d)).collect();
-            if aw.is_empty() && !active {
-                // Passive with no work: park and wait for an
-                // unsolicited allocation or termination.
-                comm.tracer_mut().instant(TraceCategory::Worker, names::EV_PARK);
-                continue;
-            }
-            break;
-        }
-    }
+    let scratch = decider.new_scratch();
+    let mut sink = ClusterSink {
+        gen,
+        decider,
+        scratch,
+        results: Vec::new(),
+        cells1_delta: 0,
+        cells2_delta: 0,
+        early_delta: 0,
+        skip_delta: 0,
+        cells_phase1: 0,
+        cells_phase2: 0,
+        early_exits: 0,
+        tracebacks_skipped: 0,
+        pairs_aligned: 0,
+        pairs_accepted: 0,
+    };
+    let ew = run_worker(comm, &config.engine(), &mut sink);
+    worker_outcome(BTreeMap::from([
+        (names::PAIRS_GENERATED.to_string(), ew.tasks_generated),
+        (names::PAIRS_ALIGNED.to_string(), sink.pairs_aligned),
+        (names::PAIRS_ACCEPTED.to_string(), sink.pairs_accepted),
+        (names::BATCH_ROUND_TRIPS.to_string(), ew.round_trips),
+        (names::ALIGN_PHASE1_CELLS.to_string(), sink.cells_phase1),
+        (names::ALIGN_PHASE2_CELLS.to_string(), sink.cells_phase2),
+        (names::ALIGN_EARLY_EXIT.to_string(), sink.early_exits),
+        (names::ALIGN_TRACEBACK_SKIPPED.to_string(), sink.tracebacks_skipped),
+        (names::ALIGN_SCRATCH_BYTES_PEAK.to_string(), sink.scratch.high_water_bytes()),
+        (names::ALIGN_SCRATCH_GROWS.to_string(), sink.scratch.grow_events()),
+    ]))
 }
 
 /// The master's cluster store: plain Union–Find, or the §10
@@ -820,6 +592,7 @@ fn worker_outcome(counters: BTreeMap<String, u64>) -> RankOutcome {
 mod tests {
     use super::*;
     use crate::clustering::cluster_serial;
+    use crate::engine::compute_r;
     use pgasm_align::AcceptCriteria;
     use pgasm_gst::GstConfig;
     use pgasm_seq::DnaSeq;

@@ -6,6 +6,7 @@
 //! [`Pipeline::run_with_context`]; [`Pipeline::run`] wraps it with a
 //! private context for the common case.
 
+use crate::assemble_dist::{assemble_parallel_traced, AssignPolicy};
 use crate::clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
 use crate::master_worker::{cluster_parallel_traced, MasterWorkerConfig};
 use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig};
@@ -255,7 +256,11 @@ impl Stage for ClusterStage<'_> {
 }
 
 /// Assembly stage: trivially parallel per-cluster assembly over the
-/// soft-masked (original-base) fragments.
+/// soft-masked (original-base) fragments. Runs as a distributed engine
+/// stage (clusters scheduled largest-first onto worker ranks, contigs
+/// shipped back over the simulated wire) whenever `parallel_ranks` is
+/// set, and as the OS-thread loop otherwise — the contigs are
+/// byte-identical either way.
 struct AssembleStage<'c> {
     config: &'c PipelineConfig,
 }
@@ -269,13 +274,43 @@ impl Stage for AssembleStage<'_> {
         let clustering = state.clustering.as_ref().expect("cluster stage ran");
         let masked = state.store.as_ref().expect("preprocess stage ran");
         let assembly_store = state.store_unmasked.as_ref().unwrap_or(masked);
-        state.assemblies = assemble_clusters_q(
-            assembly_store,
-            Some(&state.quals),
-            clustering,
-            &self.config.assembly,
-            self.config.assembly_threads,
-        );
+        state.assemblies = match self.config.parallel_ranks {
+            Some(p) => {
+                let report = assemble_parallel_traced(
+                    assembly_store,
+                    Some(&state.quals),
+                    clustering,
+                    &self.config.assembly,
+                    p,
+                    AssignPolicy::Lpt,
+                    self.config.trace,
+                );
+                ctx.record_span(Span {
+                    name: "dist_assemble".to_string(),
+                    wall_seconds: report.assemble_seconds,
+                    cpu_seconds: report.cpu_seconds.iter().sum(),
+                    children: Vec::new(),
+                });
+                // The assemble phase ran on the same rank ids as
+                // clustering: fold its channels into the existing
+                // per-rank entries (counters sum, comm rows append
+                // under this phase's tag labels).
+                ctx.merge_ranks(report.ranks);
+                if self.config.trace.enabled {
+                    for track in report.traces {
+                        ctx.add_trace(track);
+                    }
+                }
+                report.assemblies
+            }
+            None => assemble_clusters_q(
+                assembly_store,
+                Some(&state.quals),
+                clustering,
+                &self.config.assembly,
+                self.config.assembly_threads,
+            ),
+        };
         ctx.set(names::ASSEMBLED_CLUSTERS, state.assemblies.len() as u64);
         ctx.set(names::CONTIGS, state.assemblies.iter().map(|a| a.num_contigs() as u64).sum());
     }
@@ -377,15 +412,29 @@ pub fn assemble_clusters_q(
     let mut results: Vec<Option<Assembly>> = vec![None; clusters.len()];
     let chunk = clusters.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for (slot_chunk, cluster_chunk) in results.chunks_mut(chunk).zip(clusters.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, members) in slot_chunk.iter_mut().zip(cluster_chunk) {
-                    let reads: Vec<DnaSeq> = members.iter().map(|&f| store.get_seq(SeqId(f))).collect();
-                    let cluster_quals: Option<Vec<QualityTrack>> =
-                        quals.map(|qs| members.iter().map(|&f| qs[f as usize].clone()).collect());
-                    *slot = Some(assemble_with_quality(&reads, cluster_quals.as_deref(), config));
-                }
-            });
+        let handles: Vec<_> = results
+            .chunks_mut(chunk)
+            .zip(clusters.chunks(chunk))
+            .map(|(slot_chunk, cluster_chunk)| {
+                scope.spawn(move || {
+                    for (slot, members) in slot_chunk.iter_mut().zip(cluster_chunk) {
+                        let reads: Vec<DnaSeq> = members.iter().map(|&f| store.get_seq(SeqId(f))).collect();
+                        let cluster_quals: Option<Vec<QualityTrack>> =
+                            quals.map(|qs| members.iter().map(|&f| qs[f as usize].clone()).collect());
+                        *slot = Some(assemble_with_quality(&reads, cluster_quals.as_deref(), config));
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly and re-throw the worker's own payload: the
+        // scope's automatic join would replace it with a generic
+        // "scoped thread panicked", and the empty result slot would
+        // then surface as the unrelated "every cluster assembled"
+        // expect below.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
     results.into_iter().map(|r| r.expect("every cluster assembled")).collect()
@@ -507,6 +556,52 @@ mod tests {
         assert_eq!(run.counter("clusters"), report.clustering.clusters.len() as u64);
         // The report's stage timings come from the same spans.
         assert_eq!(report.cluster_seconds, cluster.wall_seconds);
+    }
+
+    #[test]
+    fn assembly_panic_propagates_original_payload() {
+        // An empty quality slice makes the per-cluster worker index out
+        // of bounds inside its spawned thread. The original payload must
+        // surface — not the scope's generic "a scoped thread panicked",
+        // and not the downstream "every cluster assembled" expect on the
+        // slot the dead thread left empty.
+        let reads = island_reads(10);
+        let store = reads.to_store();
+        let (clustering, _) = cluster_serial(&store, &fast_config(None).cluster);
+        assert!(clustering.num_non_singletons() >= 1);
+        let no_quals: Vec<QualityTrack> = Vec::new();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assemble_clusters_q(&store, Some(&no_quals), &clustering, &AssemblyConfig::default(), 2)
+        }))
+        .expect_err("the assembler thread must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("index out of bounds"), "panic payload was masked: {msg:?}");
+    }
+
+    #[test]
+    fn distributed_assembly_merges_rank_channels() {
+        let reads = island_reads(20);
+        let mut ctx = pgasm_telemetry::RunContext::new("test-run");
+        let pipeline = Pipeline::new(fast_config(Some(3)));
+        let report = pipeline.run_with_context(&reads, &[], &[], &mut ctx);
+        let run = ctx.finish();
+        // One channel per rank, covering both phases: clustering
+        // counters and assemble counters live side by side, and the
+        // assemble phase's relabelled protocol rows join the comm table.
+        assert_eq!(run.ranks.len(), 3);
+        let clusters: u64 = run.ranks[1..].iter().map(|r| r.counter(names::ASM_CLUSTERS_ASSEMBLED)).sum();
+        assert_eq!(clusters as usize, report.clustering.num_non_singletons());
+        assert!(run.ranks[0].counter(names::PEAK_QUEUE_DEPTH) > 0);
+        assert!(run.ranks[0].counter(names::ASM_PEAK_QUEUE_DEPTH) > 0);
+        assert!(run.ranks[0].comm.iter().any(|t| t.label == names::TAG_W2M_AR));
+        assert!(run.ranks[0].comm.iter().any(|t| t.label == names::TAG_ASM_W2M_RES));
+        // The assemble stage records its phase sub-span.
+        let assemble = run.span("assemble").unwrap();
+        assert!(assemble.find("assemble/dist_assemble").is_some());
     }
 
     #[test]

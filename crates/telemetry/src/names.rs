@@ -46,6 +46,25 @@ pub const ASSEMBLED_CLUSTERS: &str = "assembled_clusters";
 /// Contigs produced across all clusters.
 pub const CONTIGS: &str = "contigs";
 
+// ---- distributed-assembly counters ----------------------------------------
+
+/// Clusters this rank assembled in the distributed assemble stage.
+pub const ASM_CLUSTERS_ASSEMBLED: &str = "asm_clusters_assembled";
+/// Reads fed into this rank's cluster assemblies.
+pub const ASM_READS_ASSEMBLED: &str = "asm_reads_assembled";
+/// Deterministic work proxy: Σ k·(k−1)/2 over this rank's assigned
+/// clusters (candidate overlap pairs) — the load-balance metric that
+/// does not wobble with host scheduling.
+pub const ASM_COST_UNITS: &str = "asm_cost_units";
+/// Contig bases this rank shipped back to the master.
+pub const ASM_CONTIG_BASES: &str = "asm_contig_bases";
+/// Assemble-phase report/grant round-trips a worker completed.
+pub const ASM_BATCH_ROUND_TRIPS: &str = "asm_batch_round_trips";
+/// Assemble-phase peak depth of the master's pending-task buffer.
+pub const ASM_PEAK_QUEUE_DEPTH: &str = "asm_peak_queue_depth";
+/// Assemble-phase non-empty task batches the master dispatched.
+pub const ASM_BATCHES_DISPATCHED: &str = "asm_batches_dispatched";
+
 // ---- master–worker protocol counters -------------------------------------
 
 /// Peak depth of the master's pending-work buffer.
@@ -88,6 +107,15 @@ pub const TAG_M2W_R: &str = "m2w_r";
 pub const TAG_M2W_AW: &str = "m2w_aw";
 /// Framed envelope carrying coalesced messages.
 pub const TAG_COALESCED: &str = "coalesced";
+/// Worker → master assembled-contig results (assemble stage's `AR`).
+pub const TAG_ASM_W2M_RES: &str = "asm_w2m_res";
+/// Worker → master assemble-stage readiness report (its `NP`; always
+/// passive — workers never generate assemble tasks).
+pub const TAG_ASM_W2M_RDY: &str = "asm_w2m_rdy";
+/// Master → worker assemble-stage flow-control grant (its `R`).
+pub const TAG_ASM_M2W_GRANT: &str = "asm_m2w_grant";
+/// Master → worker cluster-task batch (its `AW`).
+pub const TAG_ASM_M2W_TASK: &str = "asm_m2w_task";
 
 // ---- trace event names ----------------------------------------------------
 
@@ -125,3 +153,8 @@ pub const EV_GST_REDISTRIBUTE: &str = "gst_redistribute";
 pub const EV_GST_FETCH: &str = "gst_fetch";
 /// GST: building the local forest (span, category `gst`).
 pub const EV_GST_BUILD: &str = "gst_build";
+/// Worker assembling one cluster (span, category `assemble`; arg reads).
+pub const EV_ASSEMBLE_CLUSTER: &str = "assemble_cluster";
+/// Worker encoding one cluster's contigs for shipment (instant,
+/// category `assemble`; arg bytes).
+pub const EV_ASSEMBLE_SHIP: &str = "assemble_ship";

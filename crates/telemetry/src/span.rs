@@ -173,6 +173,29 @@ impl RunContext {
         self.ranks = ranks;
     }
 
+    /// Merge a second parallel section's rank channels into the ones
+    /// already installed, matching entries by rank id: CPU and idle
+    /// seconds add up, counters sum on name collision, and per-tag comm
+    /// rows append (phases label their tags distinctly, so rows stay
+    /// attributable). A rank id with no existing entry is appended —
+    /// the run keeps one channel per rank regardless of how many
+    /// phases used that rank.
+    pub fn merge_ranks(&mut self, more: Vec<crate::RankReport>) {
+        for extra in more {
+            match self.ranks.iter_mut().find(|r| r.rank == extra.rank) {
+                Some(rank) => {
+                    rank.cpu_seconds += extra.cpu_seconds;
+                    rank.idle_seconds += extra.idle_seconds;
+                    for (name, v) in extra.counters {
+                        *rank.counters.entry(name).or_insert(0) += v;
+                    }
+                    rank.comm.extend(extra.comm);
+                }
+                None => self.ranks.push(extra),
+            }
+        }
+    }
+
     /// Install the finished per-rank event traces for this run
     /// (replacing any previous set).
     pub fn set_traces(&mut self, traces: Vec<crate::RankTrace>) {

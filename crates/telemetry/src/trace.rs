@@ -40,6 +40,8 @@ pub enum TraceCategory {
     Gst,
     /// Alignment batches.
     Align,
+    /// Per-cluster assembly work in the distributed assemble stage.
+    Assemble,
 }
 
 impl TraceCategory {
@@ -52,6 +54,7 @@ impl TraceCategory {
             TraceCategory::Comm => "comm",
             TraceCategory::Gst => "gst",
             TraceCategory::Align => "align",
+            TraceCategory::Assemble => "assemble",
         }
     }
 }

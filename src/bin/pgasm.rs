@@ -63,17 +63,23 @@ USAGE:
                  [--w <n>] [--psi <n>] [--min-identity <f>] [--min-overlap <n>]
                  [--no-preprocess] [--metrics-json <report.json>]
                  [--trace-json <out.trace.json>]
-  pgasm assemble --reads <reads.fastq> --out <contigs.fasta> [same options]
+  pgasm assemble --reads <reads.fastq> --out <contigs.fasta>
+                 [--assembly-threads <n>] [same options]
 
 generate writes a synthetic sequencing project (reads as FASTQ; optionally
 the reference genome(s) as FASTA). cluster runs preprocessing + clustering
 and writes one cluster per line. assemble additionally runs the per-cluster
-serial assembler and writes contigs as FASTA. --metrics-json writes the
-structured run report (per-stage wall/CPU spans, Table-1 counters, and —
-with --ranks — per-rank idle time and per-tag communication) as JSON.
---trace-json records per-rank timestamped events (stage, master, worker,
-comm, gst, align categories) and writes Chrome trace-event JSON — open it
-at ui.perfetto.dev, one track per rank.";
+serial assembler and writes contigs as FASTA. With --ranks <p> (p >= 2) the
+clustering AND assembly phases both run distributed on p simulated ranks:
+assembly schedules whole clusters largest-first onto worker ranks and ships
+contigs back, so per-rank idle time and per-tag traffic cover both phases;
+--assembly-threads <n> (default 4) sizes the OS-thread assembly loop used
+when --ranks is absent. --metrics-json writes the structured run report
+(per-stage wall/CPU spans, Table-1 counters, and — with --ranks — per-rank
+idle time and per-tag communication) as JSON. --trace-json records per-rank
+timestamped events (stage, master, worker, comm, gst, align, assemble
+categories) and writes Chrome trace-event JSON — open it at
+ui.perfetto.dev, one track per rank.";
 
 #[derive(Default)]
 struct Opts {
@@ -204,7 +210,7 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
         preprocess,
         cluster,
         parallel_ranks: if ranks >= 2 { Some(ranks) } else { None },
-        assembly_threads: 4,
+        assembly_threads: opts.parse_or("assembly-threads", 4)?,
         trace: if opts.get("trace-json").is_some() {
             pgasm::telemetry::trace::TraceSpec::on()
         } else {

@@ -45,17 +45,20 @@ fn traced_pipeline_exports_valid_chrome_trace() {
     Pipeline::new(config).run_with_context(&reads, &[], &[], &mut ctx);
     let doc = ctx.trace_document();
 
-    // One track per parallel rank plus the pipeline's own track.
-    assert_eq!(doc.tracks.len(), ranks + 1);
-    let rank_ids: Vec<usize> = doc.tracks.iter().map(|t| t.rank).collect();
-    assert_eq!(rank_ids, vec![0, 1, 2, 3]);
+    // One track per clustering rank, the pipeline's own track, and one
+    // track per distributed-assembly rank (offset ids `ranks+1..`).
+    assert_eq!(doc.tracks.len(), 2 * ranks + 1);
+    let mut rank_ids: Vec<usize> = doc.tracks.iter().map(|t| t.rank).collect();
+    rank_ids.sort_unstable();
+    assert_eq!(rank_ids, vec![0, 1, 2, 3, 4, 5, 6]);
     assert!(doc.tracks.iter().any(|t| t.label == "master"));
     assert!(doc.tracks.iter().any(|t| t.label == "pipeline"));
+    assert!(doc.tracks.iter().any(|t| t.label == "asm_master"));
 
     // The acceptance bar: at least four distinct event categories.
     let cats = doc.categories();
     assert!(cats.len() >= 4, "only {cats:?}");
-    for want in ["comm", "master", "stage", "worker"] {
+    for want in ["comm", "master", "stage", "worker", "assemble"] {
         assert!(cats.contains(&want), "missing category '{want}' in {cats:?}");
     }
 
