@@ -59,4 +59,22 @@ cargo run --release -q -p pgasm-bench --bin trace_check -- ci.trace.json \
   --min-categories 5 --min-tracks 9 --require assemble
 rm -f ci_reads.fastq ci.trace.json ci.metrics.json
 
+echo "==> artifact-cache smoke (cold run populates, warm run hits)"
+# Serial (no --ranks) so both the preprocess and GST caches engage. The
+# same command runs twice against a shared --cache-dir; the second run
+# must load both artifacts (cache_hit = 2, cache_miss = 0) and skip the
+# GST build (no gst_build span in its metrics).
+rm -rf ci_cache ci_cache_reads.fastq ci.cache-cold.json ci.cache-warm.json
+cargo run --release -q --bin pgasm -- generate --kind maize --out ci_cache_reads.fastq --scale 0.1 --seed 11
+cargo run --release -q --bin pgasm -- cluster --reads ci_cache_reads.fastq \
+  --cache-dir ci_cache --metrics-json ci.cache-cold.json
+cargo run --release -q --bin pgasm -- cluster --reads ci_cache_reads.fastq \
+  --cache-dir ci_cache --metrics-json ci.cache-warm.json
+grep -q '"cache_miss": 2' ci.cache-cold.json || { echo "cold run should miss twice"; exit 1; }
+grep -q '"gst_build"' ci.cache-cold.json || { echo "cold run should record a gst_build span"; exit 1; }
+grep -q '"cache_hit": 2' ci.cache-warm.json || { echo "warm run should hit twice"; exit 1; }
+grep -q '"cache_miss": 2' ci.cache-warm.json && { echo "warm run must not miss"; exit 1; }
+grep -q '"gst_build"' ci.cache-warm.json && { echo "warm run must not rebuild the GST"; exit 1; }
+rm -rf ci_cache ci_cache_reads.fastq ci.cache-cold.json ci.cache-warm.json
+
 echo "CI OK"

@@ -18,7 +18,10 @@
 //!
 //! Tolerances are fractions (0.15 = +15%). Every baseline must have a
 //! fresh counterpart — a missing report is itself a failure, so the
-//! gate cannot silently pass by not running an experiment.
+//! gate cannot silently pass by not running an experiment. The reverse
+//! holds too: a fresh `BENCH_*.json` with no committed baseline fails
+//! loudly instead of being skipped, so a new experiment cannot ride
+//! through CI ungated until someone remembers to commit its baseline.
 
 use pgasm_telemetry::RunReport;
 use std::path::{Path, PathBuf};
@@ -152,6 +155,30 @@ fn run() -> Result<Vec<String>, String> {
         let base = load(base_path)?;
         let fresh = load(&fresh_path)?;
         diff_report(&mut failures, id, &base, &fresh, &args);
+    }
+    // A fresh report with no committed baseline is not "nothing to
+    // compare" — it is an ungated experiment, and skipping it would
+    // let new benches pass CI with no regression gate at all.
+    let mut fresh_files: Vec<PathBuf> = std::fs::read_dir(&args.fresh)
+        .map_err(|e| format!("read {}: {e}", args.fresh.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    fresh_files.sort();
+    for fresh_path in &fresh_files {
+        let name = fresh_path.file_name().unwrap().to_str().unwrap();
+        if !baseline_files.iter().any(|b| b.file_name().is_some_and(|bn| bn == name)) {
+            let id = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+            failures.push(format!(
+                "{id}: fresh report {} has no baseline under {} (commit one to gate it)",
+                fresh_path.display(),
+                args.baselines.display()
+            ));
+        }
     }
     Ok(failures)
 }

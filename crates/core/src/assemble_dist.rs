@@ -33,7 +33,7 @@ use crate::engine::{
     TAG_W2M_NP,
 };
 use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig, Contig, Placement};
-use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, CostModel};
 use pgasm_seq::{DnaSeq, FragmentStore, QualityTrack, SeqId};
 use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec, Tracer};
@@ -111,10 +111,10 @@ impl Task for AssembleTask {
 }
 
 fn encode_assembly(e: &mut Encoder, a: &Assembly) {
-    e.put_u32(a.contigs.len() as u32);
+    e.put_u32(checked_len(a.contigs.len()));
     for c in &a.contigs {
         e.put_bytes(&c.seq.to_ascii());
-        e.put_u32(c.placements.len() as u32);
+        e.put_u32(checked_len(c.placements.len()));
         for pl in &c.placements {
             e.put_u32(pl.read as u32);
             e.put_u32(pl.offset as u32);
@@ -181,7 +181,7 @@ struct AssembleSink<'a> {
 
 impl TaskSink<AssembleTask> for AssembleSink<'_> {
     fn run_batch(&mut self, tracer: &mut Tracer, batch: &mut Vec<AssembleTask>, e: &mut Encoder) {
-        e.put_u32(batch.len() as u32);
+        e.put_u32(checked_len(batch.len()));
         for task in batch.drain(..) {
             tracer.begin_arg(
                 TraceCategory::Assemble,

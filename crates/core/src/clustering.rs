@@ -276,10 +276,30 @@ impl<'s> PairDecider<'s> {
 /// Serial clustering of `store` (single-stranded input fragments).
 /// Returns the clustering and the work statistics.
 pub fn cluster_serial(store: &FragmentStore, params: &ClusterParams) -> (Clustering, ClusterStats) {
+    cluster_serial_with_gst(store, params, None)
+}
+
+/// As [`cluster_serial`], optionally reusing a GST already built over
+/// `store.with_reverse_complements()` — e.g. one loaded from the
+/// artifact cache. The prebuilt tree must match the parameters and the
+/// store it claims to index; a mismatch is a caller bug (a wrong tree
+/// would silently produce a wrong clustering), so it panics.
+pub fn cluster_serial_with_gst(
+    store: &FragmentStore,
+    params: &ClusterParams,
+    prebuilt: Option<Gst>,
+) -> (Clustering, ClusterStats) {
     assert!(!store.is_double_stranded(), "pass the original single-stranded fragments");
     let n = store.num_fragments();
     let ds = store.with_reverse_complements();
-    let gst = Gst::build(&ds, params.gst);
+    let gst = match prebuilt {
+        Some(g) => {
+            assert_eq!(g.config(), params.gst, "prebuilt GST was built with different parameters");
+            assert_eq!(g.num_seqs(), ds.num_seqs(), "prebuilt GST indexes a different fragment set");
+            g
+        }
+        None => Gst::build(&ds, params.gst),
+    };
     let canonical = params.canonical_strands;
     let generator = PairGenerator::new(gst, params.mode, move |a, b| {
         same_fragment_skip(a, b) || (canonical && canonical_skip(a, b))

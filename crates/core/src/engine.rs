@@ -36,7 +36,7 @@
 //! layer, per-tag traffic accounting, and blocked-time attribution all
 //! apply to any client unchanged.
 
-use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{Comm, Msg};
 use pgasm_telemetry::names;
 use pgasm_telemetry::trace::{TraceCategory, Tracer};
@@ -343,7 +343,7 @@ fn send_grant<T: Task>(comm: &mut Comm, dest: usize, r: usize, batch: &[T], term
         return;
     }
     let mut e = Encoder::with_capacity(4 + batch.iter().map(Task::encoded_size_hint).sum::<usize>());
-    e.put_u32(batch.len() as u32);
+    e.put_u32(checked_len(batch.len()));
     for task in batch {
         task.encode(&mut e);
     }
@@ -402,7 +402,7 @@ pub fn run_worker<T: Task, S: TaskSink<T>>(
         comm.send(0, TAG_W2M_AR, ar);
         let mut e = Encoder::with_capacity(8 + np.iter().map(Task::encoded_size_hint).sum::<usize>());
         e.put_u32(active as u32);
-        e.put_u32(np.len() as u32);
+        e.put_u32(checked_len(np.len()));
         for task in &np {
             task.encode(&mut e);
         }
@@ -482,7 +482,7 @@ mod tests {
 
     impl TaskSink<u32> for RangeSink {
         fn run_batch(&mut self, _tracer: &mut Tracer, batch: &mut Vec<u32>, e: &mut Encoder) {
-            e.put_u32(batch.len() as u32);
+            e.put_u32(checked_len(batch.len()));
             for t in batch.drain(..) {
                 self.computed += 1;
                 e.put_u64(t as u64 * t as u64);

@@ -33,6 +33,9 @@
 //!   contigs back, with the same telemetry surface as clustering.
 //! - [`pipeline`] — end-to-end convenience: preprocess → cluster →
 //!   per-cluster assembly, with the summary statistics §8 reports.
+//! - [`cache`] — content-addressed per-stage artifact cache: repeated
+//!   runs over identical inputs and parameters reload the preprocess
+//!   output and the serial GST from disk instead of recomputing them.
 //! - [`geometry`] — the §10 future-work extension implemented:
 //!   orientation/offset-aware Union–Find that refuses geometrically
 //!   inconsistent overlaps during cluster formation.
@@ -41,6 +44,7 @@
 //!   region" statistic, made exact).
 
 pub mod assemble_dist;
+pub mod cache;
 pub mod clustering;
 pub mod engine;
 pub mod geometry;
@@ -51,7 +55,10 @@ pub mod unionfind;
 pub mod validation;
 
 pub use assemble_dist::{assemble_parallel, assemble_parallel_traced, AssignPolicy, DistAssembleReport};
-pub use clustering::{cluster_exhaustive, cluster_serial, ClusterParams, ClusterStats, Clustering};
+pub use cache::{ArtifactCache, StableHasher};
+pub use clustering::{
+    cluster_exhaustive, cluster_serial, cluster_serial_with_gst, ClusterParams, ClusterStats, Clustering,
+};
 pub use engine::{EngineConfig, MasterReport, Task, TaskSink, TaskSource, WorkerReport};
 pub use master_worker::{
     cluster_parallel, cluster_parallel_traced, MasterWorkerConfig, ParallelClusterReport,

@@ -42,7 +42,7 @@ use crate::parallel_gst::{compute_owners, rank_build_gst, RankGstReport};
 use crate::unionfind::UnionFind;
 use pgasm_align::AlignScratch;
 use pgasm_gst::{PairGenerator, PromisingPair};
-use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
 use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec, Tracer};
@@ -422,7 +422,7 @@ impl<F: FnMut(SeqId, SeqId) -> bool> TaskSink<PromisingPair> for ClusterSink<'_,
         }
         // The AR report: per-pair verdicts, then the round's DP-cell /
         // early-exit / skipped-traceback deltas.
-        e.put_u32(self.results.len() as u32);
+        e.put_u32(checked_len(self.results.len()));
         for (pair, accepted, a_start, b_start, overlap_len) in self.results.drain(..) {
             e.put_u32(pair.a.0);
             e.put_u32(pair.b.0);

@@ -23,7 +23,7 @@
 //! so the traffic counters are exact.
 
 use pgasm_gst::{bucket_suffixes_of, Gst, GstConfig, Suffix, TextSource};
-use pgasm_mpisim::codec::{Decoder, Encoder};
+use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
 use pgasm_telemetry::names;
@@ -144,7 +144,7 @@ pub fn rank_build_gst<'s>(
         let dest = bucket_owner(*key, builders, first_builder);
         let e = &mut per_dest[dest];
         e.put_u64(*key);
-        e.put_u32(sufs.len() as u32);
+        e.put_u32(checked_len(sufs.len()));
         for s in sufs {
             e.put_u32(s.seq);
             e.put_u32(s.pos);

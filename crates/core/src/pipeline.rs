@@ -7,10 +7,13 @@
 //! private context for the common case.
 
 use crate::assemble_dist::{assemble_parallel_traced, AssignPolicy};
-use crate::clustering::{cluster_serial, ClusterParams, ClusterStats, Clustering};
+use crate::cache::{self, ArtifactCache};
+use crate::clustering::{cluster_serial, cluster_serial_with_gst, ClusterParams, ClusterStats, Clustering};
 use crate::master_worker::{cluster_parallel_traced, MasterWorkerConfig};
 use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig};
-use pgasm_preprocess::{PreprocessConfig, PreprocessStats, Preprocessor};
+use pgasm_gst::{Gst, GST_CODEC_SCHEMA};
+use pgasm_preprocess::pipeline::PreprocessOutput;
+use pgasm_preprocess::{PreprocessConfig, PreprocessStats, Preprocessor, PREPROCESS_CODEC_SCHEMA};
 use pgasm_seq::QualityTrack;
 use pgasm_seq::{DnaSeq, FragmentStore, SeqId};
 use pgasm_simgen::ReadSet;
@@ -39,6 +42,11 @@ pub struct PipelineConfig {
     /// default). When on, the run's traces are collected into the
     /// [`RunContext`] for Chrome-trace export and idle-gap attribution.
     pub trace: TraceSpec,
+    /// Directory for the content-addressed artifact cache; `None`
+    /// disables caching. Repeated runs over identical inputs and
+    /// parameters reload the preprocess output and (serial runs) the
+    /// GST from here instead of recomputing them.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -51,6 +59,7 @@ impl Default for PipelineConfig {
             assembly: AssemblyConfig::default(),
             assembly_threads: 4,
             trace: TraceSpec::off(),
+            cache_dir: None,
         }
     }
 }
@@ -127,6 +136,9 @@ pub struct StageState<'r> {
     pub assemblies: Vec<Assembly>,
     /// Per-stage wall-clock seconds, by stage name.
     pub stage_seconds: Vec<(&'static str, f64)>,
+    /// Artifact cache for the run (`None` = caching disabled, or the
+    /// cache directory could not be created — degrade to a cold run).
+    pub cache: Option<ArtifactCache>,
 }
 
 impl<'r> StageState<'r> {
@@ -144,6 +156,7 @@ impl<'r> StageState<'r> {
             cluster_stats: ClusterStats::default(),
             assemblies: Vec::new(),
             stage_seconds: Vec::new(),
+            cache: None,
         }
     }
 
@@ -178,8 +191,27 @@ impl Stage for PreprocessStage<'_> {
         ctx.set(names::READS_IN, state.reads.len() as u64);
         match &self.config.preprocess {
             Some(cfg) => {
-                let pp = Preprocessor::new(cfg.clone(), state.vectors, state.known_repeats);
-                let out = pp.run(state.reads);
+                let key = state
+                    .cache
+                    .as_ref()
+                    .map(|_| cache::preprocess_key(state.reads, state.vectors, state.known_repeats, cfg));
+                let out = match self.load_cached(state, ctx, key) {
+                    Some(out) => out,
+                    None => {
+                        let pp = Preprocessor::new(cfg.clone(), state.vectors, state.known_repeats);
+                        let out = pp.run(state.reads);
+                        if let (Some(cache), Some(key)) = (&state.cache, key) {
+                            ctx.push("cache");
+                            if let Ok(n) =
+                                cache.store("preprocess", PREPROCESS_CODEC_SCHEMA, key, &out.encode())
+                            {
+                                ctx.add(names::CACHE_BYTES_WRITTEN, n);
+                            }
+                            ctx.pop();
+                        }
+                        out
+                    }
+                };
                 state.store = Some(out.store);
                 state.store_unmasked = Some(out.store_unmasked);
                 state.quals = out.quals;
@@ -193,6 +225,32 @@ impl Stage for PreprocessStage<'_> {
             }
         }
         ctx.set(names::FRAGMENTS, state.store.as_ref().map_or(0, |s| s.num_fragments()) as u64);
+    }
+}
+
+impl PreprocessStage<'_> {
+    /// Try the artifact cache for the preprocess output. Any failure —
+    /// absent entry, corrupt frame, invariant violation — is a miss.
+    fn load_cached(
+        &self,
+        state: &StageState<'_>,
+        ctx: &mut RunContext,
+        key: Option<u64>,
+    ) -> Option<PreprocessOutput> {
+        let (cache, key) = (state.cache.as_ref()?, key?);
+        ctx.push("cache");
+        let out = cache
+            .load("preprocess", PREPROCESS_CODEC_SCHEMA, key)
+            .and_then(|payload| PreprocessOutput::decode(&payload).ok().map(|out| (payload.len(), out)));
+        match &out {
+            Some((bytes, _)) => {
+                ctx.add(names::CACHE_HIT, 1);
+                ctx.add(names::CACHE_BYTES_READ, *bytes as u64);
+            }
+            None => ctx.add(names::CACHE_MISS, 1),
+        }
+        ctx.pop();
+        out.map(|(_, o)| o)
     }
 }
 
@@ -237,7 +295,13 @@ impl Stage for ClusterStage<'_> {
                 }
                 (report.clustering, report.stats)
             }
-            None => cluster_serial(store, &self.config.cluster),
+            None => match &state.cache {
+                Some(_) => {
+                    let gst = self.cached_gst(state, ctx, store);
+                    cluster_serial_with_gst(store, &self.config.cluster, Some(gst))
+                }
+                None => cluster_serial(store, &self.config.cluster),
+            },
         };
         ctx.set(names::PAIRS_GENERATED, stats.generated);
         ctx.set(names::PAIRS_ALIGNED, stats.aligned);
@@ -252,6 +316,53 @@ impl Stage for ClusterStage<'_> {
         ctx.set(names::NON_SINGLETON_CLUSTERS, clustering.num_non_singletons() as u64);
         state.clustering = Some(clustering);
         state.cluster_stats = stats;
+    }
+}
+
+impl ClusterStage<'_> {
+    /// The GST for a cache-enabled serial run: loaded from the artifact
+    /// cache when a valid entry for this exact fragment set and GST
+    /// parameters exists, otherwise built (under a `gst_build` span, so
+    /// warm and cold runs are distinguishable in the report) and stored
+    /// for the next run.
+    fn cached_gst(&self, state: &StageState<'_>, ctx: &mut RunContext, store: &FragmentStore) -> Gst {
+        let cache = state.cache.as_ref().expect("caller checked");
+        let gst_config = self.config.cluster.gst;
+        let ds = store.with_reverse_complements();
+        let key = cache::gst_key(&ds, &gst_config);
+        ctx.push("cache");
+        let mut loaded: Option<Gst> = None;
+        if let Some(payload) = cache.load("gst", GST_CODEC_SCHEMA, key) {
+            if let Ok(g) = Gst::decode(&payload) {
+                // Decode checks internal consistency; the entry must
+                // also be *for* this store and parameters (the key
+                // already encodes both — this guards hash collisions
+                // and hand-edited files).
+                if g.config() == gst_config && g.num_seqs() == ds.num_seqs() {
+                    ctx.add(names::CACHE_BYTES_READ, payload.len() as u64);
+                    loaded = Some(g);
+                }
+            }
+        }
+        match &loaded {
+            Some(_) => ctx.add(names::CACHE_HIT, 1),
+            None => ctx.add(names::CACHE_MISS, 1),
+        }
+        ctx.pop();
+        match loaded {
+            Some(g) => g,
+            None => {
+                ctx.push("gst_build");
+                let g = Gst::build(&ds, gst_config);
+                ctx.pop();
+                ctx.push("cache");
+                if let Ok(n) = cache.store("gst", GST_CODEC_SCHEMA, key, &g.encode()) {
+                    ctx.add(names::CACHE_BYTES_WRITTEN, n);
+                }
+                ctx.pop();
+                g
+            }
+        }
     }
 }
 
@@ -348,6 +459,9 @@ impl Pipeline {
         ctx: &mut RunContext,
     ) -> PipelineReport {
         let mut state = StageState::new(reads, vectors, known_repeats);
+        // An unopenable cache directory degrades to a cold, uncached
+        // run — caching is an optimisation, never a failure mode.
+        state.cache = self.config.cache_dir.as_deref().and_then(|d| ArtifactCache::open(d).ok());
         let stages: [&dyn Stage; 3] = [
             &PreprocessStage { config: &self.config },
             &ClusterStage { config: &self.config },
@@ -408,6 +522,11 @@ pub fn assemble_clusters_q(
     threads: usize,
 ) -> Vec<Assembly> {
     let clusters: Vec<&Vec<u32>> = clustering.non_singletons().collect();
+    if clusters.is_empty() {
+        // All-singleton clusterings are legal (e.g. every fragment
+        // rejected or unrelated); chunking by zero below would panic.
+        return Vec::new();
+    }
     let threads = threads.clamp(1, clusters.len().max(1));
     let mut results: Vec<Option<Assembly>> = vec![None; clusters.len()];
     let chunk = clusters.len().div_ceil(threads);
@@ -478,6 +597,7 @@ mod tests {
             assembly: AssemblyConfig::default(),
             assembly_threads: 2,
             trace: TraceSpec::off(),
+            cache_dir: None,
         }
     }
 

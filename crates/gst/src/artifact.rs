@@ -1,0 +1,223 @@
+//! On-disk serialization of a built [`Gst`] — the expensive index the
+//! artifact cache persists (ERA treats suffix-tree construction the same
+//! way: an index worth building once and reloading).
+//!
+//! The encoding is the checked length-prefixed framing of
+//! [`pgasm_seq::wire`]: flat little-endian arrays mirroring the arena
+//! layout, no pointers to fix up. Decoding re-checks every structural
+//! invariant (array lengths agree, node/suffix/lset indices in range)
+//! so a corrupt frame errors instead of producing a tree that panics
+//! mid-generation.
+
+use crate::tree::{Gst, GstConfig, GstStats, Node, NONE, NUM_CLASSES};
+use pgasm_seq::wire::{Reader, WireError, Writer};
+
+/// Bump when the encoding below changes shape — a cache entry written
+/// by a different schema is rejected and rebuilt, never misparsed.
+pub const GST_CODEC_SCHEMA: u32 = 1;
+
+impl Gst {
+    /// Serialize the forest into `w`. Inverse of [`Gst::decode_from`].
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.put_u32(self.config.w as u32).put_u32(self.config.psi as u32);
+        w.put_u64(self.num_seqs as u64);
+        w.put_u32(pgasm_seq::wire::checked_len(self.nodes.len()));
+        for n in &self.nodes {
+            w.put_u32(n.depth).put_u32(n.first_child).put_u32(n.next_sibling).put_u32(n.lset);
+        }
+        w.put_u32_slice(&self.suf_seq);
+        w.put_u32_slice(&self.suf_pos);
+        w.put_u32_slice(&self.suf_next);
+        w.put_u32(pgasm_seq::wire::checked_len(self.lset_head.len()));
+        for slot in 0..self.lset_head.len() {
+            for c in 0..NUM_CLASSES {
+                w.put_u32(self.lset_head[slot][c]);
+            }
+            for c in 0..NUM_CLASSES {
+                w.put_u32(self.lset_tail[slot][c]);
+            }
+        }
+        w.put_u32_slice(&self.order);
+        let s = self.stats;
+        for v in [s.buckets, s.nodes, s.leaves, s.suffixes, s.max_depth, s.eligible_nodes] {
+            w.put_u64(v as u64);
+        }
+    }
+
+    /// Decode a forest previously written by [`Gst::encode_into`].
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Gst, WireError> {
+        let w_cfg = r.get_u32()? as usize;
+        let psi = r.get_u32()? as usize;
+        if !(1..=31).contains(&w_cfg) || psi < w_cfg {
+            return Err(WireError::Malformed("GST config out of range"));
+        }
+        let config = GstConfig { w: w_cfg, psi };
+        let num_seqs = r.get_u64()? as usize;
+        let num_nodes = r.get_u32()? as usize;
+        let mut nodes = Vec::new();
+        nodes.try_reserve_exact(num_nodes).map_err(|_| WireError::Malformed("node count implausible"))?;
+        for _ in 0..num_nodes {
+            nodes.push(Node {
+                depth: r.get_u32()?,
+                first_child: r.get_u32()?,
+                next_sibling: r.get_u32()?,
+                lset: r.get_u32()?,
+            });
+        }
+        let suf_seq = r.get_u32_slice()?;
+        let suf_pos = r.get_u32_slice()?;
+        let suf_next = r.get_u32_slice()?;
+        let num_slots = r.get_u32()? as usize;
+        let mut lset_head = Vec::new();
+        let mut lset_tail = Vec::new();
+        lset_head.try_reserve_exact(num_slots).map_err(|_| WireError::Malformed("slot count implausible"))?;
+        lset_tail.try_reserve_exact(num_slots).map_err(|_| WireError::Malformed("slot count implausible"))?;
+        for _ in 0..num_slots {
+            let mut head = [NONE; NUM_CLASSES];
+            let mut tail = [NONE; NUM_CLASSES];
+            for h in head.iter_mut() {
+                *h = r.get_u32()?;
+            }
+            for t in tail.iter_mut() {
+                *t = r.get_u32()?;
+            }
+            lset_head.push(head);
+            lset_tail.push(tail);
+        }
+        let order = r.get_u32_slice()?;
+        let mut stats_fields = [0u64; 6];
+        for f in stats_fields.iter_mut() {
+            *f = r.get_u64()?;
+        }
+        let stats = GstStats {
+            buckets: stats_fields[0] as usize,
+            nodes: stats_fields[1] as usize,
+            leaves: stats_fields[2] as usize,
+            suffixes: stats_fields[3] as usize,
+            max_depth: stats_fields[4] as usize,
+            eligible_nodes: stats_fields[5] as usize,
+        };
+
+        // Structural validation: every cross-array index must be NONE or
+        // in range, or traversal would index out of bounds later.
+        let ns = suf_seq.len();
+        if suf_pos.len() != ns || suf_next.len() != ns {
+            return Err(WireError::Malformed("suffix arrays disagree on length"));
+        }
+        let node_ok = |i: u32| i == NONE || (i as usize) < nodes.len();
+        let suf_ok = |i: u32| i == NONE || (i as usize) < ns;
+        for n in &nodes {
+            if !node_ok(n.first_child) || !node_ok(n.next_sibling) {
+                return Err(WireError::Malformed("node child/sibling index out of range"));
+            }
+            if n.lset != NONE && n.lset as usize >= lset_head.len() {
+                return Err(WireError::Malformed("node lset slot out of range"));
+            }
+        }
+        for (&seq, &next) in suf_seq.iter().zip(&suf_next) {
+            if seq as usize >= num_seqs {
+                return Err(WireError::Malformed("suffix sequence id out of range"));
+            }
+            if !suf_ok(next) {
+                return Err(WireError::Malformed("suffix list pointer out of range"));
+            }
+        }
+        for slot in 0..lset_head.len() {
+            for c in 0..NUM_CLASSES {
+                if !suf_ok(lset_head[slot][c]) || !suf_ok(lset_tail[slot][c]) {
+                    return Err(WireError::Malformed("lset head/tail out of range"));
+                }
+            }
+        }
+        if order.iter().any(|&i| i as usize >= nodes.len()) {
+            return Err(WireError::Malformed("processing order references unknown node"));
+        }
+
+        Ok(Gst { config, nodes, suf_seq, suf_pos, suf_next, lset_head, lset_tail, order, num_seqs, stats })
+    }
+
+    /// Convenience: encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.memory_bytes() + 64);
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: decode a full buffer, requiring exact consumption.
+    pub fn decode(buf: &[u8]) -> Result<Gst, WireError> {
+        let mut r = Reader::new(buf);
+        let gst = Gst::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(gst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::{GenMode, PairGenerator, PromisingPair};
+    use pgasm_seq::{DnaSeq, FragmentStore};
+
+    fn sample_store() -> FragmentStore {
+        // Overlapping tiles of a deterministic pseudo-random text so the
+        // tree has internal structure, lsets, and duplicate suffixes.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let g: String = (0..400)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ['A', 'C', 'G', 'T'][(x >> 33) as usize % 4]
+            })
+            .collect();
+        let b = g.as_bytes();
+        FragmentStore::from_seqs((0..=300 / 50).map(|i| DnaSeq::from_ascii(&b[i * 50..i * 50 + 100])))
+    }
+
+    fn pairs_of(gst: Gst) -> Vec<PromisingPair> {
+        PairGenerator::new(gst, GenMode::DupElim, |_, _| false).collect()
+    }
+
+    #[test]
+    fn decoded_gst_generates_identical_pairs() {
+        let store = sample_store().with_reverse_complements();
+        let config = GstConfig { w: 8, psi: 16 };
+        let original = Gst::build(&store, config);
+        let stats = original.stats();
+        let bytes = original.encode();
+        let decoded = Gst::decode(&bytes).expect("round trip");
+        assert_eq!(decoded.stats(), stats);
+        assert_eq!(decoded.config(), config);
+        assert_eq!(decoded.num_seqs(), store.num_seqs());
+        let expect = pairs_of(Gst::build(&store, config));
+        assert_eq!(pairs_of(decoded), expect);
+        assert!(!expect.is_empty(), "fixture must exercise pair generation");
+    }
+
+    #[test]
+    fn empty_gst_round_trips() {
+        let store = FragmentStore::new();
+        let gst = Gst::build(&store, GstConfig { w: 4, psi: 4 });
+        let decoded = Gst::decode(&gst.encode()).unwrap();
+        assert_eq!(decoded.stats(), gst.stats());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let store = sample_store().with_reverse_complements();
+        let bytes = Gst::build(&store, GstConfig { w: 8, psi: 16 }).encode();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(Gst::decode(&bytes[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn corrupt_index_rejected() {
+        let store = sample_store().with_reverse_complements();
+        let gst = Gst::build(&store, GstConfig { w: 8, psi: 16 });
+        let mut bad = gst.encode();
+        // Overwrite the first node's first_child with a huge index.
+        // Layout: w(4) psi(4) num_seqs(8) node_count(4) depth(4) first_child…
+        let off = 4 + 4 + 8 + 4 + 4;
+        bad[off..off + 4].copy_from_slice(&0x7FFF_FFF0u32.to_le_bytes());
+        assert!(Gst::decode(&bad).is_err());
+    }
+}

@@ -25,11 +25,13 @@
 //! never cross a masked position, which is modelled by enumerating
 //! suffixes per *unmasked run* and bounding each suffix at its run end.
 
+pub mod artifact;
 pub mod brute;
 pub mod pairs;
 pub mod suffix;
 pub mod tree;
 
+pub use artifact::GST_CODEC_SCHEMA;
 pub use pairs::{GenMode, PairGenerator, PromisingPair};
 pub use suffix::{bucket_suffixes, bucket_suffixes_of, enumerate_suffixes, Suffix};
 pub use tree::{Gst, GstConfig, GstStats, TextSource};

@@ -125,7 +125,7 @@ pub struct Gst {
     /// parents (an exhausted-suffix leaf shares its parent's depth).
     pub(crate) order: Vec<u32>,
     pub(crate) num_seqs: usize,
-    stats: GstStats,
+    pub(crate) stats: GstStats,
 }
 
 impl Gst {
@@ -176,6 +176,12 @@ impl Gst {
     /// The configuration the tree was built with.
     pub fn config(&self) -> GstConfig {
         self.config
+    }
+
+    /// Number of sequences the tree was built over (bounds the
+    /// duplicate-elimination marker array in the pair generator).
+    pub fn num_seqs(&self) -> usize {
+        self.num_seqs
     }
 
     /// Estimated resident bytes of the forest (paper §7.1 reports

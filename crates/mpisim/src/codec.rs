@@ -6,6 +6,16 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// Convert a slice length to the `u32` wire prefix, panicking with a
+/// clear message when it cannot be represented. The unchecked
+/// `len as u32` it replaces would silently truncate the prefix and
+/// encode a frame that decodes to garbage.
+#[inline]
+pub fn checked_len(len: usize) -> u32 {
+    u32::try_from(len)
+        .unwrap_or_else(|_| panic!("slice of {len} items exceeds the u32 length prefix (max {})", u32::MAX))
+}
+
 /// Encoder over a growable buffer.
 #[derive(Default)]
 pub struct Encoder {
@@ -43,14 +53,19 @@ impl Encoder {
 
     /// Append a length-prefixed byte slice.
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_u32_le(checked_len(v.len()));
         self.buf.put_slice(v);
         self
     }
 
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
     /// Append a length-prefixed `u32` slice.
     pub fn put_u32_slice(&mut self, v: &[u32]) -> &mut Self {
-        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_u32_le(checked_len(v.len()));
         for &x in v {
             self.buf.put_u32_le(x);
         }
@@ -105,6 +120,12 @@ impl Decoder {
         self.buf.split_to(len)
     }
 
+    /// Read a length-prefixed UTF-8 string (lossy on invalid bytes —
+    /// wire strings are always produced by [`Encoder::put_str`]).
+    pub fn get_str(&mut self) -> String {
+        String::from_utf8_lossy(&self.get_bytes()).into_owned()
+    }
+
     /// Read a length-prefixed `u32` slice.
     pub fn get_u32_slice(&mut self) -> Vec<u32> {
         let len = self.buf.get_u32_le() as usize;
@@ -154,6 +175,32 @@ mod tests {
         assert!(d.get_bytes().is_empty());
         assert!(d.get_u32_slice().is_empty());
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_str() {
+        let mut e = Encoder::new();
+        e.put_str("pgasm").put_str("");
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.get_str(), "pgasm");
+        assert_eq!(d.get_str(), "");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn length_prefix_boundary_is_exact() {
+        // The guard must pass through every representable length
+        // unchanged — `u32::MAX` itself is the last legal value…
+        assert_eq!(checked_len(0), 0);
+        assert_eq!(checked_len(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 length prefix")]
+    fn length_prefix_overflow_panics_loudly() {
+        // …and one past it must panic with a clear message instead of
+        // truncating to 0 and encoding a corrupt frame.
+        let _ = checked_len(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -277,7 +277,7 @@ impl Comm {
         } else {
             let framed: usize = msgs.iter().map(|(_, d)| d.len() + 8).sum();
             let mut e = Encoder::with_capacity(4 + framed);
-            e.put_u32(msgs.len() as u32);
+            e.put_u32(crate::codec::checked_len(msgs.len()));
             for (tag, data) in &msgs {
                 e.put_u32(*tag);
                 e.put_bytes(data);

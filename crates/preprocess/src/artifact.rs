@@ -1,0 +1,181 @@
+//! On-disk serialization of a [`PreprocessOutput`] — the artifact the
+//! cache persists so a repeated run skips trimming, repeat discovery,
+//! and masking entirely.
+//!
+//! Uses the checked length-prefixed framing of [`pgasm_seq::wire`].
+//! Decoding validates the cross-array invariants (stores, quality
+//! tracks, and origin map are index-parallel) so a corrupt or truncated
+//! frame reports an error — the cache treats that as a miss and
+//! recomputes — instead of handing the pipeline an inconsistent output.
+
+use crate::pipeline::{PreprocessOutput, PreprocessStats};
+use pgasm_seq::wire::{checked_len, Reader, WireError, Writer};
+use pgasm_seq::{FragmentStore, QualityTrack};
+use std::collections::HashMap;
+
+/// Bump when the encoding below changes shape — a cache entry written
+/// by a different schema is rejected and rebuilt, never misparsed.
+pub const PREPROCESS_CODEC_SCHEMA: u32 = 1;
+
+fn put_label_map(w: &mut Writer, map: &HashMap<String, (usize, usize)>) {
+    // HashMap iteration order is unstable; sort so equal outputs encode
+    // to identical bytes (the cache digests payloads).
+    let mut entries: Vec<(&String, &(usize, usize))> = map.iter().collect();
+    entries.sort();
+    w.put_u32(checked_len(entries.len()));
+    for (label, &(n, bases)) in entries {
+        w.put_str(label);
+        w.put_u64(n as u64);
+        w.put_u64(bases as u64);
+    }
+}
+
+fn get_label_map(r: &mut Reader<'_>) -> Result<HashMap<String, (usize, usize)>, WireError> {
+    let n = r.get_u32()? as usize;
+    let mut map = HashMap::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let label = r.get_str()?.to_string();
+        let count = r.get_u64()? as usize;
+        let bases = r.get_u64()? as usize;
+        if map.insert(label, (count, bases)).is_some() {
+            return Err(WireError::Malformed("duplicate strategy label"));
+        }
+    }
+    Ok(map)
+}
+
+impl PreprocessOutput {
+    /// Serialize into `w`. Inverse of [`PreprocessOutput::decode_from`].
+    pub fn encode_into(&self, w: &mut Writer) {
+        self.store.encode_into(w);
+        self.store_unmasked.encode_into(w);
+        w.put_u32(checked_len(self.quals.len()));
+        for q in &self.quals {
+            w.put_bytes(q.values());
+        }
+        w.put_u32(checked_len(self.origin.len()));
+        for &o in &self.origin {
+            w.put_u64(o as u64);
+        }
+        put_label_map(w, &self.stats.before);
+        put_label_map(w, &self.stats.after);
+        w.put_u64(self.stats.rejected_by_trim as u64);
+        w.put_u64(self.stats.rejected_by_mask as u64);
+        w.put_u64(self.stats.masked_bases as u64);
+    }
+
+    /// Decode an output previously written by
+    /// [`PreprocessOutput::encode_into`].
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<PreprocessOutput, WireError> {
+        let store = FragmentStore::decode_from(r)?;
+        let store_unmasked = FragmentStore::decode_from(r)?;
+        let num_quals = r.get_u32()? as usize;
+        let mut quals = Vec::new();
+        quals.try_reserve_exact(num_quals).map_err(|_| WireError::Malformed("quality count implausible"))?;
+        for _ in 0..num_quals {
+            quals.push(QualityTrack::from_values(r.get_bytes()?.to_vec()));
+        }
+        let num_origin = r.get_u32()? as usize;
+        let mut origin = Vec::new();
+        origin.try_reserve_exact(num_origin).map_err(|_| WireError::Malformed("origin count implausible"))?;
+        for _ in 0..num_origin {
+            origin.push(r.get_u64()? as usize);
+        }
+        let stats = PreprocessStats {
+            before: get_label_map(r)?,
+            after: get_label_map(r)?,
+            rejected_by_trim: r.get_u64()? as usize,
+            rejected_by_mask: r.get_u64()? as usize,
+            masked_bases: r.get_u64()? as usize,
+        };
+
+        // The four collections are index-parallel by construction; a
+        // frame that breaks that would panic downstream, so reject it.
+        let n = store.num_seqs();
+        if store_unmasked.num_seqs() != n {
+            return Err(WireError::Malformed("masked/unmasked store sizes disagree"));
+        }
+        if quals.len() != n || origin.len() != n {
+            return Err(WireError::Malformed("quality/origin arrays not index-parallel with store"));
+        }
+        for (i, qual) in quals.iter().enumerate() {
+            let id = pgasm_seq::SeqId(i as u32);
+            if store.len_of(id) != store_unmasked.len_of(id) || qual.len() != store.len_of(id) {
+                return Err(WireError::Malformed("fragment/quality length mismatch"));
+            }
+        }
+
+        Ok(PreprocessOutput { store, store_unmasked, quals, origin, stats })
+    }
+
+    /// Convenience: encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.store.total_len() * 2 + 256);
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: decode a full buffer, requiring exact consumption.
+    pub fn decode(buf: &[u8]) -> Result<PreprocessOutput, WireError> {
+        let mut r = Reader::new(buf);
+        let out = PreprocessOutput::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{PreprocessConfig, Preprocessor};
+    use pgasm_seq::DnaSeq;
+    use pgasm_simgen::genome::{Genome, GenomeSpec};
+    use pgasm_simgen::sampler::{Sampler, SamplerConfig};
+    use pgasm_simgen::vector::VECTOR_SEQ;
+
+    fn sample_output() -> PreprocessOutput {
+        let genome = Genome::generate(&GenomeSpec::small(), 11);
+        let mut sampler = Sampler::new(&genome, SamplerConfig::default_scaled(), 12);
+        let reads = sampler.wgs(60);
+        let pp = Preprocessor::new(
+            PreprocessConfig::default(),
+            &[DnaSeq::from(VECTOR_SEQ)],
+            &genome.repeat_library,
+        );
+        pp.run(&reads)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let out = sample_output();
+        assert!(out.store.num_seqs() > 0, "fixture must produce survivors");
+        let bytes = out.encode();
+        let back = PreprocessOutput::decode(&bytes).expect("round trip");
+        assert_eq!(back, out);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample_output().encode();
+        for cut in (0..bytes.len()).step_by(13) {
+            assert!(PreprocessOutput::decode(&bytes[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn cross_array_corruption_rejected() {
+        let out = sample_output();
+        // Re-encode with one quality track dropped: frame parses but the
+        // index-parallel invariant must catch it.
+        let mut crippled = PreprocessOutput {
+            store: out.store.clone(),
+            store_unmasked: out.store_unmasked.clone(),
+            quals: out.quals.clone(),
+            origin: out.origin.clone(),
+            stats: out.stats.clone(),
+        };
+        crippled.quals.pop();
+        let bytes = crippled.encode();
+        assert!(PreprocessOutput::decode(&bytes).is_err());
+    }
+}

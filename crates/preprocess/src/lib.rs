@@ -12,10 +12,12 @@
 //! [`pipeline`] ties both into a single [`pipeline::Preprocessor`] that
 //! produces the Table-2 style per-strategy accounting.
 
+pub mod artifact;
 pub mod lucy;
 pub mod pipeline;
 pub mod repeats;
 
+pub use artifact::PREPROCESS_CODEC_SCHEMA;
 pub use lucy::{LucyConfig, TrimOutcome};
 pub use pipeline::{PreprocessConfig, PreprocessStats, Preprocessor};
 pub use repeats::{RepeatLibrary, StatRepeatConfig};

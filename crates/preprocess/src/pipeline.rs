@@ -67,6 +67,7 @@ impl PreprocessStats {
 
 /// Output of preprocessing: the surviving masked fragments and the
 /// mapping back to original read indices.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreprocessOutput {
     /// Trimmed, masked, surviving fragments — the *clustering* view
     /// (masked repeats cannot seed or extend matches).

@@ -9,6 +9,11 @@ use crate::dna::DnaSeq;
 use crate::quality::QualityTrack;
 use std::io::{self, BufRead, Write};
 
+/// Largest phred value representable in phred+33 ASCII (`'~'` = 126).
+/// Both directions clamp to this, so write→read is `min(q, MAX)` and
+/// parsed records always round-trip exactly.
+pub const MAX_FASTQ_QUAL: u8 = 126 - 33;
+
 /// One FASTA record: a header line (without `>`) and a sequence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FastaRecord {
@@ -99,7 +104,9 @@ pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
         if qual_line.len() != seq_line.len() {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "quality/sequence length mismatch"));
         }
-        let qual = QualityTrack::from_values(qual_line.bytes().map(|b| b.saturating_sub(33)).collect());
+        let qual = QualityTrack::from_values(
+            qual_line.bytes().map(|b| b.saturating_sub(33).min(MAX_FASTQ_QUAL)).collect(),
+        );
         records.push(FastqRecord { header, seq: DnaSeq::from_ascii(seq_line.as_bytes()), qual });
     }
     Ok(records)
@@ -111,7 +118,7 @@ pub fn write_fastq<W: Write>(mut w: W, records: &[FastqRecord]) -> io::Result<()
         writeln!(w, "@{}", r.header)?;
         w.write_all(&r.seq.to_ascii())?;
         w.write_all(b"\n+\n")?;
-        let q: Vec<u8> = r.qual.values().iter().map(|&v| v.saturating_add(33).min(126)).collect();
+        let q: Vec<u8> = r.qual.values().iter().map(|&v| v.min(MAX_FASTQ_QUAL) + 33).collect();
         w.write_all(&q)?;
         w.write_all(b"\n")?;
     }
@@ -160,6 +167,35 @@ mod tests {
         write_fastq(&mut buf, &records).unwrap();
         let back = read_fastq(Cursor::new(buf)).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn fastq_quality_round_trip_full_u8_range() {
+        // Exhaustive property over every u8 quality value: one write +
+        // read clamps to the representable phred+33 range, and a second
+        // pass is the identity — qualities ≥ 94 used to come back as 93
+        // from an unclamped parse while the writer had clamped, breaking
+        // symmetry.
+        let records: Vec<FastqRecord> = (0u16..=255)
+            .map(|q| FastqRecord {
+                header: format!("q{q}"),
+                seq: DnaSeq::from("ACGT"),
+                qual: QualityTrack::uniform(4, q as u8),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let once = read_fastq(Cursor::new(&buf)).unwrap();
+        for (rec, q) in once.iter().zip(0u16..=255) {
+            let expect = (q as u8).min(MAX_FASTQ_QUAL);
+            assert!(rec.qual.values().iter().all(|&v| v == expect), "q={q} read back {:?}", rec.qual);
+        }
+        // Parsed records are inside the representable range, so a second
+        // round-trip is exact.
+        let mut buf2 = Vec::new();
+        write_fastq(&mut buf2, &once).unwrap();
+        let twice = read_fastq(Cursor::new(&buf2)).unwrap();
+        assert_eq!(twice, once);
     }
 
     #[test]

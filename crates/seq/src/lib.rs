@@ -19,9 +19,11 @@ pub mod fasta;
 pub mod fragment;
 pub mod kmer;
 pub mod quality;
+pub mod wire;
 
 pub use alphabet::{code_to_ascii, complement_code, is_base_code, Base, MASK};
 pub use dna::DnaSeq;
 pub use fragment::{FragId, FragmentStore, SeqId, Strand};
 pub use kmer::{pack_kmer, KmerIter};
 pub use quality::QualityTrack;
+pub use wire::{Reader, WireError, Writer};

@@ -46,6 +46,18 @@ pub const ASSEMBLED_CLUSTERS: &str = "assembled_clusters";
 /// Contigs produced across all clusters.
 pub const CONTIGS: &str = "contigs";
 
+// ---- artifact-cache counters ----------------------------------------------
+
+/// Artifact-cache lookups that returned a valid, matching entry.
+pub const CACHE_HIT: &str = "cache_hit";
+/// Artifact-cache lookups that found nothing usable (absent, stale
+/// schema, corrupt, or params mismatch) — the stage recomputed.
+pub const CACHE_MISS: &str = "cache_miss";
+/// Bytes of cache entries written this run (header + payload).
+pub const CACHE_BYTES_WRITTEN: &str = "cache_bytes_written";
+/// Bytes of cache payloads loaded this run.
+pub const CACHE_BYTES_READ: &str = "cache_bytes_read";
+
 // ---- distributed-assembly counters ----------------------------------------
 
 /// Clusters this rank assembled in the distributed assemble stage.

@@ -63,6 +63,7 @@ USAGE:
                  [--w <n>] [--psi <n>] [--min-identity <f>] [--min-overlap <n>]
                  [--no-preprocess] [--metrics-json <report.json>]
                  [--trace-json <out.trace.json>]
+                 [--cache-dir <dir>] [--no-cache]
   pgasm assemble --reads <reads.fastq> --out <contigs.fasta>
                  [--assembly-threads <n>] [same options]
 
@@ -79,7 +80,13 @@ when --ranks is absent. --metrics-json writes the structured run report
 idle time and per-tag communication) as JSON. --trace-json records per-rank
 timestamped events (stage, master, worker, comm, gst, align, assemble
 categories) and writes Chrome trace-event JSON — open it at
-ui.perfetto.dev, one track per rank.";
+ui.perfetto.dev, one track per rank. --cache-dir <dir> enables the
+content-addressed artifact cache: a repeated run over the same reads and
+parameters reloads the preprocess output and (serial runs) the GST from
+<dir> instead of recomputing them — the cache_hit / cache_miss /
+cache_bytes_* counters in --metrics-json show what happened; any change
+to inputs or parameters recomputes, and a corrupted cache file safely
+degrades to a cold run. --no-cache ignores --cache-dir for this run.";
 
 #[derive(Default)]
 struct Opts {
@@ -93,7 +100,7 @@ impl Opts {
         while i < args.len() {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
-                if name == "no-preprocess" {
+                if name == "no-preprocess" || name == "no-cache" {
                     flags.insert(name.to_string(), "true".to_string());
                     i += 1;
                 } else {
@@ -206,11 +213,17 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
     let ranks: usize = opts.parse_or("ranks", 0)?;
     let preprocess =
         if opts.get("no-preprocess").is_some() { None } else { Some(PreprocessConfig::default()) };
+    let cache_dir = if opts.get("no-cache").is_some() {
+        None
+    } else {
+        opts.get("cache-dir").map(std::path::PathBuf::from)
+    };
     Ok(PipelineConfig {
         preprocess,
         cluster,
         parallel_ranks: if ranks >= 2 { Some(ranks) } else { None },
         assembly_threads: opts.parse_or("assembly-threads", 4)?,
+        cache_dir,
         trace: if opts.get("trace-json").is_some() {
             pgasm::telemetry::trace::TraceSpec::on()
         } else {
@@ -223,9 +236,20 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
 fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineReport, ReadSet), String> {
     let reads = read_reads(opts.require("reads")?)?;
     let config = pipeline_config(opts)?;
+    let caching = config.cache_dir.is_some();
     let pipeline = Pipeline::new(config);
     let mut ctx = pgasm::telemetry::RunContext::new(label);
     let report = pipeline.run_with_context(&reads, &[DnaSeq::from(VECTOR_SEQ)], &[], &mut ctx);
+    if caching {
+        use pgasm::telemetry::names;
+        println!(
+            "cache: {} hit(s), {} miss(es), {} bytes written, {} bytes read",
+            ctx.counter(names::CACHE_HIT),
+            ctx.counter(names::CACHE_MISS),
+            ctx.counter(names::CACHE_BYTES_WRITTEN),
+            ctx.counter(names::CACHE_BYTES_READ)
+        );
+    }
     if let Some(path) = opts.get("trace-json") {
         let doc = ctx.trace_document();
         doc.write_chrome_json(std::path::Path::new(path)).map_err(|e| format!("write {path}: {e}"))?;

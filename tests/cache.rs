@@ -1,0 +1,218 @@
+//! Artifact-cache integration: cold runs populate the cache, warm runs
+//! reload the preprocess output and GST with byte-identical contigs,
+//! parameter changes invalidate exactly the affected entries, and
+//! corrupted cache files degrade to a cold run instead of wrong output.
+
+use pgasm::align::AcceptCriteria;
+use pgasm::cluster::{ClusterParams, Pipeline, PipelineConfig, PipelineReport};
+use pgasm::gst::GstConfig;
+use pgasm::preprocess::PreprocessConfig;
+use pgasm::seq::DnaSeq;
+use pgasm::simgen::genome::{Genome, GenomeSpec};
+use pgasm::simgen::sampler::{Sampler, SamplerConfig};
+use pgasm::simgen::vector::VECTOR_SEQ;
+use pgasm::simgen::{ReadKind, ReadSet};
+use pgasm::telemetry::{names, RunContext, RunReport};
+use std::path::{Path, PathBuf};
+
+/// Per-test scratch cache directory, removed on drop.
+struct CacheDir(PathBuf);
+
+impl CacheDir {
+    fn new(tag: &str) -> CacheDir {
+        let dir = std::env::temp_dir().join(format!("pgasm-test-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheDir(dir)
+    }
+}
+
+impl Drop for CacheDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn fixture_reads(seed: u64) -> (ReadSet, Genome) {
+    let genome = Genome::generate(
+        &GenomeSpec {
+            length: 16_000,
+            repeat_fraction: 0.2,
+            repeat_families: 2,
+            repeat_len: (120, 300),
+            repeat_identity: 0.99,
+            islands: 3,
+            island_len: (1_200, 2_000),
+        },
+        seed,
+    );
+    let mut cfg = SamplerConfig::default_scaled();
+    cfg.island_bias = 1.0;
+    let mut sampler = Sampler::new(&genome, cfg, seed + 1);
+    (sampler.enriched(120, ReadKind::Hc), genome)
+}
+
+fn cached_config(dir: &Path) -> PipelineConfig {
+    PipelineConfig {
+        preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+        cluster: ClusterParams {
+            gst: GstConfig { w: 10, psi: 18 },
+            criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 35 },
+            ..Default::default()
+        },
+        parallel_ranks: None,
+        assembly_threads: 2,
+        cache_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+fn run(config: PipelineConfig, reads: &ReadSet, genome: &Genome) -> (PipelineReport, RunReport) {
+    let mut ctx = RunContext::new("cache-test");
+    let report = Pipeline::new(config).run_with_context(
+        reads,
+        &[DnaSeq::from(VECTOR_SEQ)],
+        &genome.repeat_library,
+        &mut ctx,
+    );
+    (report, ctx.finish())
+}
+
+/// Every contig of every assembly, as raw ASCII — byte-level equality.
+fn contig_bytes(report: &PipelineReport) -> Vec<Vec<u8>> {
+    report.assemblies.iter().flat_map(|a| a.contigs.iter().map(|c| c.seq.to_ascii())).collect()
+}
+
+#[test]
+fn warm_run_hits_cache_with_byte_identical_contigs() {
+    let dir = CacheDir::new("warm");
+    let (reads, genome) = fixture_reads(7);
+
+    let (cold, cold_run) = run(cached_config(&dir.0), &reads, &genome);
+    // Cold: both stages miss, then persist their artifacts.
+    assert_eq!(cold_run.counter(names::CACHE_HIT), 0);
+    assert_eq!(cold_run.counter(names::CACHE_MISS), 2);
+    assert!(cold_run.counter(names::CACHE_BYTES_WRITTEN) > 0);
+    // Cold cache-enabled serial runs expose the GST build as a span.
+    assert!(cold_run.span("cluster").unwrap().find("cluster/gst_build").is_some());
+
+    let (warm, warm_run) = run(cached_config(&dir.0), &reads, &genome);
+    // Warm: preprocess + GST both load; nothing is recomputed or
+    // rewritten.
+    assert_eq!(warm_run.counter(names::CACHE_HIT), 2);
+    assert_eq!(warm_run.counter(names::CACHE_MISS), 0);
+    assert_eq!(warm_run.counter(names::CACHE_BYTES_WRITTEN), 0);
+    assert!(warm_run.counter(names::CACHE_BYTES_READ) > 0);
+    assert!(
+        warm_run.span("cluster").unwrap().find("cluster/gst_build").is_none(),
+        "warm run must not rebuild the GST"
+    );
+
+    assert_eq!(warm.clustering, cold.clustering);
+    assert_eq!(warm.preprocess, cold.preprocess);
+    assert_eq!(contig_bytes(&warm), contig_bytes(&cold));
+    assert!(!contig_bytes(&cold).is_empty(), "fixture must assemble something");
+}
+
+#[test]
+fn unrelated_flag_change_still_hits() {
+    let dir = CacheDir::new("unrelated");
+    let (reads, genome) = fixture_reads(8);
+    let (cold, _) = run(cached_config(&dir.0), &reads, &genome);
+
+    // assembly_threads affects neither preprocess nor GST keys.
+    let mut config = cached_config(&dir.0);
+    config.assembly_threads = 7;
+    let (warm, warm_run) = run(config, &reads, &genome);
+    assert_eq!(warm_run.counter(names::CACHE_HIT), 2);
+    assert_eq!(warm_run.counter(names::CACHE_MISS), 0);
+    assert_eq!(contig_bytes(&warm), contig_bytes(&cold));
+}
+
+#[test]
+fn params_change_recomputes_affected_stage() {
+    let dir = CacheDir::new("params");
+    let (reads, genome) = fixture_reads(9);
+    let (_, cold_run) = run(cached_config(&dir.0), &reads, &genome);
+    assert_eq!(cold_run.counter(names::CACHE_MISS), 2);
+
+    // A GST parameter change invalidates the GST entry only: the
+    // preprocess artifact still hits.
+    let mut config = cached_config(&dir.0);
+    config.cluster.gst.psi = 22;
+    let (_, run1) = run(config, &reads, &genome);
+    assert_eq!(run1.counter(names::CACHE_HIT), 1, "preprocess should still hit");
+    assert_eq!(run1.counter(names::CACHE_MISS), 1, "gst must recompute");
+
+    // A preprocess parameter change always invalidates the preprocess
+    // entry. The GST entry is content-addressed on the preprocess
+    // *output*, not its parameters: this tweak (min run 40 → 60)
+    // rejects no additional fragments, so the fragment set — and the
+    // GST key — is unchanged and the tree still reloads.
+    let mut config = cached_config(&dir.0);
+    config.preprocess =
+        Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 60, ..Default::default() });
+    let (rep2, run2) = run(config, &reads, &genome);
+    assert_eq!(run2.counter(names::CACHE_MISS), 1, "preprocess must recompute");
+    assert_eq!(run2.counter(names::CACHE_HIT), 1, "unchanged output keeps the GST warm");
+
+    // A preprocess change that *does* alter the surviving set cascades:
+    // the GST keys off a different fragment digest and recomputes too.
+    let mut config = cached_config(&dir.0);
+    config.preprocess =
+        Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 100_000, ..Default::default() });
+    let (rep3, run3) = run(config, &reads, &genome);
+    assert!(
+        rep3.origin.len() < rep2.origin.len(),
+        "fixture must actually lose fragments ({} vs {})",
+        rep3.origin.len(),
+        rep2.origin.len()
+    );
+    assert_eq!(run3.counter(names::CACHE_HIT), 0);
+    assert_eq!(run3.counter(names::CACHE_MISS), 2);
+}
+
+#[test]
+fn truncated_cache_files_degrade_to_cold_run() {
+    let dir = CacheDir::new("truncate");
+    let (reads, genome) = fixture_reads(10);
+    let (cold, _) = run(cached_config(&dir.0), &reads, &genome);
+
+    // Truncate every cache entry to half its size.
+    let mut entries = 0;
+    for entry in std::fs::read_dir(&dir.0).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        entries += 1;
+    }
+    assert_eq!(entries, 2, "expected a preprocess and a gst entry");
+
+    // The run must neither panic nor trust the damaged entries — full
+    // recompute, identical results, and repaired cache files.
+    let (recovered, rec_run) = run(cached_config(&dir.0), &reads, &genome);
+    assert_eq!(rec_run.counter(names::CACHE_HIT), 0);
+    assert_eq!(rec_run.counter(names::CACHE_MISS), 2);
+    assert!(rec_run.counter(names::CACHE_BYTES_WRITTEN) > 0, "entries must be rewritten");
+    assert_eq!(contig_bytes(&recovered), contig_bytes(&cold));
+
+    // And the rewrite healed the cache: the next run is warm again.
+    let (_, healed_run) = run(cached_config(&dir.0), &reads, &genome);
+    assert_eq!(healed_run.counter(names::CACHE_HIT), 2);
+    assert_eq!(healed_run.counter(names::CACHE_MISS), 0);
+}
+
+#[test]
+fn uncached_and_cached_results_agree() {
+    let dir = CacheDir::new("parity");
+    let (reads, genome) = fixture_reads(11);
+    let mut uncached = cached_config(&dir.0);
+    uncached.cache_dir = None;
+    let (plain, plain_run) = run(uncached, &reads, &genome);
+    assert_eq!(plain_run.counter(names::CACHE_HIT) + plain_run.counter(names::CACHE_MISS), 0);
+
+    let (cold, _) = run(cached_config(&dir.0), &reads, &genome);
+    let (warm, _) = run(cached_config(&dir.0), &reads, &genome);
+    assert_eq!(contig_bytes(&plain), contig_bytes(&cold));
+    assert_eq!(contig_bytes(&plain), contig_bytes(&warm));
+    assert_eq!(plain.clustering, warm.clustering);
+}
