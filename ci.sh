@@ -33,6 +33,11 @@ rm -f BENCH_ablation_assembly_balance.json
 PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_assembly_balance
 test -s BENCH_ablation_assembly_balance.json || { echo "missing BENCH_ablation_assembly_balance.json"; exit 1; }
 
+echo "==> critical-path analyzer smoke bench"
+rm -f BENCH_run_analyze.json
+PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin run_analyze
+test -s BENCH_run_analyze.json || { echo "missing BENCH_run_analyze.json"; exit 1; }
+
 echo "==> bench regression gate (vs baselines/)"
 # Protocol round counts are scheduler-dependent in the ranks-as-threads
 # simulator, so message/envelope/modelled-comm counters wobble ±15% or
@@ -54,10 +59,18 @@ cargo run --release -q --bin pgasm -- cluster --reads ci_reads.fastq --ranks 4 \
   --trace-json ci.trace.json --metrics-json ci.metrics.json
 # 4 clustering ranks + the pipeline's own track + 4 distributed-assembly
 # tracks; the assemble category is mandatory now that `--ranks` runs the
-# assembly phase through the task engine.
+# assembly phase through the task engine. --max-dropped 0: a lossy trace
+# would silently skew the critical-path analysis below.
 cargo run --release -q -p pgasm-bench --bin trace_check -- ci.trace.json \
-  --min-categories 5 --min-tracks 9 --require assemble
-rm -f ci_reads.fastq ci.trace.json ci.metrics.json
+  --min-categories 5 --min-tracks 9 --require assemble --max-dropped 0
+
+echo "==> critical-path analysis of the traced smoke run"
+# Attribution categories must cover each rank's wall time within 5% and
+# the critical path must be non-empty — the analyzer's consistency gate.
+cargo run --release -q --bin pgasm -- analyze --trace-json ci.trace.json \
+  --metrics-json ci.metrics.json --out ci.analysis.json --coverage-tol 0.05
+test -s ci.analysis.json || { echo "missing ci.analysis.json"; exit 1; }
+rm -f ci_reads.fastq ci.trace.json ci.metrics.json ci.analysis.json
 
 echo "==> artifact-cache smoke (cold run populates, warm run hits)"
 # Serial (no --ranks) so both the preprocess and GST caches engage. The

@@ -37,7 +37,7 @@ use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, CostModel};
 use pgasm_seq::{DnaSeq, FragmentStore, QualityTrack, SeqId};
 use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec, Tracer};
-use pgasm_telemetry::{names, RankReport};
+use pgasm_telemetry::{names, RankReport, RankSeries};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -75,6 +75,9 @@ pub struct DistAssembleReport {
     /// Per-rank event traces on offset track ids (`p+1..=2p`) so they
     /// never collide with the clustering ranks or the pipeline track.
     pub traces: Vec<RankTrace>,
+    /// Per-rank gauge time series on the same offset ids; empty when
+    /// tracing was off.
+    pub series: Vec<RankSeries>,
 }
 
 /// One whole cluster: its slot in the `non_singletons()` order plus its
@@ -269,6 +272,7 @@ pub fn assemble_parallel_traced(
         idle_fraction: f64,
         rank_report: RankReport,
         trace: RankTrace,
+        series: RankSeries,
     }
 
     let outcomes: Vec<RankOutcome> = pgasm_mpisim::run(p, move |comm| {
@@ -277,6 +281,7 @@ pub fn assemble_parallel_traced(
         // cluster, pipeline, and assemble tracks side by side.
         let role = if comm.rank() == 0 { "asm_master" } else { "asm_worker" };
         comm.set_tracer(trace.tracer(p + 1 + comm.rank(), role));
+        comm.set_sampler(trace.sampler(p + 1 + comm.rank(), role));
         comm.set_coalesce(Some(CoalescePolicy::default()));
         let cpu0 = thread_cpu_seconds();
         let t0 = Instant::now();
@@ -345,6 +350,7 @@ pub fn assemble_parallel_traced(
                 idle_gaps: None,
             },
             trace: comm.take_trace(),
+            series: comm.take_series(),
         }
     });
 
@@ -355,6 +361,7 @@ pub fn assemble_parallel_traced(
         worker_idle_fraction: outcomes[1..].iter().map(|o| o.idle_fraction).collect(),
         master_availability: outcomes[0].idle_fraction,
         ranks: outcomes.iter().map(|o| o.rank_report.clone()).collect(),
+        series: outcomes.iter().map(|o| o.series.clone()).collect(),
         traces: outcomes.into_iter().map(|o| o.trace).collect(),
     }
 }

@@ -107,6 +107,11 @@ pub trait TaskSink<T: Task> {
     /// to generate returns `false` immediately and the engine parks the
     /// worker until the master finds it other ranks' work.
     fn generate(&mut self, tracer: &mut Tracer, r: usize, out: &mut Vec<T>) -> bool;
+    /// Feed workload-specific gauges after each computed batch. The
+    /// engine calls this once per round with the rank's sampler (which
+    /// rate-limits and no-ops when disabled); the default sink has no
+    /// gauges.
+    fn sample_gauges(&mut self, _sampler: &mut pgasm_telemetry::GaugeSampler) {}
 }
 
 /// Protocol-level tallies from one master run; the client folds these
@@ -278,6 +283,18 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
         report: MasterReport { peak_queue_depth: seeded, ..MasterReport::default() },
     };
     let mut drain_depth: u64 = 0;
+    // Protocol gauges: sampled (rate-limited) as the event pump turns,
+    // so a time-series view shows queue pressure and worker occupancy
+    // instead of only their peaks.
+    let (g_pending, g_inbox, g_out, g_parked) = {
+        let s = comm.sampler_mut();
+        (
+            s.register(names::GAUGE_PENDING_TASKS),
+            s.register(names::GAUGE_INBOX_DEPTH),
+            s.register(names::GAUGE_WORKERS_OUTSTANDING),
+            s.register(names::GAUGE_WORKERS_PARKED),
+        )
+    };
 
     loop {
         // Event pump: consume everything already queued before any
@@ -287,6 +304,10 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
             drain_depth += 1;
             note_handled(comm, &msg);
             m.handle(&msg);
+            let pending = m.pending.len() as u64;
+            let s = comm.sampler_mut();
+            s.sample(g_pending, pending);
+            s.sample(g_inbox, drain_depth);
             continue;
         }
         m.report.inbox_drain_depth_max = m.report.inbox_drain_depth_max.max(drain_depth);
@@ -295,6 +316,17 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
         comm.tracer_mut().begin(TraceCategory::Master, names::EV_DISPATCH);
         m.dispatch(comm);
         comm.tracer_mut().end(TraceCategory::Master, names::EV_DISPATCH);
+        if comm.sampler_mut().is_enabled() {
+            // Occupancy counts are O(p); compute them only when a
+            // sampler is actually attached.
+            let out = m.outstanding[1..].iter().filter(|&&x| x).count() as u64;
+            let parked = m.parked[1..].iter().filter(|&&x| x).count() as u64;
+            let pending = m.pending.len() as u64;
+            let s = comm.sampler_mut();
+            s.sample(g_out, out);
+            s.sample(g_parked, parked);
+            s.sample(g_pending, pending);
+        }
 
         if m.finished() {
             for i in 1..p {
@@ -390,6 +422,7 @@ pub fn run_worker<T: Task, S: TaskSink<T>>(
         let mut e = Encoder::new();
         sink.run_batch(comm.tracer_mut(), &mut aw, &mut e);
         aw.clear();
+        sink.sample_gauges(comm.sampler_mut());
         let ar = e.finish();
         // Generate the requested number of new tasks.
         np.clear();
@@ -558,6 +591,39 @@ mod tests {
         .fold((0, 0), |(s, c), (s2, c2)| (s + s2, c + c2));
         assert_eq!(sum, expected);
         assert_eq!(computed, 30);
+    }
+
+    #[test]
+    fn master_samples_protocol_gauges_when_enabled() {
+        use pgasm_telemetry::trace::TraceSpec;
+        let spec = TraceSpec::with_capacity(4096);
+        let series = pgasm_mpisim::run(3, move |comm| {
+            let cfg = EngineConfig { batch: 4, pending_cap: 64 };
+            let mut sampler = spec.sampler(comm.rank(), if comm.rank() == 0 { "master" } else { "worker" });
+            sampler.set_interval_ns(0); // sample every pump turn
+            comm.set_sampler(sampler);
+            if comm.rank() == 0 {
+                let mut source = SumSource { sum: 0, results: 0, seen: Vec::new() };
+                run_master(comm, &cfg, &mut source, Vec::new());
+            } else {
+                let mut sink = RangeSink { next: 0, stop: 40, computed: 0 };
+                run_worker(comm, &cfg, &mut sink);
+            }
+            comm.take_series()
+        });
+        let master = &series[0];
+        assert_eq!(master.rank, 0);
+        for gauge in [
+            names::GAUGE_PENDING_TASKS,
+            names::GAUGE_INBOX_DEPTH,
+            names::GAUGE_WORKERS_OUTSTANDING,
+            names::GAUGE_WORKERS_PARKED,
+        ] {
+            let g = master.gauge(gauge).unwrap_or_else(|| panic!("{gauge} missing"));
+            assert!(!g.samples.is_empty(), "{gauge} never sampled");
+        }
+        // The pending queue was non-empty at some point in every run.
+        assert!(master.gauge(names::GAUGE_PENDING_TASKS).unwrap().max_value() > 0);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
 use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec, Tracer};
-use pgasm_telemetry::{names, RankReport};
+use pgasm_telemetry::{names, GaugeSampler, RankReport, RankSeries};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -115,6 +115,9 @@ pub struct ParallelClusterReport {
     /// Per-rank event traces covering the whole run (GST + clustering);
     /// empty tracks when tracing was off.
     pub traces: Vec<RankTrace>,
+    /// Per-rank gauge time series (queue depths, worker occupancy,
+    /// coalesce staging, align scratch); empty when tracing was off.
+    pub series: Vec<RankSeries>,
 }
 
 struct RankOutcome {
@@ -128,6 +131,7 @@ struct RankOutcome {
     counters: BTreeMap<String, u64>,
     rank_report: RankReport,
     trace: RankTrace,
+    series: RankSeries,
 }
 
 /// A promising pair travels as five `u32`s (the engine's default
@@ -185,6 +189,7 @@ pub fn cluster_parallel_traced(
         // clustering protocol land on one per-rank track.
         let role = if comm.rank() == 0 { "master" } else { "worker" };
         comm.set_tracer(trace.tracer(comm.rank(), role));
+        comm.set_sampler(trace.sampler(comm.rank(), role));
         // Phase 1: distributed GST over worker ranks.
         let gst_t0 = Instant::now();
         let (gst, _text, gst_report) = rank_build_gst(comm, ds, owner, params.gst, 1);
@@ -262,6 +267,7 @@ pub fn cluster_parallel_traced(
             idle_gaps: None,
         };
         outcome.trace = comm.take_trace();
+        outcome.series = comm.take_series();
         outcome
     });
 
@@ -277,6 +283,7 @@ pub fn cluster_parallel_traced(
         cpu_seconds: outcomes.iter().map(|o| o.cpu_seconds).collect(),
         ranks: outcomes.iter().map(|o| o.rank_report.clone()).collect(),
         traces: outcomes.iter().map(|o| o.trace.clone()).collect(),
+        series: outcomes.iter().map(|o| o.series.clone()).collect(),
         gst_reports: outcomes.into_iter().map(|o| o.gst_report).collect(),
     }
 }
@@ -367,6 +374,7 @@ fn master_loop(
         counters,
         rank_report: RankReport::default(),
         trace: RankTrace::default(),
+        series: RankSeries::default(),
     }
 }
 
@@ -447,6 +455,13 @@ impl<F: FnMut(SeqId, SeqId) -> bool> TaskSink<PromisingPair> for ClusterSink<'_,
         self.gen.next_batch(r, out);
         tracer.end(TraceCategory::Worker, names::EV_GENERATE);
         !self.gen.is_exhausted()
+    }
+
+    fn sample_gauges(&mut self, sampler: &mut GaugeSampler) {
+        if sampler.is_enabled() {
+            let id = sampler.register(names::GAUGE_ALIGN_SCRATCH_BYTES);
+            sampler.sample(id, self.scratch.high_water_bytes());
+        }
     }
 }
 
@@ -585,6 +600,7 @@ fn worker_outcome(counters: BTreeMap<String, u64>) -> RankOutcome {
         counters,
         rank_report: RankReport::default(),
         trace: RankTrace::default(),
+        series: RankSeries::default(),
     }
 }
 

@@ -292,6 +292,7 @@ impl Stage for ClusterStage<'_> {
                 ctx.set_ranks(report.ranks);
                 if self.config.trace.enabled {
                     ctx.set_traces(report.traces);
+                    ctx.add_series(report.series);
                 }
                 (report.clustering, report.stats)
             }
@@ -411,6 +412,7 @@ impl Stage for AssembleStage<'_> {
                     for track in report.traces {
                         ctx.add_trace(track);
                     }
+                    ctx.add_series(report.series);
                 }
                 report.assemblies
             }
@@ -471,16 +473,26 @@ impl Pipeline {
         // boundaries, on a rank id past the parallel section's ranks so
         // the tracks never collide.
         let mut tracer = self.config.trace.tracer(self.config.parallel_ranks.unwrap_or(0), "pipeline");
+        // Cache traffic accrues at stage granularity, so the pipeline's
+        // own gauge is fed at stage boundaries (forced samples — a few
+        // points per run, each one meaningful).
+        let mut sampler = self.config.trace.sampler(self.config.parallel_ranks.unwrap_or(0), "pipeline");
+        let g_cache = sampler.register(names::GAUGE_CACHE_BYTES);
         for stage in stages {
             tracer.begin(TraceCategory::Stage, stage.name());
             ctx.push(stage.name());
             stage.run(&mut state, ctx);
             let (wall, _cpu) = ctx.pop();
             tracer.end(TraceCategory::Stage, stage.name());
+            sampler.sample_now(
+                g_cache,
+                ctx.counter(names::CACHE_BYTES_READ) + ctx.counter(names::CACHE_BYTES_WRITTEN),
+            );
             state.stage_seconds.push((stage.name(), wall));
         }
         if self.config.trace.enabled {
             ctx.add_trace(tracer.finish());
+            ctx.add_series([sampler.take()]);
         }
 
         let (preprocess_seconds, cluster_seconds, assembly_seconds) =

@@ -6,7 +6,7 @@ use crate::model::{CommStats, CostModel};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pgasm_telemetry::trace::{RankTrace, TraceCategory, Tracer};
-use pgasm_telemetry::{names, TagStat};
+use pgasm_telemetry::{names, GaugeId, GaugeSampler, RankSeries, TagStat};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Barrier};
@@ -131,6 +131,11 @@ pub struct Comm {
     queues: Vec<SendQueue>,
     cstats: CoalesceStats,
     tracer: Tracer,
+    sampler: GaugeSampler,
+    g_coalesce: GaugeId,
+    /// Bytes currently staged across all destination queues (feeds the
+    /// coalesce-queue gauge without re-summing per sample).
+    staged_bytes: usize,
 }
 
 impl Comm {
@@ -210,6 +215,27 @@ impl Comm {
         std::mem::replace(&mut self.tracer, Tracer::disabled()).finish()
     }
 
+    /// Install a periodic gauge sampler for this rank. Like the tracer,
+    /// the default is disabled (one branch per would-be sample). The
+    /// comm layer feeds its own coalesce-queue gauge; layers above
+    /// register further gauges via [`Comm::sampler_mut`].
+    pub fn set_sampler(&mut self, sampler: GaugeSampler) {
+        self.sampler = sampler;
+        self.g_coalesce = self.sampler.register(names::GAUGE_COALESCE_QUEUE_BYTES);
+    }
+
+    /// The rank's gauge sampler, for layers above the comm substrate to
+    /// register and feed their own gauges on the same time base.
+    pub fn sampler_mut(&mut self) -> &mut GaugeSampler {
+        &mut self.sampler
+    }
+
+    /// Take the rank's recorded gauge series out, leaving a disabled
+    /// sampler behind. Call at the end of the rank body.
+    pub fn take_series(&mut self) -> RankSeries {
+        self.sampler.take()
+    }
+
     /// Asynchronous send (like `MPI_Isend` with unbounded buffering).
     /// With a [`CoalescePolicy`] installed, the message is staged in
     /// the destination's queue instead of going on the wire at once;
@@ -223,9 +249,17 @@ impl Comm {
         assert!(dest < self.size, "destination {dest} out of range");
         if dest != self.rank {
             if let Some(policy) = self.coalesce {
+                // The logical send happens now even though the wire
+                // transfer is deferred; recording it here (rather than
+                // at envelope flush) keeps send/recv instants paired
+                // 1:1 per logical message for happens-before analysis.
+                let len = data.len();
+                self.note_send(dest, tag, len);
                 let q = &mut self.queues[dest];
-                q.bytes += data.len();
+                q.bytes += len;
                 q.msgs.push((tag, data));
+                self.staged_bytes += len;
+                self.sampler.sample(self.g_coalesce, self.staged_bytes as u64);
                 if q.msgs.len() >= policy.max_msgs {
                     self.flush_dest(dest, FlushReason::Msgs);
                 } else if self.queues[dest].bytes >= policy.max_bytes {
@@ -263,7 +297,9 @@ impl Comm {
             return;
         }
         let msgs = std::mem::take(&mut self.queues[dest].msgs);
+        self.staged_bytes -= self.queues[dest].bytes;
         self.queues[dest].bytes = 0;
+        self.sampler.sample(self.g_coalesce, self.staged_bytes as u64);
         match reason {
             FlushReason::Bytes => self.cstats.flush_bytes += 1,
             FlushReason::Msgs => self.cstats.flush_msgs += 1,
@@ -299,18 +335,28 @@ impl Comm {
     /// even when application and collective traffic interleave.
     fn send_raw(&mut self, dest: usize, tag: u32, data: Bytes) {
         assert!(dest < self.size, "destination {dest} out of range");
+        self.note_send(dest, tag, data.len());
         self.flush_dest(dest, FlushReason::Explicit);
         self.transmit(dest, tag, data);
     }
 
-    /// Put one message on the wire (or this rank's own backlog).
-    fn transmit(&mut self, dest: usize, tag: u32, data: Bytes) {
-        self.tracer.instant_args(
+    /// Record a *logical* send instant (tag, payload bytes, peer).
+    /// Emitted when the application hands the message over — staged or
+    /// not — so every send pairs with exactly one receive-side `recv`
+    /// instant; coalesced envelopes are wire detail the trace's
+    /// happens-before layer never sees.
+    fn note_send(&mut self, dest: usize, tag: u32, len: usize) {
+        self.tracer.instant_args3(
             TraceCategory::Comm,
             names::EV_SEND,
             ("tag", tag as u64),
-            ("bytes", data.len() as u64),
+            ("bytes", len as u64),
+            ("to", dest as u64),
         );
+    }
+
+    /// Put one message on the wire (or this rank's own backlog).
+    fn transmit(&mut self, dest: usize, tag: u32, data: Bytes) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         let row = self.tag_traffic.entry(tag).or_default();
@@ -414,11 +460,12 @@ impl Comm {
     }
 
     fn note_recv(&mut self, m: &Msg) {
-        self.tracer.instant_args(
+        self.tracer.instant_args3(
             TraceCategory::Comm,
             names::EV_RECV,
             ("tag", m.tag as u64),
             ("bytes", m.data.len() as u64),
+            ("from", m.src as u64),
         );
         self.stats.msgs_recv += 1;
         self.stats.bytes_recv += m.data.len() as u64;
@@ -601,6 +648,9 @@ where
                 queues: (0..p).map(|_| SendQueue::default()).collect(),
                 cstats: CoalesceStats::default(),
                 tracer: Tracer::disabled(),
+                sampler: GaugeSampler::disabled(),
+                g_coalesce: GaugeSampler::disabled().register(names::GAUGE_COALESCE_QUEUE_BYTES),
+                staged_bytes: 0,
             }
         })
         .collect();

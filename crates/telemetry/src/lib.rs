@@ -19,16 +19,19 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod cpu;
 pub mod json;
 pub mod names;
 pub mod report;
+pub mod series;
 pub mod span;
 pub mod trace;
 
 pub use cpu::thread_cpu_seconds;
 pub use json::{Json, JsonError};
 pub use report::{RankReport, RunReport, TagStat, TraceSummary, SCHEMA_VERSION};
+pub use series::{GaugeId, GaugeSampler, GaugeSeries, RankSeries};
 pub use span::{RunContext, Span};
 pub use trace::{
     IdleGapHistogram, RankTrace, Trace, TraceCategory, TraceEvent, TraceKind, TraceSpec, Tracer,

@@ -129,6 +129,23 @@ pub const TAG_ASM_M2W_GRANT: &str = "asm_m2w_grant";
 /// Master → worker cluster-task batch (its `AW`).
 pub const TAG_ASM_M2W_TASK: &str = "asm_m2w_task";
 
+// ---- gauge (time-series) names --------------------------------------------
+
+/// Depth of the master's pending-task buffer at sample time.
+pub const GAUGE_PENDING_TASKS: &str = "pending_tasks";
+/// Messages drained from the master's inbox in the current pump round.
+pub const GAUGE_INBOX_DEPTH: &str = "inbox_depth";
+/// Workers with an un-granted report outstanding at the master.
+pub const GAUGE_WORKERS_OUTSTANDING: &str = "workers_outstanding";
+/// Workers parked (passive, no work to grant) at the master.
+pub const GAUGE_WORKERS_PARKED: &str = "workers_parked";
+/// Bytes staged across this rank's coalescing send queues.
+pub const GAUGE_COALESCE_QUEUE_BYTES: &str = "coalesce_queue_bytes";
+/// High-water bytes of this rank's alignment scratch buffers.
+pub const GAUGE_ALIGN_SCRATCH_BYTES: &str = "align_scratch_bytes";
+/// Cumulative artifact-cache bytes moved (read + written) by the run.
+pub const GAUGE_CACHE_BYTES: &str = "cache_bytes";
+
 // ---- trace event names ----------------------------------------------------
 
 /// Blocked in `recv` on an empty channel (span, category `comm`).

@@ -12,9 +12,11 @@ use std::collections::BTreeMap;
 ///
 /// History: 1 = PR 1 format (implicit, stored under `"version"`);
 /// 2 = adds `schema_version`, per-rank `idle_gaps`, and the run-level
-/// `trace` summary. Parsers accept any version ≥ 1 and ignore fields
+/// `trace` summary; 3 = adds the top-level `series` array of per-rank
+/// gauge time series (absent ⇒ no sampling — v2 documents parse with
+/// an empty list). Parsers accept any version ≥ 1 and ignore fields
 /// they don't know (forward compatibility is tested).
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Traffic and modelled cost for one message tag on one rank.
 ///
@@ -205,6 +207,9 @@ pub struct RunReport {
     pub ranks: Vec<RankReport>,
     /// Trace-derived digest; present only when the run was traced.
     pub trace: Option<TraceSummary>,
+    /// Per-rank gauge time series (schema v3; empty when the run
+    /// sampled nothing — and for every pre-v3 document).
+    pub series: Vec<crate::series::RankSeries>,
 }
 
 impl RunReport {
@@ -255,6 +260,12 @@ impl RunReport {
         if let Some(t) = &self.trace {
             fields.push(("trace", t.to_json()));
         }
+        if !self.series.is_empty() {
+            fields.push((
+                "series",
+                Json::Arr(self.series.iter().map(crate::series::RankSeries::to_json).collect()),
+            ));
+        }
         Json::obj(fields)
     }
 
@@ -295,6 +306,13 @@ impl RunReport {
                 .map(RankReport::from_json)
                 .collect::<Result<_, _>>()?,
             trace: v.get("trace").map(TraceSummary::from_json),
+            series: v
+                .get("series")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(crate::series::RankSeries::from_json)
+                .collect(),
         })
     }
 
@@ -358,6 +376,16 @@ mod tests {
                 master_occupancy: vec![0.9, 0.8, 0.95],
                 dropped_events: 2,
             }),
+            series: vec![crate::series::RankSeries {
+                rank: 1,
+                label: "worker".into(),
+                overhead_ns: 777,
+                gauges: vec![crate::series::GaugeSeries {
+                    name: crate::names::GAUGE_ALIGN_SCRATCH_BYTES.into(),
+                    samples: vec![(10, 4096), (1_010, 8192)],
+                    dropped: 1,
+                }],
+            }],
         }
     }
 
@@ -400,17 +428,49 @@ mod tests {
     }
 
     #[test]
+    fn v2_reports_without_series_still_parse() {
+        // A v2-era document: trace summary but no `series` field.
+        let v2 = concat!(
+            "{\"format\": \"pgasm.run_report\", \"schema_version\": 2, \"version\": 2, ",
+            "\"label\": \"v2\", \"counters\": {\"merges\": 3}, ",
+            "\"trace\": {\"window_seconds\": 0.1, \"master_occupancy\": [0.5], \"dropped_events\": 0}}"
+        );
+        let report = RunReport::from_json_str(v2).unwrap();
+        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.counter("merges"), 3);
+        assert!(report.series.is_empty(), "absent series parses as empty");
+        assert!(report.trace.is_some());
+    }
+
+    #[test]
+    fn v3_series_round_trips_exactly() {
+        let report = sample();
+        let back = RunReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.series, report.series);
+        let g = back.series[0].gauge(crate::names::GAUGE_ALIGN_SCRATCH_BYTES).unwrap();
+        assert_eq!(g.samples, vec![(10, 4096), (1_010, 8192)]);
+        assert_eq!(g.dropped, 1);
+        assert_eq!(back.series[0].overhead_ns, 777);
+        // A run that sampled nothing writes no `series` key at all.
+        let mut bare = sample();
+        bare.series.clear();
+        assert!(!bare.to_json_string().contains("\"series\""));
+        assert!(RunReport::from_json_str(&bare.to_json_string()).unwrap().series.is_empty());
+    }
+
+    #[test]
     fn forward_compat_ignores_unknown_fields() {
-        // A hypothetical v3 writer added fields we don't know about;
+        // A hypothetical v4 writer added fields we don't know about;
         // parsing must still succeed and keep everything we do know.
         let future = concat!(
-            "{\"format\": \"pgasm.run_report\", \"schema_version\": 3, \"version\": 3, ",
+            "{\"format\": \"pgasm.run_report\", \"schema_version\": 4, \"version\": 4, ",
             "\"label\": \"future\", \"counters\": {\"merges\": 7}, ",
             "\"new_top_level_blob\": {\"x\": [1, 2, 3]}, ",
             "\"ranks\": [{\"rank\": 0, \"role\": \"master\", \"novel_rank_field\": 42}]}"
         );
         let report = RunReport::from_json_str(future).unwrap();
-        assert_eq!(report.schema_version, 3);
+        assert_eq!(report.schema_version, 4);
         assert_eq!(report.counter("merges"), 7);
         assert_eq!(report.ranks[0].role, "master");
     }

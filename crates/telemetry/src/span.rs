@@ -93,6 +93,7 @@ pub struct RunContext {
     counters: BTreeMap<String, u64>,
     ranks: Vec<crate::RankReport>,
     traces: Vec<crate::RankTrace>,
+    series: Vec<crate::RankSeries>,
 }
 
 impl RunContext {
@@ -106,6 +107,7 @@ impl RunContext {
             counters: BTreeMap::new(),
             ranks: Vec::new(),
             traces: Vec::new(),
+            series: Vec::new(),
         }
     }
 
@@ -212,10 +214,33 @@ impl RunContext {
         &self.traces
     }
 
+    /// Append finished per-rank gauge series (series from different
+    /// phases live on different rank/track ids, so appends never
+    /// collide). Empty series are skipped.
+    pub fn add_series(&mut self, series: impl IntoIterator<Item = crate::RankSeries>) {
+        self.series.extend(series.into_iter().filter(|s| !s.is_empty()));
+    }
+
+    /// Gauge series recorded so far.
+    pub fn series(&self) -> &[crate::RankSeries] {
+        &self.series
+    }
+
+    /// Total gauge samples dropped on buffer overflow, across ranks.
+    pub fn series_dropped_samples(&self) -> u64 {
+        self.series.iter().map(|s| s.dropped_samples()).sum()
+    }
+
+    /// Total sampler self-time across ranks, nanoseconds.
+    pub fn series_overhead_ns(&self) -> u64 {
+        self.series.iter().map(|s| s.overhead_ns).sum()
+    }
+
     /// Assemble the recorded tracks into an exportable [`crate::Trace`]
-    /// document (tracks sorted by rank).
+    /// document (tracks sorted by rank, gauge series attached as
+    /// counter tracks).
     pub fn trace_document(&self) -> crate::Trace {
-        crate::Trace::new(self.traces.clone())
+        crate::Trace::with_series(self.traces.clone(), self.series.clone())
     }
 
     /// Number of open spans (0 when balanced).
@@ -251,6 +276,8 @@ impl RunContext {
             let dropped_events = self.traces.iter().map(|t| t.dropped_events).sum();
             Some(crate::TraceSummary { window_seconds, master_occupancy, dropped_events })
         };
+        let mut series = self.series;
+        series.sort_by_key(|s| s.rank);
         crate::RunReport {
             schema_version: crate::SCHEMA_VERSION,
             label: self.label,
@@ -258,6 +285,7 @@ impl RunContext {
             counters: self.counters,
             ranks,
             trace,
+            series,
         }
     }
 }

@@ -70,8 +70,8 @@ pub enum TraceKind {
     Instant,
 }
 
-/// One recorded event. `args` carries up to two named numeric
-/// annotations (tag, bytes, worker id, …); an empty key means unused.
+/// One recorded event. `args` carries up to three named numeric
+/// annotations (tag, bytes, peer rank, …); an empty key means unused.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Nanoseconds since the run's trace epoch (monotonic per rank).
@@ -83,7 +83,14 @@ pub struct TraceEvent {
     /// Event name (static so the hot path never allocates).
     pub name: &'static str,
     /// Named numeric annotations; key `""` = slot unused.
-    pub args: [(&'static str, u64); 2],
+    pub args: [(&'static str, u64); 3],
+}
+
+impl TraceEvent {
+    /// Value of the named annotation, if present.
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
 }
 
 /// Run-wide tracing settings: the on/off switch, the per-rank buffer
@@ -115,6 +122,12 @@ impl TraceSpec {
         TraceSpec { enabled: true, capacity, epoch: Instant::now() }
     }
 
+    /// The shared monotonic epoch every clock of this run is measured
+    /// from (tracers *and* gauge samplers — see [`crate::series`]).
+    pub(crate) fn epoch_instant(&self) -> Instant {
+        self.epoch
+    }
+
     /// Build the tracer for one rank/track. All tracers from the same
     /// spec share the epoch, so their timelines align in the export.
     pub fn tracer(&self, rank: usize, label: &str) -> Tracer {
@@ -143,7 +156,7 @@ pub struct Tracer {
     dropped: u64,
 }
 
-const NO_ARGS: [(&str, u64); 2] = [("", 0), ("", 0)];
+const NO_ARGS: [(&str, u64); 3] = [("", 0), ("", 0), ("", 0)];
 
 impl Tracer {
     /// A permanently cheap no-op tracer (the default inside `Comm`).
@@ -178,7 +191,7 @@ impl Tracer {
         if !self.enabled {
             return;
         }
-        self.push(TraceKind::Begin, cat, name, [(key, v), ("", 0)]);
+        self.push(TraceKind::Begin, cat, name, [(key, v), ("", 0), ("", 0)]);
     }
 
     /// Close the matching span.
@@ -205,7 +218,7 @@ impl Tracer {
         if !self.enabled {
             return;
         }
-        self.push(TraceKind::Instant, cat, name, [(key, v), ("", 0)]);
+        self.push(TraceKind::Instant, cat, name, [(key, v), ("", 0), ("", 0)]);
     }
 
     /// Record a point event with two annotations.
@@ -220,7 +233,25 @@ impl Tracer {
         if !self.enabled {
             return;
         }
-        self.push(TraceKind::Instant, cat, name, [a, b]);
+        self.push(TraceKind::Instant, cat, name, [a, b, ("", 0)]);
+    }
+
+    /// Record a point event with three annotations (e.g. tag, bytes,
+    /// and the peer rank of a send/recv — the happens-before edge data
+    /// the analyzer pairs on).
+    #[inline]
+    pub fn instant_args3(
+        &mut self,
+        cat: TraceCategory,
+        name: &'static str,
+        a: (&'static str, u64),
+        b: (&'static str, u64),
+        c: (&'static str, u64),
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceKind::Instant, cat, name, [a, b, c]);
     }
 
     fn push(
@@ -228,7 +259,7 @@ impl Tracer {
         kind: TraceKind,
         cat: TraceCategory,
         name: &'static str,
-        args: [(&'static str, u64); 2],
+        args: [(&'static str, u64); 3],
     ) {
         if self.events.len() >= self.cap {
             self.dropped += 1;
@@ -405,19 +436,38 @@ pub fn occupancy_windows(events: &[TraceEvent], windows: usize) -> (f64, Vec<f64
     (window_ns as f64 * 1e-9, occ)
 }
 
+/// Track-id offset separating gauge counter tracks from event tracks
+/// in the Chrome export: rank `r`'s counter samples go out on
+/// `tid = COUNTER_TID_OFFSET + r`, so each tid stays internally
+/// timestamp-sorted (gauges are merge-sorted; event tracks are already
+/// in record order).
+pub const COUNTER_TID_OFFSET: usize = 1000;
+
 /// A complete trace document: one track per rank (plus the pipeline's
 /// main-thread track), exportable as Chrome trace-event JSON.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     /// Per-rank tracks, in rank order.
     pub tracks: Vec<RankTrace>,
+    /// Per-rank gauge time series, exported as `ph: "C"` counter
+    /// tracks (empty when the run sampled nothing).
+    pub series: Vec<crate::series::RankSeries>,
 }
 
 impl Trace {
     /// Assemble a document from finished tracks.
     pub fn new(mut tracks: Vec<RankTrace>) -> Trace {
         tracks.sort_by_key(|t| t.rank);
-        Trace { tracks }
+        Trace { tracks, series: Vec::new() }
+    }
+
+    /// As [`Trace::new`], with gauge series attached for counter-track
+    /// export.
+    pub fn with_series(tracks: Vec<RankTrace>, mut series: Vec<crate::series::RankSeries>) -> Trace {
+        let mut doc = Trace::new(tracks);
+        series.sort_by_key(|s| s.rank);
+        doc.series = series;
+        doc
     }
 
     /// Distinct category labels present across all tracks.
@@ -448,7 +498,12 @@ impl Trace {
                 ("name", Json::Str("thread_name".into())),
                 (
                     "args",
-                    Json::obj(vec![("name", Json::Str(format!("rank {} · {}", track.rank, track.label)))]),
+                    Json::obj(vec![
+                        ("name", Json::Str(format!("rank {} · {}", track.rank, track.label))),
+                        // Per-track overflow count, so `trace_check
+                        // --max-dropped` can blame the exact track.
+                        ("dropped_events", Json::Num(track.dropped_events as f64)),
+                    ]),
                 ),
             ]));
             for e in &track.events {
@@ -483,6 +538,45 @@ impl Trace {
                     fields.push(("args", Json::Obj(args)));
                 }
                 events.push(Json::obj(fields));
+            }
+        }
+        // Gauge series become Perfetto counter tracks (`ph: "C"`). Each
+        // rank's samples go on a dedicated offset tid, merge-sorted by
+        // timestamp so every tid stays monotonic for validators.
+        for rs in &self.series {
+            if rs.is_empty() {
+                continue;
+            }
+            let tid = (COUNTER_TID_OFFSET + rs.rank) as f64;
+            events.push(Json::obj(vec![
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::Num(0.0)),
+                ("tid", Json::Num(tid)),
+                ("name", Json::Str("thread_name".into())),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("name", Json::Str(format!("rank {} · {} gauges", rs.rank, rs.label))),
+                        ("dropped_events", Json::Num(rs.dropped_samples() as f64)),
+                    ]),
+                ),
+            ]));
+            let mut samples: Vec<(u64, &str, u64)> = rs
+                .gauges
+                .iter()
+                .flat_map(|g| g.samples.iter().map(move |&(ts, v)| (ts, g.name.as_str(), v)))
+                .collect();
+            samples.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            for (ts_ns, name, value) in samples {
+                events.push(Json::obj(vec![
+                    ("ph", Json::Str("C".into())),
+                    ("pid", Json::Num(0.0)),
+                    ("tid", Json::Num(tid)),
+                    ("ts", Json::Num(ts_ns as f64 / 1e3)),
+                    ("cat", Json::Str("series".into())),
+                    ("name", Json::Str(format!("rank{}/{}", rs.rank, name))),
+                    ("args", Json::Obj(vec![("value".to_string(), Json::Num(value as f64))])),
+                ]));
             }
         }
         Json::obj(vec![
@@ -657,6 +751,109 @@ mod tests {
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(TRACE_SCHEMA_VERSION as u64));
         assert_eq!(doc.categories(), vec!["align", "comm"]);
+    }
+
+    /// One blocked span of `dur_ns` as a synthetic event pair.
+    fn gap_events(dur_ns: u64) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                ts_ns: 0,
+                kind: TraceKind::Begin,
+                cat: TraceCategory::Comm,
+                name: names::EV_WAIT,
+                args: NO_ARGS,
+            },
+            TraceEvent {
+                ts_ns: dur_ns,
+                kind: TraceKind::End,
+                cat: TraceCategory::Comm,
+                name: names::EV_WAIT,
+                args: NO_ARGS,
+            },
+        ]
+    }
+
+    #[test]
+    fn histogram_empty_event_list_is_all_zero() {
+        let h = IdleGapHistogram::from_events(&[]);
+        assert_eq!(h.counts, vec![0; IDLE_GAP_BOUNDS_NS.len() + 1]);
+        assert_eq!(h.total_gaps(), 0);
+        assert_eq!(h.total_blocked_ns, 0);
+        assert_eq!(h.max_gap_ns, 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_half_open() {
+        // Buckets are [prev, bound): a gap of exactly `bound` ns falls
+        // in the *next* bucket. Probe both decade edges the bounds
+        // table names explicitly: 1 µs (first bound) and 100 ms (last).
+        let h = IdleGapHistogram::from_events(&gap_events(999));
+        assert_eq!(h.counts[0], 1, "999 ns < 1 µs: first bucket");
+        let h = IdleGapHistogram::from_events(&gap_events(1_000));
+        assert_eq!(h.counts[0], 0, "exactly 1 µs leaves the first bucket");
+        assert_eq!(h.counts[1], 1);
+        let h = IdleGapHistogram::from_events(&gap_events(99_999_999));
+        assert_eq!(h.counts[IDLE_GAP_BOUNDS_NS.len() - 1], 1, "just under 100 ms: last bounded bucket");
+        let h = IdleGapHistogram::from_events(&gap_events(100_000_000));
+        assert_eq!(h.counts[IDLE_GAP_BOUNDS_NS.len()], 1, "exactly 100 ms overflows");
+        let h = IdleGapHistogram::from_events(&gap_events(3_600_000_000));
+        assert_eq!(h.counts[IDLE_GAP_BOUNDS_NS.len()], 1, "an hour-long gap still counts once");
+        assert_eq!(h.max_gap_ns, 3_600_000_000);
+    }
+
+    #[test]
+    fn histogram_zero_length_gap_lands_in_first_bucket() {
+        let h = IdleGapHistogram::from_events(&gap_events(0));
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.total_blocked_ns, 0);
+    }
+
+    #[test]
+    fn chrome_export_emits_counter_tracks_for_series() {
+        use crate::series::{GaugeSeries, RankSeries};
+        let spec = TraceSpec::with_capacity(8);
+        let mut t = spec.tracer(1, "worker");
+        t.instant(TraceCategory::Comm, names::EV_SEND);
+        let series = vec![RankSeries {
+            rank: 1,
+            label: "worker".into(),
+            overhead_ns: 42,
+            gauges: vec![GaugeSeries {
+                name: names::GAUGE_PENDING_TASKS.into(),
+                samples: vec![(100, 7), (300, 9)],
+                dropped: 0,
+            }],
+        }];
+        let doc = Trace::with_series(vec![t.finish()], series);
+        let parsed = Json::parse(&doc.to_chrome_json().pretty()).unwrap();
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Track metadata + 1 instant + gauge metadata + 2 counter samples.
+        assert_eq!(events.len(), 5);
+        let counters: Vec<&Json> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("C")).collect();
+        assert_eq!(counters.len(), 2);
+        let c = counters[0];
+        assert_eq!(c.get("tid").and_then(Json::as_u64), Some((COUNTER_TID_OFFSET + 1) as u64));
+        assert_eq!(c.get("name").and_then(Json::as_str), Some("rank1/pending_tasks"));
+        assert_eq!(c.get("args").unwrap().get("value").and_then(Json::as_u64), Some(7));
+        // Counter timestamps ascend on their own tid.
+        let ts: Vec<f64> = counters.iter().map(|e| e.get("ts").and_then(Json::as_f64).unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn three_arg_instants_round_trip_and_lookup() {
+        let spec = TraceSpec::with_capacity(8);
+        let mut t = spec.tracer(0, "x");
+        t.instant_args3(TraceCategory::Comm, names::EV_SEND, ("tag", 3), ("bytes", 128), ("to", 2));
+        let e = t.events()[0];
+        assert_eq!(e.arg("tag"), Some(3));
+        assert_eq!(e.arg("to"), Some(2));
+        assert_eq!(e.arg("missing"), None);
+        let doc = Trace::new(vec![t.finish()]);
+        let parsed = Json::parse(&doc.to_chrome_json().pretty()).unwrap();
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events[1].get("args").unwrap().get("to").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

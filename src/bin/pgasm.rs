@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "generate" => generate(&opts),
         "cluster" => cluster(&opts),
         "assemble" => assemble(&opts),
+        "analyze" => analyze(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -66,6 +67,8 @@ USAGE:
                  [--cache-dir <dir>] [--no-cache]
   pgasm assemble --reads <reads.fastq> --out <contigs.fasta>
                  [--assembly-threads <n>] [same options]
+  pgasm analyze  --trace-json <run.trace.json> [--metrics-json <report.json>]
+                 [--out <analysis.json>] [--top <k>] [--coverage-tol <f>]
 
 generate writes a synthetic sequencing project (reads as FASTQ; optionally
 the reference genome(s) as FASTA). cluster runs preprocessing + clustering
@@ -86,7 +89,18 @@ parameters reloads the preprocess output and (serial runs) the GST from
 <dir> instead of recomputing them — the cache_hit / cache_miss /
 cache_bytes_* counters in --metrics-json show what happened; any change
 to inputs or parameters recomputes, and a corrupted cache file safely
-degrades to a cold run. --no-cache ignores --cache-dir for this run.";
+degrades to a cold run. --no-cache ignores --cache-dir for this run.
+
+analyze consumes the artifacts a traced run wrote (--trace-json, and
+optionally --metrics-json for alpha-beta modelled comm time and tag
+labels) and prints per-rank wall-time attribution {compute, wait-blocked,
+barrier, comm-modelled, idle-unattributed}, the reconstructed critical
+path through master/worker/comm events (send->recv edges paired per
+source/destination/tag), and the top-k idle gaps with the awaited message
+tag blamed. --out writes the same analysis as machine JSON
+(pgasm.analysis format, gateable by bench_diff). --coverage-tol <f> exits
+nonzero when any rank's attribution categories sum outside wall*(1 +- f)
+or the critical path comes back empty — the CI consistency gate.";
 
 #[derive(Default)]
 struct Opts {
@@ -258,6 +272,13 @@ fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineRep
             doc.tracks.len(),
             doc.categories().len()
         );
+        let dropped_events: u64 = doc.tracks.iter().map(|t| t.dropped_events).sum();
+        println!(
+            "telemetry: {} trace event(s) dropped, {} gauge sample(s) dropped, sampler overhead {:.3} ms",
+            dropped_events,
+            ctx.series_dropped_samples(),
+            ctx.series_overhead_ns() as f64 / 1e6
+        );
     }
     if let Some(path) = opts.get("metrics-json") {
         let run_report = ctx.finish();
@@ -265,6 +286,49 @@ fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineRep
         println!("wrote run report to {path}");
     }
     Ok((report, reads))
+}
+
+fn analyze(opts: &Opts) -> Result<(), String> {
+    use pgasm::telemetry::{analyze, Json, RunReport};
+    let trace_path = opts.require("trace-json")?;
+    let text = std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+    let tracks = analyze::parse_chrome_trace(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
+    let metrics = match opts.get("metrics-json") {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+            Some(RunReport::from_json_str(&text).map_err(|e| format!("{p}: {e}"))?)
+        }
+        None => None,
+    };
+    let top: usize = opts.parse_or("top", 5)?;
+    let analysis = analyze::analyze(&tracks, metrics.as_ref(), top);
+    print!("{}", analysis.render());
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, analysis.to_json().pretty()).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote analysis to {out}");
+    }
+    if let Some(tol) = opts.get("coverage-tol") {
+        let tol: f64 = tol.parse().map_err(|_| format!("--coverage-tol: cannot parse '{tol}'"))?;
+        let err = analysis.max_coverage_error();
+        if err > tol {
+            return Err(format!(
+                "attribution coverage off by {:.1}% (> {:.1}% tolerance) on some rank",
+                err * 100.0,
+                tol * 100.0
+            ));
+        }
+        if analysis.critical_path.is_empty() {
+            return Err("critical path is empty".to_string());
+        }
+        println!(
+            "coverage check ok: max attribution error {:.2}% (tolerance {:.1}%), {} critical-path segment(s)",
+            err * 100.0,
+            tol * 100.0,
+            analysis.critical_path.len()
+        );
+    }
+    Ok(())
 }
 
 fn cluster(opts: &Opts) -> Result<(), String> {
