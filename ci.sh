@@ -12,6 +12,9 @@ cargo test -q --workspace
 echo "==> distributed tests"
 cargo test -q --test distributed --test adversarial_protocol --test telemetry_e2e --test assembly_balance
 
+echo "==> force-scalar feature matrix (SIMD fallback must stay bit-identical)"
+cargo test -q -p pgasm-align --features force-scalar
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -27,6 +30,11 @@ echo "==> alignment-kernel smoke bench"
 rm -f BENCH_ablation_align_kernel.json
 PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_align_kernel
 test -s BENCH_ablation_align_kernel.json || { echo "missing BENCH_ablation_align_kernel.json"; exit 1; }
+
+echo "==> SIMD + adaptive-band smoke bench"
+rm -f BENCH_ablation_simd_band.json
+PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_simd_band
+test -s BENCH_ablation_simd_band.json || { echo "missing BENCH_ablation_simd_band.json"; exit 1; }
 
 echo "==> assembly-balance smoke bench"
 rm -f BENCH_ablation_assembly_balance.json

@@ -25,10 +25,11 @@ pub mod global;
 pub mod local;
 pub mod overlap;
 pub mod scoring;
+pub mod simd;
 pub mod wmer;
 
 pub use overlap::{
     banded_overlap_align, overlap_align, overlap_align_quality, overlap_align_quality_with,
-    overlap_align_two_phase, AlignKernel, AlignScratch, OverlapResult,
+    overlap_align_simd, overlap_align_two_phase, AlignKernel, AlignScratch, OverlapResult, SimdOpts,
 };
 pub use scoring::{AcceptCriteria, Scoring};

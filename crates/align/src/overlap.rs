@@ -6,7 +6,7 @@
 //! (or a containment). Identity over the aligned columns and the overlap
 //! length feed the [`crate::scoring::AcceptCriteria`] decision.
 //!
-//! Three kernels are provided:
+//! Four kernels are provided:
 //!
 //! - [`overlap_align_quality`] — full O(mn) DP with optional
 //!   quality-weighted identity (assembly-phase acceptance).
@@ -14,14 +14,19 @@
 //!   maximal match that generated the pair; allocates its own matrices
 //!   and always runs traceback. Kept as the *legacy* reference kernel
 //!   for the `ablation_align_kernel` bench and the property tests.
-//! - [`overlap_align_two_phase`] — the production hot path. Phase 1 is a
-//!   score-only banded forward pass over two rolling rows held in a
+//! - [`overlap_align_two_phase`] — the scalar two-phase kernel. Phase 1
+//!   is a score-only banded forward pass over two rolling rows held in a
 //!   reusable [`AlignScratch`] (no per-pair allocation, no traceback
 //!   matrix), with an early-exit bound that bails as soon as no
 //!   remaining in-band path can reach the score any acceptable overlap
 //!   must have. Phase 2 re-fills only the band window up to the best end
 //!   cell to recover the traceback, and runs only when the phase-1 score
 //!   can still satisfy the [`AcceptCriteria`] gate.
+//! - [`overlap_align_simd`] — the production hot path: the two-phase
+//!   kernel with a lane-chunked phase 1 (see [`crate::simd`]) and
+//!   optional per-row adaptive X-drop band shrinking driven by the same
+//!   acceptance-floor pricing the early exit uses. See DESIGN.md §5 for
+//!   the lane layout and the shrink rule.
 //!
 //! Gap costs are linear (`gap_extend` per column). At the 1–2% error
 //! rates of Sanger-style fragments the accept/reject decision is
@@ -29,9 +34,20 @@
 //! [`crate::affine`] for consumers that need it.
 
 use crate::scoring::{AcceptCriteria, Scoring};
+use crate::simd::{I32x8, LANES};
 use serde::{Deserialize, Serialize};
 
 const NEG: i32 = i32::MIN / 4;
+
+/// Rolling-row length that lets the lane-chunked phase-1 passes load a
+/// full lane starting at any cell slot (including the staggered
+/// `prev[slot + 1]` up-neighbour loads) without bounds branches: the row
+/// width plus one is rounded up to a lane multiple, plus one extra lane
+/// of NEG padding past the last slot.
+#[inline]
+fn lane_padded(w: usize) -> usize {
+    (w + 1).div_ceil(LANES) * LANES + LANES
+}
 
 /// Geometric relationship of the two fragments implied by an overlap
 /// alignment.
@@ -56,6 +72,9 @@ pub enum AlignKernel {
     /// Score-only rolling pass with early exit, plus a lazy traceback
     /// window for pairs that can still pass the acceptance gate.
     TwoPhase,
+    /// The two-phase kernel with a lane-chunked (SIMD) phase 1 and
+    /// adaptive X-drop band shrinking — the production default.
+    Simd,
 }
 
 // Not `#[derive(Default)]`: the in-tree serde derive does not understand
@@ -63,7 +82,7 @@ pub enum AlignKernel {
 #[allow(clippy::derivable_impls)]
 impl Default for AlignKernel {
     fn default() -> Self {
-        AlignKernel::TwoPhase
+        AlignKernel::Simd
     }
 }
 
@@ -102,6 +121,15 @@ pub struct OverlapResult {
     /// Phase 2 never ran: the final phase-1 score already misses the
     /// acceptance floor, so identity/ranges are not computed.
     pub traceback_skipped: bool,
+    /// In-band phase-1 cells *not* evaluated because adaptive X-drop
+    /// banding proved them unable to reach the acceptance floor. These
+    /// are savings on top of `cells`; the `cells == phase1 + phase2`
+    /// contract counts evaluated cells only.
+    pub cells_saved_adaptive: u64,
+    /// Rows whose candidate column range the adaptive shrink actually
+    /// tightened relative to the fixed band (including rows abandoned
+    /// wholesale once every in-band continuation is dead).
+    pub band_rows_shrunk: u64,
 }
 
 impl OverlapResult {
@@ -118,12 +146,20 @@ impl OverlapResult {
             cells_phase2: 0,
             early_exited: false,
             traceback_skipped: false,
+            cells_saved_adaptive: 0,
+            band_rows_shrunk: 0,
         }
     }
 
     /// A pair rejected by the score gate: ranges/identity are not
     /// computed, so downstream acceptance must (and does) fail.
-    fn rejected(score: i32, cells_phase1: u64, early_exited: bool) -> OverlapResult {
+    fn rejected(
+        score: i32,
+        cells_phase1: u64,
+        early_exited: bool,
+        cells_saved_adaptive: u64,
+        band_rows_shrunk: u64,
+    ) -> OverlapResult {
         OverlapResult {
             score,
             identity: 0.0,
@@ -136,6 +172,8 @@ impl OverlapResult {
             cells_phase2: 0,
             early_exited,
             traceback_skipped: true,
+            cells_saved_adaptive,
+            band_rows_shrunk,
         }
     }
 
@@ -162,9 +200,14 @@ impl OverlapResult {
 /// that.
 #[derive(Debug, Default)]
 pub struct AlignScratch {
-    /// Rolling rows for the phase-1 score-only pass.
+    /// Rolling rows for the phase-1 score-only pass, lane-padded so the
+    /// chunked passes can load full lanes from any cell slot.
     prev: Vec<i32>,
     curr: Vec<i32>,
+    /// Per-slot tail-segment weights for the lane-chunked completion
+    /// pricing: `wj[sl] = -match_score · sl` (see [`overlap_align_simd`]).
+    wj: Vec<i32>,
+    wj_match: i32,
     /// Band-window (or full-matrix) score + traceback matrices for the
     /// phase-2 / quality passes.
     dp: Vec<i32>,
@@ -179,10 +222,15 @@ impl AlignScratch {
 
     /// Pre-size for banded alignments of sequences up to `max_len` bases
     /// at band half-width `band`, so the hot loop never reallocates.
+    /// Row buffers are sized to the *lane-padded* width so the SIMD
+    /// kernel's chunked loads fit without growth.
     pub fn for_sequences(max_len: usize, band: usize) -> AlignScratch {
         let mut s = AlignScratch::new();
         let width = (2 * band + 1).min(2 * max_len + 1);
-        s.ensure_rows(width + 2);
+        s.ensure_rows(lane_padded(width + 2));
+        // The tail weights depend on the (not yet known) match score;
+        // pre-size the buffer so the first fill is a rewrite, not a grow.
+        s.wj.resize(lane_padded(width + 2), 0);
         s.ensure_window((max_len + 1) * (width + 2));
         s.grows = 0;
         s
@@ -193,6 +241,23 @@ impl AlignScratch {
             self.grows += 1;
             self.prev.resize(w, NEG);
             self.curr.resize(w, NEG);
+        }
+    }
+
+    /// Make sure `wj[sl] = -match_score · sl` holds for at least `len`
+    /// slots. Refills in place when only the match score changed, so a
+    /// pre-sized scratch never grows here.
+    fn ensure_wj(&mut self, len: usize, match_score: i32) {
+        let grown = self.wj.len() < len;
+        if grown {
+            self.grows += 1;
+            self.wj.resize(len, 0);
+        }
+        if grown || self.wj_match != match_score {
+            self.wj_match = match_score;
+            for (sl, v) in self.wj.iter_mut().enumerate() {
+                *v = -match_score.wrapping_mul(sl as i32);
+            }
         }
     }
 
@@ -208,7 +273,8 @@ impl AlignScratch {
     /// this is monotone; a flat reading across batches means the hot
     /// loop allocated nothing.
     pub fn high_water_bytes(&self) -> u64 {
-        (4 * (self.prev.capacity() + self.curr.capacity() + self.dp.capacity()) + self.tb.capacity()) as u64
+        (4 * (self.prev.capacity() + self.curr.capacity() + self.wj.capacity() + self.dp.capacity())
+            + self.tb.capacity()) as u64
     }
 
     /// Number of times any buffer grew since construction / pre-sizing.
@@ -440,6 +506,8 @@ pub fn overlap_align_quality_with(
         cells_phase2: 0,
         early_exited: false,
         traceback_skipped: false,
+        cells_saved_adaptive: 0,
+        band_rows_shrunk: 0,
     }
 }
 
@@ -539,6 +607,8 @@ pub fn banded_overlap_align(a: &[u8], b: &[u8], seed_diag: i64, band: usize, s: 
         cells_phase2: 0,
         early_exited: false,
         traceback_skipped: false,
+        cells_saved_adaptive: 0,
+        band_rows_shrunk: 0,
     }
 }
 
@@ -657,7 +727,7 @@ pub fn overlap_align_two_phase(
                     let restart =
                         if (i as i64) < bw.d_hi { s.match_score * (m - i - 1).min(n) as i32 } else { NEG };
                     if row_bound.max(coln_best).max(restart) < f {
-                        return OverlapResult::rejected(0, cells1, true);
+                        return OverlapResult::rejected(0, cells1, true, 0, 0);
                     }
                 }
             }
@@ -685,7 +755,7 @@ pub fn overlap_align_two_phase(
     }
     if let Some(f) = floor {
         if best_score < f {
-            return OverlapResult::rejected(best_score, cells1, false);
+            return OverlapResult::rejected(best_score, cells1, false, 0, 0);
         }
     }
     // Phase 2: re-fill the band window through the end cell. Cells with
@@ -752,6 +822,543 @@ pub fn overlap_align_two_phase(
         cells_phase2: cells2,
         early_exited: false,
         traceback_skipped: false,
+        cells_saved_adaptive: 0,
+        band_rows_shrunk: 0,
+    }
+}
+
+/// Options for [`overlap_align_simd`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimdOpts {
+    /// Run the phase-1 inner pass through the scalar fallback instead of
+    /// the lane-chunked pass. Results are bit-identical either way (the
+    /// `force-scalar` cargo feature forces this on regardless).
+    pub force_scalar: bool,
+    /// Per-row adaptive X-drop band shrinking. Takes effect only when an
+    /// [`acceptance_floor`] exists and `mismatch ≤ 0`, `gap_extend ≤ 0`
+    /// (the monotone-potential argument needs both); inert otherwise.
+    pub adaptive: bool,
+}
+
+impl Default for SimdOpts {
+    fn default() -> SimdOpts {
+        SimdOpts { force_scalar: cfg!(feature = "force-scalar"), adaptive: true }
+    }
+}
+
+/// Lane-chunked two-phase banded suffix–prefix alignment with adaptive
+/// X-drop banding — the production hot path.
+///
+/// Phase 1 follows [`overlap_align_two_phase`] exactly, but evaluates the
+/// in-band row in [`LANES`]-wide chunks: a vector pass computes
+/// `max(diag + subst, up + gap)` per lane (the two `prev`-row inputs have
+/// no intra-row dependency), then a scalar ascending pass folds in the
+/// `left + gap` dependency — by induction this equals the single-pass
+/// scalar recurrence cell for cell. Band edges are NEG-padded in the
+/// lane-padded rolling rows, so chunk loads need no bounds branches. The
+/// early-exit bound prices every computed cell's best completion
+/// `P(i, j) = value + match · min(m − i, n − j)` exactly, as the lanewise
+/// min of the row-constant head formula `match · (m − i)` and the
+/// per-slot tail formula `wj[sl] + match · (n − i + d_hi + 1)` (with
+/// `wj[sl] = −match · sl` precomputed in the scratch), reduced by a
+/// lanewise horizontal max.
+///
+/// **Adaptive X-drop banding** reuses that pricing to shrink the band per
+/// row. `P` is non-increasing along any alignment path when
+/// `mismatch ≤ 0` and `gap_extend ≤ 0`, so once a cell's `P` drops below
+/// the acceptance floor, *every* path through it finishes below the
+/// floor: such cells are dead and their columns can be dropped from the
+/// next row's candidate range (kept at lane-chunk granularity). Restarts
+/// from column 0 stay alive while `match · min(m − i, n)` can still reach
+/// the floor, and a scalar right-extension past the candidate range keeps
+/// within-row left-gap chains alive while their `P` holds the floor.
+/// Every cell on a path whose end score meets the floor has `P ≥ floor`
+/// all along, so accepted pairs are computed bit-identically to the fixed
+/// band — only cells that provably cannot matter are skipped, counted in
+/// `cells_saved_adaptive` (and `band_rows_shrunk` for rows that were
+/// actually tightened). Rejected pairs may report a different (never
+/// higher) score than the fixed band; the gate rejects them either way.
+///
+/// With `gate: None` (no usable floor) adaptive shrinking is inert and
+/// the result equals [`banded_overlap_align`] on every field except the
+/// phase split of `cells`.
+///
+/// The default rustc target baseline on x86-64 is SSE2, which has no
+/// packed 32-bit max — the autovectorised lane loops end up mostly
+/// scalar. To get real vector code without per-build `target-cpu`
+/// flags, the body is instantiated twice: once at the build baseline
+/// and once under `#[target_feature(enable = "avx2")]`, selected by
+/// one runtime CPUID check per call. Both instantiations execute the
+/// same integer arithmetic, so results are bit-identical across
+/// dispatch decisions.
+#[allow(clippy::too_many_arguments)]
+pub fn overlap_align_simd(
+    a: &[u8],
+    b: &[u8],
+    seed_diag: i64,
+    band: usize,
+    s: &Scoring,
+    gate: Option<&AcceptCriteria>,
+    quals: Option<(&[u8], &[u8])>,
+    scratch: &mut AlignScratch,
+    opts: SimdOpts,
+) -> OverlapResult {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let use_scalar = opts.force_scalar || cfg!(feature = "force-scalar");
+        if !use_scalar && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just detected on this CPU.
+            return unsafe { simd_body_avx2(a, b, seed_diag, band, s, gate, quals, scratch, opts) };
+        }
+    }
+    simd_body(a, b, seed_diag, band, s, gate, quals, scratch, opts)
+}
+
+/// [`simd_body`] compiled with AVX2 codegen enabled (the
+/// `#[inline(always)]` body inherits the caller's target features).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn simd_body_avx2(
+    a: &[u8],
+    b: &[u8],
+    seed_diag: i64,
+    band: usize,
+    s: &Scoring,
+    gate: Option<&AcceptCriteria>,
+    quals: Option<(&[u8], &[u8])>,
+    scratch: &mut AlignScratch,
+    opts: SimdOpts,
+) -> OverlapResult {
+    simd_body(a, b, seed_diag, band, s, gate, quals, scratch, opts)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn simd_body(
+    a: &[u8],
+    b: &[u8],
+    seed_diag: i64,
+    band: usize,
+    s: &Scoring,
+    gate: Option<&AcceptCriteria>,
+    quals: Option<(&[u8], &[u8])>,
+    scratch: &mut AlignScratch,
+    opts: SimdOpts,
+) -> OverlapResult {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return OverlapResult::empty(0);
+    }
+    if let Some((qa, qb)) = quals {
+        assert_eq!(qa.len(), m, "quality track must match sequence length");
+        assert_eq!(qb.len(), n, "quality track must match sequence length");
+    }
+    let Some(bw) = Band::new(m, n, seed_diag, band) else {
+        return OverlapResult::empty(0);
+    };
+    let floor = match (gate, quals) {
+        (Some(c), None) => acceptance_floor(c, s),
+        _ => None,
+    };
+    let adaptive = opts.adaptive && floor.is_some() && s.mismatch <= 0 && s.gap_extend <= 0;
+    let use_scalar = opts.force_scalar || cfg!(feature = "force-scalar");
+    let w = bw.w;
+    let padded = lane_padded(w);
+    scratch.ensure_rows(padded);
+    scratch.ensure_wj(padded, s.match_score);
+    let mut cells1 = 0u64;
+    let mut saved = 0u64;
+    let mut rows_shrunk = 0u64;
+    let mut best_score = NEG;
+    let mut end: Option<(usize, usize)> = None;
+    {
+        let mut prev: &mut [i32] = &mut scratch.prev[..padded];
+        let mut curr: &mut [i32] = &mut scratch.curr[..padded];
+        let wj: &[i32] = &scratch.wj[..padded];
+        let mut coln_best = NEG;
+        let mut coln_i = 0usize;
+        let (lo0, hi0) = bw.row_range(0, n);
+        prev.fill(NEG);
+        for j in lo0..=hi0 {
+            prev[bw.slot(0, j)] = 0;
+        }
+        if (lo0..=hi0).contains(&(n as i64)) {
+            coln_best = 0;
+        }
+        // Live column range of the previous row under adaptive shrinking
+        // (empty hull: lo > hi). Row 0 holds only zeros, and
+        // P(0, j) = match · min(m, n − j) is non-increasing in j, so its
+        // live set is a prefix of the in-band range.
+        let (mut live_lo, mut live_hi) = (lo0, hi0);
+        if adaptive {
+            let f = floor.unwrap();
+            let mut h = lo0 - 1;
+            for j in lo0..=hi0 {
+                if s.match_score.saturating_mul(m.min(n - j as usize) as i32) >= f {
+                    h = j;
+                } else {
+                    break;
+                }
+            }
+            live_hi = h;
+            if live_hi < live_lo {
+                (live_lo, live_hi) = (i64::MAX, i64::MIN);
+            }
+        }
+        let mut dead_break = false;
+        for i in 1..=m {
+            let (blo, bhi) = bw.row_range(i, n);
+            let (mut clo, mut chi) = (blo, bhi);
+            // Restart cell (i, 0): free leading gap in b, alive while a
+            // fresh alignment from here can still reach the floor.
+            let mut restart_alive = false;
+            if adaptive {
+                let f = floor.unwrap();
+                restart_alive =
+                    blo == 0 && bhi >= 0 && s.match_score.saturating_mul((m - i).min(n) as i32) >= f;
+                clo = clo.max(live_lo);
+                chi = chi.min(live_hi.saturating_add(1));
+                if restart_alive {
+                    clo = 0;
+                    chi = chi.max(0);
+                }
+                if clo > chi {
+                    // No live candidates this row. A later in-band
+                    // restart (first possible at row max(i, d_lo)) may
+                    // still seed a floor-reaching path, e.g. when the
+                    // band has not yet entered the valid rectangle.
+                    let r0 = (i as i64).max(bw.d_lo);
+                    let future_restart = if r0 <= bw.d_hi && r0 <= m as i64 {
+                        s.match_score.saturating_mul((m - r0 as usize).min(n) as i32)
+                    } else {
+                        NEG
+                    };
+                    let lo1 = blo.max(1);
+                    if bhi >= lo1 {
+                        saved += (bhi - lo1 + 1) as u64;
+                        rows_shrunk += 1;
+                    }
+                    if future_restart >= f {
+                        // Skip the row but keep going: the hull stays
+                        // empty until the restart row re-seeds it.
+                        curr.fill(NEG);
+                        std::mem::swap(&mut prev, &mut curr);
+                        continue;
+                    }
+                    // Restart potential only decays with i and live
+                    // ranges only descend from live parents, so every
+                    // remaining row is dead too: the only surviving end
+                    // candidate is the banked best over column n.
+                    if coln_best < f {
+                        // The fixed-band run's early exit fires here too
+                        // (same dead cells, no floor-reaching restart),
+                        // so the remaining rows are not credited as
+                        // saved — it would never have computed them.
+                        return OverlapResult::rejected(0, cells1, true, saved, rows_shrunk);
+                    }
+                    // A banked column-n end keeps the fixed-band run
+                    // alive through every remaining row; the adaptive
+                    // run skips them all.
+                    for ii in (i + 1)..=m {
+                        let (lo, hi) = bw.row_range(ii, n);
+                        let lo1 = lo.max(1);
+                        if hi >= lo1 {
+                            saved += (hi - lo1 + 1) as u64;
+                            rows_shrunk += 1;
+                        }
+                    }
+                    dead_break = true;
+                    break;
+                }
+            }
+            curr.fill(NEG);
+            let mut row_bound = NEG;
+            if floor.is_some() && blo == 0 && bhi >= 0 {
+                // Same restart contribution the scalar kernel adds at
+                // its j == 0 iteration.
+                row_bound = s.match_score * (m - i).min(n) as i32;
+            }
+            if clo == 0 && bhi >= 0 {
+                curr[bw.slot(i, 0)] = 0;
+            }
+            let jstart = clo.max(1);
+            let mut hull_lo_sl = usize::MAX;
+            let mut hull_hi_sl = 0usize;
+            let mut ncomp = 0u64;
+            if jstart <= chi {
+                let sl0 = bw.slot(i, jstart);
+                let len = (chi - jstart + 1) as usize;
+                ncomp = len as u64;
+                cells1 += len as u64;
+                let ai = a[i - 1];
+                let ai_is_base = pgasm_seq::is_base_code(ai);
+                let boff = (jstart - 1) as usize;
+                let mut k = 0usize;
+                if !use_scalar {
+                    // Vector pass: diag/up only — no intra-row dependency.
+                    let mvec = I32x8::splat(s.match_score);
+                    let xvec = I32x8::splat(s.mismatch);
+                    let gvec = I32x8::splat(s.gap_extend);
+                    let kvec = I32x8::splat(ai as i32);
+                    while k + LANES <= len {
+                        let p0 = I32x8::load(&prev[sl0 + k..]);
+                        let p1 = I32x8::load(&prev[sl0 + k + 1..]);
+                        let sub = if ai_is_base {
+                            I32x8::load_u8(&b[boff + k..]).eq_select(kvec, mvec, xvec)
+                        } else {
+                            xvec
+                        };
+                        p0.add(sub).max(p1.add(gvec)).store(&mut curr[sl0 + k..]);
+                        k += LANES;
+                    }
+                }
+                // Scalar tail — and the whole row when forced scalar.
+                while k < len {
+                    let sub = if ai_is_base && b[boff + k] == ai { s.match_score } else { s.mismatch };
+                    let diag = prev[sl0 + k] + sub;
+                    let up = prev[sl0 + k + 1] + s.gap_extend;
+                    curr[sl0 + k] = if diag >= up { diag } else { up };
+                    k += 1;
+                }
+                // Ascending left-dependency fold: after this,
+                // curr[sl] == max(diag, up, left) exactly as in the
+                // single-pass recurrence. The sequential fold
+                // out[k] = max(c[k], out[k−1] + g) expands to
+                // out[k] = max over t ≤ k of c[t] + (k−t)·g, which the
+                // vector path computes as a log-step max-plus prefix
+                // scan per chunk (shift-by-1/2/4, each adding the
+                // matching multiple of g) plus one carried splat from
+                // the previous chunk — the same integer sums in a
+                // different association, so the result is bit-identical
+                // to the scalar fold.
+                let g = s.gap_extend;
+                let mut leftv = curr[sl0 - 1];
+                let mut k = 0usize;
+                if !use_scalar {
+                    let gv1 = I32x8::splat(g);
+                    let gv2 = I32x8::splat(g.wrapping_mul(2));
+                    let gv4 = I32x8::splat(g.wrapping_mul(4));
+                    let mut ramp = [0i32; LANES];
+                    for (l, r) in ramp.iter_mut().enumerate() {
+                        *r = g.wrapping_mul(l as i32 + 1);
+                    }
+                    let ramp = I32x8(ramp);
+                    while k + LANES <= len {
+                        let mut v = I32x8::load(&curr[sl0 + k..]);
+                        v = v.max(v.shift_up::<1>(NEG).add(gv1));
+                        v = v.max(v.shift_up::<2>(NEG).add(gv2));
+                        v = v.max(v.shift_up::<4>(NEG).add(gv4));
+                        v = v.max(I32x8::splat(leftv).add(ramp));
+                        v.store(&mut curr[sl0 + k..]);
+                        leftv = v.0[LANES - 1];
+                        k += LANES;
+                    }
+                }
+                for c in curr[sl0 + k..sl0 + len].iter_mut() {
+                    let l = leftv + g;
+                    if l > *c {
+                        *c = l;
+                    }
+                    leftv = *c;
+                }
+                if chi == n as i64 {
+                    let v = curr[sl0 + len - 1];
+                    if v > coln_best {
+                        coln_best = v;
+                        coln_i = i;
+                    }
+                }
+                if let Some(f) = floor {
+                    // Completion pricing sweep: exact per-lane
+                    // P = value + match · min(m − i, n − j), via the
+                    // head/tail split (see function docs). Also derives
+                    // the live hull for the next row at lane-chunk
+                    // granularity. NEG padding lanes price far below any
+                    // floor and never contribute.
+                    let av = I32x8::splat(s.match_score.saturating_mul((m - i) as i32));
+                    let cv =
+                        I32x8::splat(s.match_score.wrapping_mul((n as i64 - i as i64 + bw.d_hi + 1) as i32));
+                    let mut k = 0usize;
+                    while k < len {
+                        let sl = sl0 + k;
+                        let v = I32x8::load(&curr[sl..]);
+                        let p = v.add(av).min(v.add(I32x8::load(&wj[sl..])).add(cv));
+                        let pm = p.hmax();
+                        if pm > row_bound {
+                            row_bound = pm;
+                        }
+                        if adaptive && pm >= f {
+                            if sl < hull_lo_sl {
+                                hull_lo_sl = sl;
+                            }
+                            let end_sl = (sl + LANES - 1).min(sl0 + len - 1);
+                            if end_sl > hull_hi_sl {
+                                hull_hi_sl = end_sl;
+                            }
+                        }
+                        k += LANES;
+                    }
+                    if adaptive {
+                        // Right-extension: columns past the candidate
+                        // range have only dead diag/up parents, so the
+                        // left-gap chain is their only live input; keep
+                        // extending while it can still price the floor.
+                        let mut j = chi + 1;
+                        let mut sl = sl0 + len;
+                        while j <= bhi {
+                            let v = curr[sl - 1] + s.gap_extend;
+                            let p = v + s.match_score * (m - i).min((n as i64 - j) as usize) as i32;
+                            if p < f {
+                                break;
+                            }
+                            curr[sl] = v;
+                            cells1 += 1;
+                            ncomp += 1;
+                            if p > row_bound {
+                                row_bound = p;
+                            }
+                            if hull_lo_sl == usize::MAX {
+                                hull_lo_sl = sl;
+                            }
+                            if sl > hull_hi_sl {
+                                hull_hi_sl = sl;
+                            }
+                            if j == n as i64 && v > coln_best {
+                                coln_best = v;
+                                coln_i = i;
+                            }
+                            j += 1;
+                            sl += 1;
+                        }
+                    }
+                }
+            }
+            if adaptive {
+                let lo1 = blo.max(1);
+                let interior = if bhi >= lo1 { (bhi - lo1 + 1) as u64 } else { 0 };
+                if interior > ncomp {
+                    saved += interior - ncomp;
+                    rows_shrunk += 1;
+                }
+                if hull_lo_sl <= hull_hi_sl && hull_lo_sl != usize::MAX {
+                    let base = i as i64 - bw.d_hi - 1;
+                    live_lo = hull_lo_sl as i64 + base;
+                    live_hi = hull_hi_sl as i64 + base;
+                } else {
+                    (live_lo, live_hi) = (i64::MAX, i64::MIN);
+                }
+                if restart_alive {
+                    live_lo = live_lo.min(0);
+                    live_hi = live_hi.max(0);
+                }
+            }
+            if let Some(f) = floor {
+                if i < m {
+                    let restart =
+                        if (i as i64) < bw.d_hi { s.match_score * (m - i - 1).min(n) as i32 } else { NEG };
+                    if row_bound.max(coln_best).max(restart) < f {
+                        return OverlapResult::rejected(0, cells1, true, saved, rows_shrunk);
+                    }
+                }
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        if dead_break {
+            best_score = coln_best;
+            end = Some((coln_i, n));
+        } else {
+            let (lo, hi) = bw.row_range(m, n);
+            for j in lo..=hi {
+                let v = prev[bw.slot(m, j)];
+                if v > best_score {
+                    best_score = v;
+                    end = Some((m, j as usize));
+                }
+            }
+            if coln_best > best_score {
+                best_score = coln_best;
+                end = Some((coln_i, n));
+            }
+        }
+    }
+    let Some((ei, ej)) = end else {
+        return OverlapResult::empty(cells1);
+    };
+    if best_score <= NEG / 2 {
+        return OverlapResult::empty(cells1);
+    }
+    if let Some(f) = floor {
+        if best_score < f {
+            return OverlapResult::rejected(best_score, cells1, false, saved, rows_shrunk);
+        }
+    }
+    // Phase 2: identical to the scalar two-phase kernel — re-fill the
+    // *fixed* band window through the end cell (adaptive shrinking never
+    // touches it, so accepted pairs reproduce the legacy matrix exactly).
+    let rows = ei + 1;
+    scratch.ensure_window(rows * w);
+    let dp = &mut scratch.dp[..rows * w];
+    let tb = &mut scratch.tb[..rows * w];
+    let mut cells2 = 0u64;
+    {
+        let (lo, hi) = bw.row_range(0, n);
+        dp[..w].fill(NEG);
+        tb[..w].fill(3);
+        for j in lo..=hi.min(ej as i64) {
+            dp[bw.slot(0, j)] = 0;
+        }
+    }
+    for i in 1..=ei {
+        let (lo, hi) = bw.row_range(i, n);
+        let hi = hi.min(ej as i64);
+        let base = i * w;
+        let pbase = (i - 1) * w;
+        dp[base..base + w].fill(NEG);
+        tb[base..base + w].fill(3);
+        for j in lo..=hi {
+            let sl = bw.slot(i, j);
+            if j == 0 {
+                dp[base + sl] = 0;
+                continue;
+            }
+            cells2 += 1;
+            let ju = j as usize;
+            let diag = dp[pbase + sl] + s.subst(a[i - 1], b[ju - 1]);
+            let up = dp[pbase + sl + 1] + s.gap_extend;
+            let left = dp[base + sl - 1] + s.gap_extend;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0u8)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            dp[base + sl] = best;
+            tb[base + sl] = dir;
+        }
+    }
+    debug_assert_eq!(
+        dp[ei * w + bw.slot(ei, ej as i64)],
+        best_score,
+        "phase-2 window must reproduce the phase-1 end cell"
+    );
+    let (a_range, b_range, cols, identity) =
+        walk_traceback(a, b, quals, tb, |i, j| i * w + bw.slot(i, j as i64), (ei, ej));
+    OverlapResult {
+        score: best_score,
+        identity,
+        overlap_len: cols,
+        a_range,
+        b_range,
+        kind: OverlapResult::classify(m, n, a_range, b_range),
+        cells: cells1 + cells2,
+        cells_phase1: cells1,
+        cells_phase2: cells2,
+        early_exited: false,
+        traceback_skipped: false,
+        cells_saved_adaptive: saved,
+        band_rows_shrunk: rows_shrunk,
     }
 }
 
@@ -1022,6 +1629,230 @@ mod tests {
                 Some(&AcceptCriteria::CLUSTERING),
                 None,
                 &mut scratch,
+            );
+        }
+        assert_eq!(scratch.grow_events(), 0, "hot loop must not reallocate");
+        assert_eq!(scratch.high_water_bytes(), hw, "high-water must stay flat");
+    }
+
+    fn simd_opts(force_scalar: bool, adaptive: bool) -> SimdOpts {
+        SimdOpts { force_scalar, adaptive }
+    }
+
+    #[test]
+    fn simd_ungated_matches_banded() {
+        let cases: Vec<(DnaSeq, DnaSeq, i64, usize)> = vec![
+            (DnaSeq::from("ATGAGGTACCCTTGCAAGT"), DnaSeq::from("CCTTGCAAGTGGATCGATT"), 9, 64),
+            (DnaSeq::from("TTTTTTATCGGATCGAGGCTAAGTC"), DnaSeq::from("ATCGGATCGTAGGCTAAGTCAAAAA"), 6, 8),
+            (DnaSeq::from("AAAAAAAAAAAAAAA"), DnaSeq::from("CCCCCCCCCCCCCCC"), 0, 6),
+            (DnaSeq::from("GGTACCCT"), DnaSeq::from("ATGAGGTACCCTTGCA"), -4, 24),
+        ];
+        let mut scratch = AlignScratch::new();
+        for (a, b, diag, band) in &cases {
+            let legacy = banded_overlap_align(a.codes(), b.codes(), *diag, *band, &s());
+            for fs in [false, true] {
+                let sv = overlap_align_simd(
+                    a.codes(),
+                    b.codes(),
+                    *diag,
+                    *band,
+                    &s(),
+                    None,
+                    None,
+                    &mut scratch,
+                    simd_opts(fs, true),
+                );
+                assert_same_alignment(&sv, &legacy);
+                assert_eq!(sv.cells_phase1, legacy.cells, "ungated phase 1 covers the same band");
+                assert_eq!(sv.cells, sv.cells_phase1 + sv.cells_phase2);
+                assert_eq!(sv.cells_saved_adaptive, 0, "no floor, no shrinking");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_gate_preserves_accepted_pairs() {
+        let shared = "ATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTCATCGGATCGTAGGCTAAGTC";
+        let a = DnaSeq::from(format!("TTGCATTGCA{shared}").as_str());
+        let b = DnaSeq::from(format!("{shared}GGATCGGATC").as_str());
+        let mut scratch = AlignScratch::new();
+        let gate = AcceptCriteria::CLUSTERING;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), 10, 24, &s());
+        assert!(gate.accepts(legacy.identity, legacy.overlap_len));
+        for fs in [false, true] {
+            for ad in [false, true] {
+                let sv = overlap_align_simd(
+                    a.codes(),
+                    b.codes(),
+                    10,
+                    24,
+                    &s(),
+                    Some(&gate),
+                    None,
+                    &mut scratch,
+                    simd_opts(fs, ad),
+                );
+                assert_same_alignment(&sv, &legacy);
+                assert!(!sv.early_exited && !sv.traceback_skipped);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_gate_rejects_junk_cheaply() {
+        let a = DnaSeq::from("A".repeat(400).as_str());
+        let b = DnaSeq::from("C".repeat(400).as_str());
+        let gate = AcceptCriteria::CLUSTERING;
+        let mut scratch = AlignScratch::new();
+        let legacy = banded_overlap_align(a.codes(), b.codes(), 0, 24, &s());
+        let sv = overlap_align_simd(
+            a.codes(),
+            b.codes(),
+            0,
+            24,
+            &s(),
+            Some(&gate),
+            None,
+            &mut scratch,
+            SimdOpts::default(),
+        );
+        assert!(sv.early_exited, "pure-mismatch pair must early-exit: {sv:?}");
+        assert!(sv.traceback_skipped);
+        assert_eq!(sv.cells_phase2, 0);
+        assert!(sv.cells < legacy.cells);
+        assert!(!gate.accepts(sv.identity, sv.overlap_len));
+    }
+
+    #[test]
+    fn simd_scalar_fallback_bit_identical() {
+        // Deterministically varied sequences over the full code range,
+        // compared field-for-field between the lane and scalar paths.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut scratch_v = AlignScratch::new();
+        let mut scratch_s = AlignScratch::new();
+        let gate = AcceptCriteria::CLUSTERING;
+        for case in 0..40 {
+            let la = (next() % 120) as usize;
+            let lb = (next() % 120) as usize;
+            let a: Vec<u8> = (0..la).map(|_| (next() % 6) as u8).collect();
+            let b: Vec<u8> = (0..lb).map(|_| (next() % 6) as u8).collect();
+            let diag = (next() % 41) as i64 - 20;
+            let band = 1 + (next() % 24) as usize;
+            let gate_opt = if case % 2 == 0 { Some(&gate) } else { None };
+            for ad in [false, true] {
+                let vec = overlap_align_simd(
+                    &a,
+                    &b,
+                    diag,
+                    band,
+                    &s(),
+                    gate_opt,
+                    None,
+                    &mut scratch_v,
+                    simd_opts(false, ad),
+                );
+                let sc = overlap_align_simd(
+                    &a,
+                    &b,
+                    diag,
+                    band,
+                    &s(),
+                    gate_opt,
+                    None,
+                    &mut scratch_s,
+                    simd_opts(true, ad),
+                );
+                assert_eq!(vec, sc, "lane vs scalar divergence: case {case} diag {diag} band {band}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_adaptive_saves_cells_and_keeps_accepted_result() {
+        // A 60-base true overlap between 200-base reads under a harsh
+        // verification scoring (steep off-ridge decay): the winning
+        // ridge sits near the floor, so off-ridge band columns price
+        // below it and the adaptive shrink engages.
+        let s = Scoring { match_score: 1, mismatch: -7, gap_open: -8, gap_extend: -5 };
+        let shared = "ATCGGATCGTAGGCTAAGTC".repeat(3);
+        let flank_a = "TTGCA".repeat(28);
+        let flank_b = "GGATC".repeat(28);
+        let a = DnaSeq::from(format!("{flank_a}{shared}").as_str());
+        let b = DnaSeq::from(format!("{shared}{flank_b}").as_str());
+        let gate = AcceptCriteria::CLUSTERING;
+        let mut scratch = AlignScratch::new();
+        let diag = flank_a.len() as i64;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), diag, 24, &s);
+        assert!(gate.accepts(legacy.identity, legacy.overlap_len), "fixture must be acceptable");
+        let fixed = overlap_align_simd(
+            a.codes(),
+            b.codes(),
+            diag,
+            24,
+            &s,
+            Some(&gate),
+            None,
+            &mut scratch,
+            simd_opts(false, false),
+        );
+        let adaptive = overlap_align_simd(
+            a.codes(),
+            b.codes(),
+            diag,
+            24,
+            &s,
+            Some(&gate),
+            None,
+            &mut scratch,
+            simd_opts(false, true),
+        );
+        assert_same_alignment(&adaptive, &legacy);
+        assert_same_alignment(&fixed, &legacy);
+        assert!(adaptive.cells_saved_adaptive > 0, "shrink must engage: {adaptive:?}");
+        assert!(adaptive.band_rows_shrunk > 0);
+        assert!(
+            adaptive.cells_phase1 + adaptive.cells_saved_adaptive <= fixed.cells_phase1,
+            "saved cells must come out of the fixed-band phase-1 budget: adaptive {adaptive:?} fixed {fixed:?}"
+        );
+    }
+
+    #[test]
+    fn simd_scratch_never_grows_after_presize() {
+        let max_len = 64usize;
+        let band = 8usize;
+        let mut scratch = AlignScratch::for_sequences(max_len, band);
+        assert_eq!(scratch.grow_events(), 0);
+        let hw = scratch.high_water_bytes();
+        let a = DnaSeq::from("ATGAGGTACCCTTGCAAGTATGAGGTACCCTTGCAAGTATGAGGTACCCTTGCAAGT");
+        let b = DnaSeq::from("CCTTGCAAGTGGATCGATTCCTTGCAAGTGGATCGATTCCTTGCAAGTGGATCGATT");
+        for diag in -8..8 {
+            let _ = overlap_align_simd(
+                a.codes(),
+                b.codes(),
+                diag,
+                band,
+                &s(),
+                None,
+                None,
+                &mut scratch,
+                SimdOpts::default(),
+            );
+            let _ = overlap_align_simd(
+                a.codes(),
+                b.codes(),
+                diag,
+                band,
+                &s(),
+                Some(&AcceptCriteria::CLUSTERING),
+                None,
+                &mut scratch,
+                SimdOpts::default(),
             );
         }
         assert_eq!(scratch.grow_events(), 0, "hot loop must not reallocate");

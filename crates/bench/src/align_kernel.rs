@@ -49,6 +49,7 @@ fn kernel_name(k: AlignKernel) -> &'static str {
     match k {
         AlignKernel::Legacy => "legacy",
         AlignKernel::TwoPhase => "two-phase",
+        AlignKernel::Simd => "simd",
     }
 }
 

@@ -16,6 +16,7 @@ fn main() {
     pgasm_bench::ablations::resolution(scale);
     pgasm_bench::coalescing::run(scale);
     pgasm_bench::align_kernel::run(scale);
+    pgasm_bench::simd_band::run(scale);
     pgasm_bench::assembly_balance::run(scale);
     println!("\nall experiments complete");
 }

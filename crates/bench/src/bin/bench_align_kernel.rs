@@ -1,13 +1,26 @@
-//! Micro-benchmark for the overlap kernels: DP cells per pair and
-//! nanoseconds per pair, legacy banded vs two-phase, on an accepted
-//! (genuine dovetail) and a rejected (repeat-trap) pair population.
+//! Micro-benchmark for the overlap kernels: DP cells per pair,
+//! nanoseconds per pair/cell and effective cells per sequence row,
+//! legacy banded vs two-phase vs the vectorised phase-1 kernel, on an
+//! accepted (genuine dovetail) and a rejected (repeat-trap) pair
+//! population.
 //!
-//! The clustering-level ablation (`ablation_align_kernel`) measures the
-//! end-to-end cell budget; this binary isolates the kernels themselves
-//! so a regression in the per-pair constant factor is visible without
-//! the pair-generation noise around it.
+//! The clustering-level ablations (`ablation_align_kernel`,
+//! `ablation_simd_band`) measure the end-to-end cell budget; this
+//! binary isolates the kernels themselves so a regression in the
+//! per-pair constant factor is visible without the pair-generation
+//! noise around it.
+//!
+//! Columns:
+//! - `cells/pair` — DP cells actually computed, averaged over pairs.
+//! - `cells/row`  — cells divided by total sequence rows (Σ (|a| + 1)):
+//!   the *effective band width*, including rows the early exit never
+//!   visited and cells the adaptive X-drop shrink excluded.
+//! - `ns/pair`, `ns/cell` — wall time per pair and per computed cell.
 
-use pgasm_align::{banded_overlap_align, overlap_align_two_phase, AcceptCriteria, AlignScratch, Scoring};
+use pgasm_align::{
+    banded_overlap_align, overlap_align_simd, overlap_align_two_phase, AcceptCriteria, AlignScratch, Scoring,
+    SimdOpts,
+};
 use pgasm_bench::util::*;
 
 /// Splitmix-style generator (mirrors `datasets::repeat_trap_store`).
@@ -56,6 +69,8 @@ fn rejected_pairs(n: usize, rng: &mut u64) -> Vec<(Vec<u8>, Vec<u8>, i64)> {
         .collect()
 }
 
+const KERNELS: [&str; 5] = ["legacy", "two_phase", "simd_scalar", "simd_fixed", "simd"];
+
 fn main() {
     let scale = env_scale();
     let n_pairs = ((400.0 * scale) as usize).max(50);
@@ -69,11 +84,17 @@ fn main() {
     let populations =
         [("accepted", accepted_pairs(n_pairs, &mut rng)), ("rejected", rejected_pairs(n_pairs, &mut rng))];
 
+    println!(
+        "active lane width: {} (phase-1 inner loop; 1 = force-scalar build)",
+        pgasm_align::simd::effective_lanes()
+    );
+
     let (rows, report) = with_run_report("bench_align_kernel", |ctx| {
-        let mut rows: Vec<(String, u64, u64)> = Vec::new();
+        let mut rows: Vec<(String, u64, u64, u64)> = Vec::new();
         for (pop, pairs) in &populations {
             let max_len = pairs.iter().map(|(a, b, _)| a.len().max(b.len())).max().unwrap_or(0);
-            for kernel in ["legacy", "two_phase"] {
+            let seq_rows: u64 = pairs.iter().map(|(a, _, _)| a.len() as u64 + 1).sum();
+            for kernel in KERNELS {
                 let arm = format!("{pop}_{kernel}");
                 let mut scratch = AlignScratch::for_sequences(max_len, band);
                 let mut cells = 0u64;
@@ -81,10 +102,9 @@ fn main() {
                 ctx.scope(&arm, |_| {
                     for _ in 0..reps {
                         for (a, b, diag) in pairs {
-                            let r = if kernel == "legacy" {
-                                banded_overlap_align(a, b, *diag, band, &scoring)
-                            } else {
-                                overlap_align_two_phase(
+                            let r = match kernel {
+                                "legacy" => banded_overlap_align(a, b, *diag, band, &scoring),
+                                "two_phase" => overlap_align_two_phase(
                                     a,
                                     b,
                                     *diag,
@@ -93,7 +113,21 @@ fn main() {
                                     Some(&criteria),
                                     None,
                                     &mut scratch,
-                                )
+                                ),
+                                _ => overlap_align_simd(
+                                    a,
+                                    b,
+                                    *diag,
+                                    band,
+                                    &scoring,
+                                    Some(&criteria),
+                                    None,
+                                    &mut scratch,
+                                    SimdOpts {
+                                        force_scalar: kernel == "simd_scalar",
+                                        adaptive: kernel != "simd_fixed",
+                                    },
+                                ),
                             };
                             cells += r.cells;
                             if criteria.accepts(r.identity, r.overlap_len) {
@@ -102,13 +136,13 @@ fn main() {
                         }
                     }
                 });
-                // Both kernels must agree on every accept/reject call.
+                // All kernels must agree on every accept/reject call.
                 let expect = if *pop == "accepted" { (reps * pairs.len()) as u64 } else { 0 };
                 assert_eq!(accepted, expect, "{arm}: unexpected accept count");
                 assert_eq!(scratch.grow_events(), 0, "{arm}: scratch grew after pre-sizing");
                 let n_align = (reps * pairs.len()) as u64;
                 ctx.set(&format!("{arm}_cells_per_pair"), cells / n_align);
-                rows.push((arm, cells / n_align, n_align));
+                rows.push((arm, cells / n_align, n_align, cells.max(1) / (seq_rows * reps as u64)));
             }
         }
         rows
@@ -116,14 +150,23 @@ fn main() {
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|(arm, cells_per_pair, n_align)| {
-            let ns_per_pair = report.wall(arm) * 1e9 / *n_align as f64;
-            vec![arm.clone(), fmt_count(*cells_per_pair), format!("{ns_per_pair:.0} ns")]
+        .map(|(arm, cells_per_pair, n_align, cells_per_row)| {
+            let wall = report.wall(arm);
+            let total_cells = cells_per_pair * n_align;
+            let ns_per_pair = wall * 1e9 / *n_align as f64;
+            let ns_per_cell = wall * 1e9 / total_cells.max(1) as f64;
+            vec![
+                arm.clone(),
+                fmt_count(*cells_per_pair),
+                fmt_count(*cells_per_row),
+                format!("{ns_per_pair:.0} ns"),
+                format!("{ns_per_cell:.2} ns"),
+            ]
         })
         .collect();
     print_table(
         "bench_align_kernel: per-pair kernel cost (band 24, harsh scoring)",
-        &["population_kernel", "cells/pair", "time/pair"],
+        &["population_kernel", "cells/pair", "cells/row", "ns/pair", "ns/cell"],
         &table,
     );
 }

@@ -167,6 +167,27 @@ pub fn repeat_trap_store(n_trap: usize, seed: u64) -> FragmentStore {
     store
 }
 
+/// Accepted-pair-heavy store for the SIMD/X-drop ablation: 200 bp reads
+/// tiling one genome at stride 140, so every adjacent pair shares a
+/// genuine 60 bp dovetail and passes verification. This is the opposite
+/// regime from [`repeat_trap_store`]: the early-exit bound almost never
+/// fires (the pairs are real), so the win available to the kernel is
+/// *per-row band shrinking* — under harsh scoring the completion
+/// potential decays steeply off the true diagonal and the adaptive
+/// X-drop band excludes most of the fixed band's width while still
+/// computing every cell of the accepted alignment exactly.
+pub fn overlap_heavy_store(n_reads: usize, seed: u64) -> FragmentStore {
+    let mut rng = seed;
+    let n_reads = n_reads.max(2);
+    let genome = random_codes(&mut rng, 140 * (n_reads - 1) + 200);
+    let mut store = FragmentStore::new();
+    for r in 0..n_reads {
+        let start = 140 * r;
+        store.push_codes(&genome[start..start + 200]);
+    }
+    store
+}
+
 /// Heavy-tailed assembly workload for the load-balance ablation: one
 /// dominant island tiled densely (the cluster that dominates §8's
 /// per-processor assembly time) plus many small islands. Reads tile
@@ -230,6 +251,19 @@ mod tests {
         // Deterministic for a fixed seed.
         let t = repeat_trap_store(12, 7);
         assert_eq!(s.get(pgasm_seq::SeqId(8)), t.get(pgasm_seq::SeqId(8)));
+    }
+
+    #[test]
+    fn overlap_heavy_store_shape() {
+        let s = overlap_heavy_store(10, 5);
+        assert_eq!(s.num_seqs(), 10);
+        // Adjacent reads share exactly 60 bp: read r covers
+        // [140r, 140r + 200), read r+1 starts at 140(r+1).
+        let a = s.get(pgasm_seq::SeqId(0));
+        let b = s.get(pgasm_seq::SeqId(1));
+        assert_eq!(&a[140..200], &b[..60]);
+        let t = overlap_heavy_store(10, 5);
+        assert_eq!(s.get(pgasm_seq::SeqId(4)), t.get(pgasm_seq::SeqId(4)));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod datasets;
 pub mod fig5;
 pub mod fig9;
 pub mod sec8;
+pub mod simd_band;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -10,8 +10,8 @@
 use crate::geometry::{overlap_edge, GeomUnion, GeomUnionFind};
 use crate::unionfind::UnionFind;
 use pgasm_align::{
-    banded_overlap_align, overlap_align_two_phase, AcceptCriteria, AlignKernel, AlignScratch, OverlapResult,
-    Scoring,
+    banded_overlap_align, overlap_align_simd, overlap_align_two_phase, AcceptCriteria, AlignKernel,
+    AlignScratch, OverlapResult, Scoring, SimdOpts,
 };
 use pgasm_gst::{GenMode, Gst, GstConfig, PairGenerator, PromisingPair};
 use pgasm_seq::{FragId, FragmentStore, SeqId};
@@ -44,9 +44,17 @@ pub struct ClusterParams {
     pub resolve_inconsistent: bool,
     /// Translation tolerance (bases) for geometry consistency checks.
     pub geometry_tolerance: i64,
-    /// Which alignment kernel decides pairs (two-phase in production;
-    /// legacy kept for the `ablation_align_kernel` comparison).
+    /// Which alignment kernel decides pairs (the SIMD two-phase kernel
+    /// in production; two-phase and legacy kept for the
+    /// `ablation_align_kernel` / `ablation_simd_band` comparisons).
     pub kernel: AlignKernel,
+    /// Per-row adaptive X-drop band shrinking (SIMD kernel only; inert
+    /// for the others and whenever no acceptance floor exists).
+    pub adaptive_band: bool,
+    /// Pin the SIMD kernel to its bit-identical scalar fallback
+    /// (ablation/debug aid; the `force-scalar` cargo feature of
+    /// `pgasm-align` forces this regardless).
+    pub simd_force_scalar: bool,
 }
 
 impl Default for ClusterParams {
@@ -61,6 +69,8 @@ impl Default for ClusterParams {
             resolve_inconsistent: false,
             geometry_tolerance: 48,
             kernel: AlignKernel::default(),
+            adaptive_band: true,
+            simd_force_scalar: false,
         }
     }
 }
@@ -94,6 +104,11 @@ pub struct ClusterStats {
     /// contradicted the cluster (only with
     /// [`ClusterParams::resolve_inconsistent`]).
     pub inconsistent: u64,
+    /// In-band phase-1 cells skipped by adaptive X-drop band shrinking
+    /// (savings on top of `dp_cells`, which counts evaluated cells).
+    pub cells_saved_adaptive: u64,
+    /// Rows whose candidate range the adaptive shrink tightened.
+    pub band_rows_shrunk: u64,
 }
 
 impl ClusterStats {
@@ -119,6 +134,8 @@ impl ClusterStats {
             early_exits: self.early_exits + o.early_exits,
             tracebacks_skipped: self.tracebacks_skipped + o.tracebacks_skipped,
             inconsistent: self.inconsistent + o.inconsistent,
+            cells_saved_adaptive: self.cells_saved_adaptive + o.cells_saved_adaptive,
+            band_rows_shrunk: self.band_rows_shrunk + o.band_rows_shrunk,
         }
     }
 
@@ -129,6 +146,8 @@ impl ClusterStats {
         self.dp_cells_phase2 += r.cells_phase2;
         self.early_exits += r.early_exited as u64;
         self.tracebacks_skipped += r.traceback_skipped as u64;
+        self.cells_saved_adaptive += r.cells_saved_adaptive;
+        self.band_rows_shrunk += r.band_rows_shrunk;
     }
 }
 
@@ -253,6 +272,20 @@ impl<'s> PairDecider<'s> {
                 Some(&self.params.criteria),
                 None,
                 scratch,
+            ),
+            AlignKernel::Simd => overlap_align_simd(
+                a,
+                b,
+                diag,
+                self.params.band,
+                &self.params.scoring,
+                Some(&self.params.criteria),
+                None,
+                scratch,
+                SimdOpts {
+                    force_scalar: self.params.simd_force_scalar || SimdOpts::default().force_scalar,
+                    adaptive: self.params.adaptive_band,
+                },
             ),
         }
     }

@@ -324,6 +324,8 @@ impl TaskSource<PromisingPair> for ClusterSource<'_> {
         self.stats.dp_cells_phase2 += c2;
         self.stats.early_exits += d.get_u64();
         self.stats.tracebacks_skipped += d.get_u64();
+        self.stats.cells_saved_adaptive += d.get_u64();
+        self.stats.band_rows_shrunk += d.get_u64();
     }
 
     fn select(&mut self, pair: &PromisingPair) -> bool {
@@ -362,6 +364,8 @@ fn master_loop(
         (names::ALIGN_PHASE2_CELLS.to_string(), stats.dp_cells_phase2),
         (names::ALIGN_EARLY_EXIT.to_string(), stats.early_exits),
         (names::ALIGN_TRACEBACK_SKIPPED.to_string(), stats.tracebacks_skipped),
+        (names::ALIGN_CELLS_SAVED_ADAPTIVE.to_string(), stats.cells_saved_adaptive),
+        (names::ALIGN_BAND_ROWS_SHRUNK.to_string(), stats.band_rows_shrunk),
     ]);
     RankOutcome {
         clustering: Some(clusters.finish(&mut stats)),
@@ -392,11 +396,15 @@ struct ClusterSink<'a, F: FnMut(SeqId, SeqId) -> bool> {
     cells2_delta: u64,
     early_delta: u64,
     skip_delta: u64,
+    saved_delta: u64,
+    shrunk_delta: u64,
     // ...and whole-run totals for the rank counters.
     cells_phase1: u64,
     cells_phase2: u64,
     early_exits: u64,
     tracebacks_skipped: u64,
+    cells_saved: u64,
+    rows_shrunk: u64,
     pairs_aligned: u64,
     pairs_accepted: u64,
 }
@@ -414,6 +422,8 @@ impl<F: FnMut(SeqId, SeqId) -> bool> TaskSink<PromisingPair> for ClusterSink<'_,
             self.cells2_delta += r.cells_phase2;
             self.early_delta += r.early_exited as u64;
             self.skip_delta += r.traceback_skipped as u64;
+            self.saved_delta += r.cells_saved_adaptive;
+            self.shrunk_delta += r.band_rows_shrunk;
             let accepted = self.decider.params.criteria.accepts(r.identity, r.overlap_len);
             self.pairs_aligned += 1;
             self.pairs_accepted += accepted as u64;
@@ -443,11 +453,16 @@ impl<F: FnMut(SeqId, SeqId) -> bool> TaskSink<PromisingPair> for ClusterSink<'_,
         e.put_u64(self.cells2_delta);
         e.put_u64(self.early_delta);
         e.put_u64(self.skip_delta);
+        e.put_u64(self.saved_delta);
+        e.put_u64(self.shrunk_delta);
         self.cells_phase1 += self.cells1_delta;
         self.cells_phase2 += self.cells2_delta;
         self.early_exits += self.early_delta;
         self.tracebacks_skipped += self.skip_delta;
+        self.cells_saved += self.saved_delta;
+        self.rows_shrunk += self.shrunk_delta;
         (self.cells1_delta, self.cells2_delta, self.early_delta, self.skip_delta) = (0, 0, 0, 0);
+        (self.saved_delta, self.shrunk_delta) = (0, 0);
     }
 
     fn generate(&mut self, tracer: &mut Tracer, r: usize, out: &mut Vec<PromisingPair>) -> bool {
@@ -493,10 +508,14 @@ fn worker_loop(
         cells2_delta: 0,
         early_delta: 0,
         skip_delta: 0,
+        saved_delta: 0,
+        shrunk_delta: 0,
         cells_phase1: 0,
         cells_phase2: 0,
         early_exits: 0,
         tracebacks_skipped: 0,
+        cells_saved: 0,
+        rows_shrunk: 0,
         pairs_aligned: 0,
         pairs_accepted: 0,
     };
@@ -510,6 +529,9 @@ fn worker_loop(
         (names::ALIGN_PHASE2_CELLS.to_string(), sink.cells_phase2),
         (names::ALIGN_EARLY_EXIT.to_string(), sink.early_exits),
         (names::ALIGN_TRACEBACK_SKIPPED.to_string(), sink.tracebacks_skipped),
+        (names::ALIGN_CELLS_SAVED_ADAPTIVE.to_string(), sink.cells_saved),
+        (names::ALIGN_BAND_ROWS_SHRUNK.to_string(), sink.rows_shrunk),
+        (names::SIMD_LANES.to_string(), pgasm_align::simd::effective_lanes()),
         (names::ALIGN_SCRATCH_BYTES_PEAK.to_string(), sink.scratch.high_water_bytes()),
         (names::ALIGN_SCRATCH_GROWS.to_string(), sink.scratch.grow_events()),
     ]))
@@ -756,6 +778,10 @@ mod tests {
         assert_eq!(w1, s.dp_cells_phase1);
         assert_eq!(w2, s.dp_cells_phase2);
         assert_eq!(skips, s.tracebacks_skipped);
+        let saved: u64 = report.ranks[1..].iter().map(|r| r.counter("align_cells_saved_adaptive")).sum();
+        let shrunk: u64 = report.ranks[1..].iter().map(|r| r.counter("align_band_rows_shrunk")).sum();
+        assert_eq!(saved, s.cells_saved_adaptive);
+        assert_eq!(shrunk, s.band_rows_shrunk);
         assert_eq!(report.ranks[0].counter("align_phase1_cells"), s.dp_cells_phase1);
         for r in &report.ranks[1..] {
             // The zero-allocation invariant: the pre-sized scratch never

@@ -313,6 +313,9 @@ impl Stage for ClusterStage<'_> {
         ctx.set(names::ALIGN_PHASE2_CELLS, stats.dp_cells_phase2);
         ctx.set(names::ALIGN_EARLY_EXIT, stats.early_exits);
         ctx.set(names::ALIGN_TRACEBACK_SKIPPED, stats.tracebacks_skipped);
+        ctx.set(names::ALIGN_CELLS_SAVED_ADAPTIVE, stats.cells_saved_adaptive);
+        ctx.set(names::ALIGN_BAND_ROWS_SHRUNK, stats.band_rows_shrunk);
+        ctx.set(names::SIMD_LANES, pgasm_align::simd::effective_lanes());
         ctx.set(names::CLUSTERS, clustering.clusters.len() as u64);
         ctx.set(names::NON_SINGLETON_CLUSTERS, clustering.num_non_singletons() as u64);
         state.clustering = Some(clustering);

@@ -28,6 +28,15 @@ pub const ALIGN_EARLY_EXIT: &str = "align_early_exit";
 /// Alignments whose traceback pass was skipped (score below the
 /// acceptance floor after a full forward pass).
 pub const ALIGN_TRACEBACK_SKIPPED: &str = "align_traceback_skipped";
+/// Phase-1 DP cells the adaptive X-drop band shrink avoided computing
+/// (cells inside the fixed band but outside the shrunk live hull).
+pub const ALIGN_CELLS_SAVED_ADAPTIVE: &str = "align_cells_saved_adaptive";
+/// Band rows whose live interior was strictly narrower than the fixed
+/// band (the adaptive shrink engaged on that row).
+pub const ALIGN_BAND_ROWS_SHRUNK: &str = "align_band_rows_shrunk";
+/// Effective lane width of the phase-1 inner loop in this build
+/// (capability note: `LANES` normally, 1 under `force-scalar`).
+pub const SIMD_LANES: &str = "simd_lanes";
 /// High-water bytes held by a rank's alignment scratch buffers.
 pub const ALIGN_SCRATCH_BYTES_PEAK: &str = "align_scratch_bytes_peak";
 /// Times the alignment scratch had to grow after its pre-sizing

@@ -11,7 +11,7 @@
 //! produces synthetic projects with the maize/drosophila/sargasso
 //! presets so the whole pipeline can be driven without external data.
 
-use pgasm::cluster::{ClusterParams, Pipeline, PipelineConfig};
+use pgasm::cluster::{AlignKernel, ClusterParams, Pipeline, PipelineConfig};
 use pgasm::preprocess::PreprocessConfig;
 use pgasm::seq::fasta::{write_fasta, write_fastq, FastaRecord, FastqRecord};
 use pgasm::seq::DnaSeq;
@@ -62,6 +62,8 @@ USAGE:
                  [--genome-out <genome.fasta>] [--scale <f64>] [--seed <u64>]
   pgasm cluster  --reads <reads.fastq> [--out <clusters.txt>] [--ranks <p>]
                  [--w <n>] [--psi <n>] [--min-identity <f>] [--min-overlap <n>]
+                 [--kernel <legacy|two-phase|simd>] [--band <n>]
+                 [--no-adaptive-band]
                  [--no-preprocess] [--metrics-json <report.json>]
                  [--trace-json <out.trace.json>]
                  [--cache-dir <dir>] [--no-cache]
@@ -90,6 +92,15 @@ parameters reloads the preprocess output and (serial runs) the GST from
 cache_bytes_* counters in --metrics-json show what happened; any change
 to inputs or parameters recomputes, and a corrupted cache file safely
 degrades to a cold run. --no-cache ignores --cache-dir for this run.
+--kernel selects the pairwise overlap aligner: the legacy single-pass
+banded kernel, the two-phase (score-only + gated traceback) kernel, or
+the vectorised phase-1 kernel (default). --band <n> sets the half-width
+of the alignment band around the seed diagonal. The simd kernel also
+shrinks the band per row around cells that can still reach the
+acceptance floor (X-drop); --no-adaptive-band disables the shrink — the
+clustering is identical either way, the adaptive run just skips DP cells
+(reported as align_cells_saved_adaptive / align_band_rows_shrunk, with
+the build's lane width in simd_lanes).
 
 analyze consumes the artifacts a traced run wrote (--trace-json, and
 optionally --metrics-json for alpha-beta modelled comm time and tag
@@ -114,7 +125,7 @@ impl Opts {
         while i < args.len() {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
-                if name == "no-preprocess" || name == "no-cache" {
+                if name == "no-preprocess" || name == "no-cache" || name == "no-adaptive-band" {
                     flags.insert(name.to_string(), "true".to_string());
                     i += 1;
                 } else {
@@ -224,6 +235,18 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
     cluster.gst.psi = opts.parse_or("psi", cluster.gst.psi)?;
     cluster.criteria.min_identity = opts.parse_or("min-identity", cluster.criteria.min_identity)?;
     cluster.criteria.min_overlap = opts.parse_or("min-overlap", cluster.criteria.min_overlap)?;
+    cluster.kernel = match opts.get("kernel") {
+        None => cluster.kernel,
+        Some("legacy") => AlignKernel::Legacy,
+        Some("two-phase") => AlignKernel::TwoPhase,
+        Some("simd") => AlignKernel::Simd,
+        Some(other) => return Err(format!("unknown --kernel '{other}' (legacy|two-phase|simd)")),
+    };
+    cluster.band = opts.parse_or("band", cluster.band)?;
+    if cluster.band == 0 {
+        return Err("--band must be >= 1".to_string());
+    }
+    cluster.adaptive_band = opts.get("no-adaptive-band").is_none();
     let ranks: usize = opts.parse_or("ranks", 0)?;
     let preprocess =
         if opts.get("no-preprocess").is_some() { None } else { Some(PreprocessConfig::default()) };
@@ -331,6 +354,23 @@ fn analyze(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Human-readable name of the alignment kernel this run used (the
+/// `--kernel` flag, or the build default when the flag is absent).
+fn kernel_label(opts: &Opts) -> Result<&'static str, String> {
+    let k = match opts.get("kernel") {
+        None => ClusterParams::default().kernel,
+        Some("legacy") => AlignKernel::Legacy,
+        Some("two-phase") => AlignKernel::TwoPhase,
+        Some("simd") => AlignKernel::Simd,
+        Some(other) => return Err(format!("unknown --kernel '{other}' (legacy|two-phase|simd)")),
+    };
+    Ok(match k {
+        AlignKernel::Legacy => "legacy",
+        AlignKernel::TwoPhase => "two-phase",
+        AlignKernel::Simd => "simd",
+    })
+}
+
 fn cluster(opts: &Opts) -> Result<(), String> {
     let (report, _reads) = run_pipeline(opts, "pgasm cluster")?;
     let s = report.cluster_stats;
@@ -349,9 +389,16 @@ fn cluster(opts: &Opts) -> Result<(), String> {
         s.accepted
     );
     println!(
-        "kernel: {} DP cells (phase1 {}, phase2 {}), {} early exits, {} tracebacks skipped",
-        s.dp_cells, s.dp_cells_phase1, s.dp_cells_phase2, s.early_exits, s.tracebacks_skipped
+        "kernel: {} ({} lanes), {} DP cells (phase1 {}, phase2 {}), {} early exits, {} tracebacks skipped",
+        kernel_label(opts)?,
+        pgasm::align::simd::effective_lanes(),
+        s.dp_cells,
+        s.dp_cells_phase1,
+        s.dp_cells_phase2,
+        s.early_exits,
+        s.tracebacks_skipped
     );
+    println!("adaptive band: {} cells saved, {} rows shrunk", s.cells_saved_adaptive, s.band_rows_shrunk);
     if let Some(out) = opts.get("out") {
         use std::io::Write;
         let mut f = BufWriter::new(File::create(out).map_err(|e| format!("create {out}: {e}"))?);

@@ -1,12 +1,15 @@
 //! Property tests for the two-phase overlap kernel: it must be
 //! observationally identical to the legacy banded kernel on every pair
 //! it fully evaluates, and its early exit must never fire on a pair the
-//! acceptance criteria would accept.
+//! acceptance criteria would accept. The vectorised kernel rides the
+//! same bars, plus two of its own: the scalar fallback is bit-identical
+//! to the vector path on arbitrary byte sequences, and the adaptive
+//! X-drop shrink never drops a pair the fixed band accepts.
 
 use pgasm::align::overlap::overlap_align_quality_with;
 use pgasm::align::{
-    banded_overlap_align, overlap_align_quality, overlap_align_two_phase, AcceptCriteria, AlignScratch,
-    Scoring,
+    banded_overlap_align, overlap_align_quality, overlap_align_simd, overlap_align_two_phase, AcceptCriteria,
+    AlignScratch, Scoring, SimdOpts,
 };
 use pgasm::seq::DnaSeq;
 use proptest::prelude::*;
@@ -155,10 +158,109 @@ proptest! {
         for (x, y) in [(a.codes(), empty), (empty, a.codes()), (empty, empty)] {
             let legacy = banded_overlap_align(x, y, diag, 8, &s);
             let two = overlap_align_two_phase(x, y, diag, 8, &s, None, None, &mut scratch);
+            let simd = overlap_align_simd(x, y, diag, 8, &s, None, None, &mut scratch, SimdOpts::default());
             prop_assert_eq!(legacy.score, 0);
             prop_assert_eq!(two.score, 0);
             prop_assert_eq!(two.overlap_len, 0);
             prop_assert_eq!(two.cells, 0);
+            prop_assert_eq!(simd.score, 0);
+            prop_assert_eq!(simd.cells, 0);
         }
+    }
+
+    /// The SIMD kernel's scalar fallback is bit-identical to its vector
+    /// path — the *whole result struct*, not just the verdict — on
+    /// sequences drawn from the full u8 code space (bases, masked
+    /// codes, and garbage bytes alike), at every length down to 0 and 1
+    /// and with bands far wider than both sequences.
+    #[test]
+    fn simd_scalar_fallback_bit_identical_on_arbitrary_bytes(
+        a in proptest::collection::vec(any::<u8>(), 0..90),
+        b in proptest::collection::vec(any::<u8>(), 0..90),
+        diag in -30i64..=30,
+        band in 1usize..200,
+        gated in any::<bool>(),
+        adaptive in any::<bool>(),
+    ) {
+        let s = Scoring::DEFAULT;
+        let criteria = AcceptCriteria::CLUSTERING;
+        let gate = if gated { Some(&criteria) } else { None };
+        let mut scratch = AlignScratch::new();
+        let vec_r = overlap_align_simd(
+            &a, &b, diag, band, &s, gate, None, &mut scratch,
+            SimdOpts { force_scalar: false, adaptive },
+        );
+        let sc_r = overlap_align_simd(
+            &a, &b, diag, band, &s, gate, None, &mut scratch,
+            SimdOpts { force_scalar: true, adaptive },
+        );
+        prop_assert_eq!(vec_r, sc_r);
+    }
+
+    /// Ungated and non-adaptive, the SIMD kernel's phase 1 visits
+    /// exactly the legacy banded kernel's cell set and reproduces its
+    /// result — same bar the scalar two-phase kernel is held to.
+    #[test]
+    fn simd_ungated_matches_legacy_props(
+        a in masked_dna(1..100),
+        b in masked_dna(1..100),
+        diag in -24i64..=24,
+        band in 4usize..48,
+    ) {
+        let s = Scoring::DEFAULT;
+        let legacy = banded_overlap_align(a.codes(), b.codes(), diag, band, &s);
+        let mut scratch = AlignScratch::new();
+        let simd = overlap_align_simd(
+            a.codes(), b.codes(), diag, band, &s, None, None, &mut scratch, SimdOpts::default(),
+        );
+        prop_assert_eq!(legacy.score, simd.score);
+        prop_assert_eq!(legacy.a_range, simd.a_range);
+        prop_assert_eq!(legacy.b_range, simd.b_range);
+        prop_assert_eq!(legacy.overlap_len, simd.overlap_len);
+        prop_assert!((legacy.identity - simd.identity).abs() < 1e-12);
+        prop_assert_eq!(legacy.cells, simd.cells_phase1);
+        prop_assert_eq!(simd.cells_saved_adaptive, 0);
+    }
+
+    /// The adaptive X-drop shrink never drops a pair the fixed band
+    /// accepts — and accepted pairs come back bit-identical, under the
+    /// default scoring and under the harsh verification scoring whose
+    /// steep off-diagonal decay makes the shrink actually engage.
+    #[test]
+    fn adaptive_band_never_drops_an_accepted_pair(
+        (a, b, shared) in overlapping_pair(),
+        wobble in -3i64..=3,
+        band in 8usize..40,
+        harsh in any::<bool>(),
+    ) {
+        let s = if harsh {
+            Scoring { match_score: 1, mismatch: -7, gap_open: -8, gap_extend: -5 }
+        } else {
+            Scoring::DEFAULT
+        };
+        let criteria = AcceptCriteria::CLUSTERING;
+        let diag = (a.len() - shared) as i64 + wobble;
+        let mut scratch = AlignScratch::new();
+        let fixed = overlap_align_simd(
+            a.codes(), b.codes(), diag, band, &s, Some(&criteria), None, &mut scratch,
+            SimdOpts { force_scalar: false, adaptive: false },
+        );
+        let adapt = overlap_align_simd(
+            a.codes(), b.codes(), diag, band, &s, Some(&criteria), None, &mut scratch,
+            SimdOpts { force_scalar: false, adaptive: true },
+        );
+        if criteria.accepts(fixed.identity, fixed.overlap_len) {
+            prop_assert_eq!(fixed.score, adapt.score);
+            prop_assert_eq!(fixed.a_range, adapt.a_range);
+            prop_assert_eq!(fixed.b_range, adapt.b_range);
+            prop_assert_eq!(fixed.overlap_len, adapt.overlap_len);
+            prop_assert!((fixed.identity - adapt.identity).abs() < 1e-12);
+        } else {
+            prop_assert!(!criteria.accepts(adapt.identity, adapt.overlap_len));
+        }
+        // Savings accounting stays consistent either way: what the
+        // adaptive run computed plus what it skipped never exceeds the
+        // fixed band's phase-1 work.
+        prop_assert!(adapt.cells_phase1 + adapt.cells_saved_adaptive <= fixed.cells_phase1);
     }
 }
