@@ -12,6 +12,9 @@ cargo test -q --workspace
 echo "==> distributed tests"
 cargo test -q --test distributed --test adversarial_protocol --test telemetry_e2e --test assembly_balance
 
+echo "==> fault-tolerance matrix (release: the full victim sweep is heavy in dev)"
+cargo test -q --release --test fault_tolerance -- --include-ignored
+
 echo "==> force-scalar feature matrix (SIMD fallback must stay bit-identical)"
 cargo test -q -p pgasm-align --features force-scalar
 
@@ -40,6 +43,11 @@ echo "==> assembly-balance smoke bench"
 rm -f BENCH_ablation_assembly_balance.json
 PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_assembly_balance
 test -s BENCH_ablation_assembly_balance.json || { echo "missing BENCH_ablation_assembly_balance.json"; exit 1; }
+
+echo "==> fault-recovery smoke bench"
+rm -f BENCH_ablation_fault_recovery.json
+PGASM_SCALE="${PGASM_SCALE:-0.3}" cargo run --release -q -p pgasm-bench --bin ablation_fault_recovery
+test -s BENCH_ablation_fault_recovery.json || { echo "missing BENCH_ablation_fault_recovery.json"; exit 1; }
 
 echo "==> critical-path analyzer smoke bench"
 rm -f BENCH_run_analyze.json
@@ -81,21 +89,36 @@ test -s ci.analysis.json || { echo "missing ci.analysis.json"; exit 1; }
 rm -f ci_reads.fastq ci.trace.json ci.metrics.json ci.analysis.json
 
 echo "==> artifact-cache smoke (cold run populates, warm run hits)"
-# Serial (no --ranks) so both the preprocess and GST caches engage. The
-# same command runs twice against a shared --cache-dir; the second run
-# must load both artifacts (cache_hit = 2, cache_miss = 0) and skip the
-# GST build (no gst_build span in its metrics).
+# Serial (no --ranks) so the preprocess, GST, and contigs caches all
+# engage. The same command runs twice against a shared --cache-dir; the
+# second run must load all three artifacts (cache_hit = 3,
+# cache_miss = 0) and skip the GST build (no gst_build span).
 rm -rf ci_cache ci_cache_reads.fastq ci.cache-cold.json ci.cache-warm.json
 cargo run --release -q --bin pgasm -- generate --kind maize --out ci_cache_reads.fastq --scale 0.1 --seed 11
 cargo run --release -q --bin pgasm -- cluster --reads ci_cache_reads.fastq \
   --cache-dir ci_cache --metrics-json ci.cache-cold.json
 cargo run --release -q --bin pgasm -- cluster --reads ci_cache_reads.fastq \
   --cache-dir ci_cache --metrics-json ci.cache-warm.json
-grep -q '"cache_miss": 2' ci.cache-cold.json || { echo "cold run should miss twice"; exit 1; }
+grep -q '"cache_miss": 3' ci.cache-cold.json || { echo "cold run should miss three times"; exit 1; }
 grep -q '"gst_build"' ci.cache-cold.json || { echo "cold run should record a gst_build span"; exit 1; }
-grep -q '"cache_hit": 2' ci.cache-warm.json || { echo "warm run should hit twice"; exit 1; }
-grep -q '"cache_miss": 2' ci.cache-warm.json && { echo "warm run must not miss"; exit 1; }
+grep -q '"cache_hit": 3' ci.cache-warm.json || { echo "warm run should hit three times"; exit 1; }
+grep -q '"cache_miss": 3' ci.cache-warm.json && { echo "warm run must not miss"; exit 1; }
 grep -q '"gst_build"' ci.cache-warm.json && { echo "warm run must not rebuild the GST"; exit 1; }
 rm -rf ci_cache ci_cache_reads.fastq ci.cache-cold.json ci.cache-warm.json
+
+echo "==> fault-injection smoke (kill 1 of 8 workers; contigs must not change)"
+# A deterministic kill removes worker 3 early in the clustering phase;
+# the lease journal re-queues its work and the contigs must come out
+# byte-identical, with the metrics reporting exactly one dead rank and
+# a nonzero recovered-task count.
+rm -rf ci_ft_reads.fastq ci_ft_base.fasta ci_ft_killed.fasta ci.ft.json
+cargo run --release -q --bin pgasm -- generate --kind maize --out ci_ft_reads.fastq --scale 0.2 --seed 13
+cargo run --release -q --bin pgasm -- assemble --reads ci_ft_reads.fastq --out ci_ft_base.fasta --ranks 8
+cargo run --release -q --bin pgasm -- assemble --reads ci_ft_reads.fastq --out ci_ft_killed.fasta --ranks 8 \
+  --fault-plan "kill:rank=3,event=5" --metrics-json ci.ft.json
+cmp ci_ft_base.fasta ci_ft_killed.fasta || { echo "contigs changed after a worker kill"; exit 1; }
+grep -q '"dead_ranks": 1' ci.ft.json || { echo "kill not detected"; exit 1; }
+grep -q '"recovered_tasks": 0' ci.ft.json && { echo "no leases recovered"; exit 1; }
+rm -rf ci_ft_reads.fastq ci_ft_base.fasta ci_ft_killed.fasta ci.ft.json
 
 echo "CI OK"

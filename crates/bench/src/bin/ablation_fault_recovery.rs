@@ -1,0 +1,5 @@
+//! ABL9 — leased-task fault recovery: kill/drop/delay arms must
+//! reproduce the clean partition bit-for-bit.
+fn main() {
+    pgasm_bench::fault_recovery::run(pgasm_bench::util::env_scale());
+}

@@ -15,6 +15,7 @@ pub mod align_kernel;
 pub mod assembly_balance;
 pub mod coalescing;
 pub mod datasets;
+pub mod fault_recovery;
 pub mod fig5;
 pub mod fig9;
 pub mod sec8;

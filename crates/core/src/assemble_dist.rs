@@ -27,10 +27,11 @@
 //! contiguous chunking (natural order, one ⌈n/(p−1)⌉-cluster block per
 //! worker) and exists as the ablation baseline.
 
+use crate::checkpoint::{self as ckpt, StageRecovery};
 use crate::clustering::Clustering;
 use crate::engine::{
-    run_master, run_worker, EngineConfig, Task, TaskSink, TaskSource, TAG_M2W_AW, TAG_M2W_R, TAG_W2M_AR,
-    TAG_W2M_NP,
+    run_master, run_master_ckpt, run_worker, CheckpointHook, EngineConfig, MasterReport, Task, TaskSink,
+    TaskSource, TAG_M2W_AW, TAG_M2W_R, TAG_W2M_AR, TAG_W2M_NP,
 };
 use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig, Contig, Placement};
 use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
@@ -78,6 +79,14 @@ pub struct DistAssembleReport {
     /// Per-rank gauge time series on the same offset ids; empty when
     /// tracing was off.
     pub series: Vec<RankSeries>,
+    /// Clusters re-queued from dead workers' leases (0 fault-free).
+    pub recovered_tasks: u64,
+    /// Worker ranks the master marked dead during the phase.
+    pub dead_ranks: u64,
+    /// The fault plan killed the master: unassembled slots hold empty
+    /// placeholder assemblies and the run should resume from the last
+    /// checkpoint.
+    pub killed: bool,
 }
 
 /// One whole cluster: its slot in the `non_singletons()` order plus its
@@ -169,6 +178,42 @@ impl TaskSource<AssembleTask> for AssembleSource {
     }
 }
 
+impl AssembleSource {
+    /// Serialize the completed slots — the only durable master state of
+    /// this stage (the task list is recomputed from the clustering).
+    fn snapshot(&self, rep: &MasterReport) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(rep.results_absorbed);
+        e.put_u32(checked_len(self.results.len()));
+        let done = self.results.iter().filter(|r| r.is_some()).count();
+        e.put_u32(checked_len(done));
+        for (slot, result) in self.results.iter().enumerate() {
+            if let Some(a) = result {
+                e.put_u32(slot as u32);
+                encode_assembly(&mut e, a);
+            }
+        }
+        e.finish().to_vec()
+    }
+
+    /// Restore completed slots from a snapshot. Returns `false` (no
+    /// state restored) when the snapshot was taken over a different
+    /// slot count — a different clustering — rather than mis-filling.
+    fn restore(&mut self, payload: &[u8]) -> bool {
+        let mut d = Decoder::new(payload.to_vec().into());
+        d.get_u64();
+        if d.get_u32() as usize != self.results.len() {
+            return false;
+        }
+        let done = d.get_u32();
+        for _ in 0..done {
+            let slot = d.get_u32() as usize;
+            self.results[slot] = Some(decode_assembly(&mut d));
+        }
+        true
+    }
+}
+
 /// Worker-side client: assembles each allocated cluster and encodes the
 /// contigs for shipment. The generator is empty from the start — all
 /// tasks come seeded from the master.
@@ -244,6 +289,23 @@ pub fn assemble_parallel_traced(
     policy: AssignPolicy,
     trace: TraceSpec,
 ) -> DistAssembleReport {
+    assemble_parallel_ft(store, quals, clustering, config, p, policy, trace, &StageRecovery::default())
+}
+
+/// [`assemble_parallel_traced`] under a [`StageRecovery`]: scripted
+/// fault injection, master liveness timeout, and checkpoint/resume.
+/// The default recovery makes this byte-identical to the plain run.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_parallel_ft(
+    store: &FragmentStore,
+    quals: Option<&[QualityTrack]>,
+    clustering: &Clustering,
+    config: &AssemblyConfig,
+    p: usize,
+    policy: AssignPolicy,
+    trace: TraceSpec,
+    recovery: &StageRecovery,
+) -> DistAssembleReport {
     assert!(p >= 2, "distributed assembly needs at least 2 ranks");
     let mut tasks: Vec<AssembleTask> = clustering
         .non_singletons()
@@ -262,7 +324,7 @@ pub fn assemble_parallel_traced(
         // order, one block per worker.
         AssignPolicy::Static => n.div_ceil(p - 1).max(1),
     };
-    let engine_cfg = EngineConfig { batch, pending_cap: n.max(1) };
+    let engine_cfg = EngineConfig { batch, pending_cap: n.max(1), stall_timeout: recovery.stall_timeout };
     let (tasks, engine_cfg) = (&tasks, &engine_cfg);
 
     struct RankOutcome {
@@ -273,6 +335,9 @@ pub fn assemble_parallel_traced(
         rank_report: RankReport,
         trace: RankTrace,
         series: RankSeries,
+        recovered_tasks: u64,
+        dead_ranks: u64,
+        killed: bool,
     }
 
     let outcomes: Vec<RankOutcome> = pgasm_mpisim::run(p, move |comm| {
@@ -282,18 +347,72 @@ pub fn assemble_parallel_traced(
         let role = if comm.rank() == 0 { "asm_master" } else { "asm_worker" };
         comm.set_tracer(trace.tracer(p + 1 + comm.rank(), role));
         comm.set_sampler(trace.sampler(p + 1 + comm.rank(), role));
+        if !recovery.faults.is_empty() {
+            comm.set_fault_plan(&recovery.faults);
+        }
         comm.set_coalesce(Some(CoalescePolicy::default()));
         let cpu0 = thread_cpu_seconds();
         let t0 = Instant::now();
+        let mut em_summary = (0u64, 0u64, false);
         let (assemblies, mut counters) = if comm.rank() == 0 {
             let mut source = AssembleSource { results: vec![None; n] };
-            let em = run_master(comm, engine_cfg, &mut source, tasks.clone());
-            let assemblies =
-                source.results.into_iter().map(|r| r.expect("every cluster assembled")).collect::<Vec<_>>();
-            let counters = BTreeMap::from([
+            if let Some(path) = &recovery.resume_from {
+                if let Some(payload) = ckpt::read_checkpoint(path, ckpt::STAGE_ASSEMBLE) {
+                    source.restore(&payload);
+                }
+            }
+            // Already-completed slots (a resumed run) are not re-seeded;
+            // the workers never see them again.
+            let seed: Vec<AssembleTask> =
+                tasks.iter().filter(|t| source.results[t.slot as usize].is_none()).cloned().collect();
+            let em = match recovery.ckpt_spec() {
+                Some((path, every)) => {
+                    let mut write = |src: &mut AssembleSource, rep: &MasterReport| {
+                        let payload = src.snapshot(rep);
+                        ckpt::write_checkpoint(path, ckpt::STAGE_ASSEMBLE, &payload).unwrap_or(0)
+                    };
+                    run_master_ckpt(
+                        comm,
+                        engine_cfg,
+                        &mut source,
+                        seed,
+                        Some(CheckpointHook { write: &mut write, every }),
+                    )
+                }
+                None => run_master(comm, engine_cfg, &mut source, seed),
+            };
+            // A killed master leaves holes; placeholders keep the slot
+            // indexing intact and `killed` tells the caller to resume.
+            let assemblies = source
+                .results
+                .into_iter()
+                .map(|r| {
+                    if em.killed {
+                        r.unwrap_or(Assembly {
+                            contigs: Vec::new(),
+                            singletons: Vec::new(),
+                            inconsistent_edges: 0,
+                        })
+                    } else {
+                        r.expect("every cluster assembled")
+                    }
+                })
+                .collect::<Vec<_>>();
+            let mut counters = BTreeMap::from([
                 (names::ASM_PEAK_QUEUE_DEPTH.to_string(), em.peak_queue_depth),
                 (names::ASM_BATCHES_DISPATCHED.to_string(), em.batches_dispatched),
             ]);
+            for (name, value) in [
+                (names::RECOVERED_TASKS, em.recovered_tasks),
+                (names::DEAD_RANKS, em.dead_ranks),
+                (names::CKPT_WRITES, em.ckpt_writes),
+                (names::CKPT_BYTES, em.ckpt_bytes),
+            ] {
+                if value > 0 {
+                    counters.insert(name.to_string(), value);
+                }
+            }
+            em_summary = (em.recovered_tasks, em.dead_ranks, em.killed);
             (Some(assemblies), counters)
         } else {
             let mut sink = AssembleSink {
@@ -335,6 +454,21 @@ pub fn assemble_parallel_traced(
         let cs = comm.coalesce_stats();
         counters.insert(names::MSGS_COALESCED.to_string(), cs.msgs_coalesced);
         counters.insert(names::ENVELOPES_SENT.to_string(), cs.envelopes_sent);
+        if comm.has_fault_plan() {
+            let fs = comm.fault_stats();
+            for (name, value) in [
+                (names::FAULT_KILLS, fs.kills),
+                (names::FAULT_MSGS_DROPPED, fs.msgs_dropped),
+                (names::FAULT_MSGS_DELAYED, fs.msgs_delayed),
+                (names::FAULT_DEATH_NOTICES, fs.death_notices),
+                (names::FAULT_MSGS_LOST, fs.msgs_lost),
+                (names::FAULT_EVENTS, fs.events),
+            ] {
+                if value > 0 {
+                    counters.insert(name.to_string(), value);
+                }
+            }
+        }
         RankOutcome {
             assemblies,
             wall,
@@ -351,6 +485,9 @@ pub fn assemble_parallel_traced(
             },
             trace: comm.take_trace(),
             series: comm.take_series(),
+            recovered_tasks: em_summary.0,
+            dead_ranks: em_summary.1,
+            killed: em_summary.2,
         }
     });
 
@@ -362,6 +499,9 @@ pub fn assemble_parallel_traced(
         master_availability: outcomes[0].idle_fraction,
         ranks: outcomes.iter().map(|o| o.rank_report.clone()).collect(),
         series: outcomes.iter().map(|o| o.series.clone()).collect(),
+        recovered_tasks: outcomes[0].recovered_tasks,
+        dead_ranks: outcomes[0].dead_ranks,
+        killed: outcomes[0].killed,
         traces: outcomes.into_iter().map(|o| o.trace).collect(),
     }
 }
@@ -511,5 +651,84 @@ mod tests {
         let dist =
             assemble_parallel(&store, None, &clustering, &AssemblyConfig::default(), 3, AssignPolicy::Lpt);
         assert!(dist.assemblies.is_empty());
+    }
+
+    use crate::checkpoint::StageRecovery;
+    use pgasm_mpisim::{FaultPlan, FaultStage, KillTarget};
+
+    #[test]
+    fn killed_worker_still_assembles_every_cluster() {
+        // Kill each worker in turn early in the protocol; the master
+        // must re-queue the lost clusters onto survivors and the final
+        // assemblies must byte-match the fault-free run.
+        let store = heavy_tailed_store();
+        let (clustering, _) = cluster_serial(&store, &params());
+        let cfg = AssemblyConfig::default();
+        let expected = assemble_parallel(&store, None, &clustering, &cfg, 4, AssignPolicy::Lpt).assemblies;
+        let mut recovered_any = false;
+        for victim in 1..4usize {
+            let recovery = StageRecovery {
+                faults: FaultPlan::default().with_kill(KillTarget::Rank(victim), 5, FaultStage::Any),
+                ..StageRecovery::default()
+            };
+            let dist = assemble_parallel_ft(
+                &store,
+                None,
+                &clustering,
+                &cfg,
+                4,
+                AssignPolicy::Lpt,
+                TraceSpec::off(),
+                &recovery,
+            );
+            assert_eq!(dist.assemblies, expected, "victim {victim}");
+            assert_eq!(dist.dead_ranks, 1, "victim {victim}");
+            assert!(!dist.killed);
+            recovered_any |= dist.recovered_tasks > 0;
+        }
+        assert!(recovered_any, "at least one victim died holding a leased cluster");
+    }
+
+    #[test]
+    fn master_kill_checkpoint_resume_reproduces_assemblies() {
+        let store = heavy_tailed_store();
+        let (clustering, _) = cluster_serial(&store, &params());
+        let cfg = AssemblyConfig::default();
+        let expected = assemble_parallel(&store, None, &clustering, &cfg, 4, AssignPolicy::Lpt).assemblies;
+        let dir = std::env::temp_dir().join(format!("pgasm-asm-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("assemble.pgck");
+        let faulty = StageRecovery {
+            faults: FaultPlan::default().with_kill(KillTarget::Rank(0), 40, FaultStage::Any),
+            checkpoint_every: Some(1),
+            checkpoint_path: Some(path.clone()),
+            ..StageRecovery::default()
+        };
+        let r1 = assemble_parallel_ft(
+            &store,
+            None,
+            &clustering,
+            &cfg,
+            4,
+            AssignPolicy::Lpt,
+            TraceSpec::off(),
+            &faulty,
+        );
+        assert!(r1.killed, "the plan kills the master mid-protocol");
+        let resume = StageRecovery { resume_from: Some(path.clone()), ..StageRecovery::default() };
+        let r2 = assemble_parallel_ft(
+            &store,
+            None,
+            &clustering,
+            &cfg,
+            4,
+            AssignPolicy::Lpt,
+            TraceSpec::off(),
+            &resume,
+        );
+        assert_eq!(r2.assemblies, expected);
+        assert!(!r2.killed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -97,6 +97,31 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Publish `chunks`, concatenated, at `path` atomically: the bytes are
+/// written to a process-unique sibling temp file, fsynced, and renamed
+/// into place, so readers only ever observe the old file, no file, or
+/// the complete new file — never a torn write. Returns total bytes.
+/// Shared by cache entries and master checkpoint snapshots.
+pub fn atomic_write(path: &Path, chunks: &[&[u8]]) -> std::io::Result<u64> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        for chunk in chunks {
+            f.write_all(chunk)?;
+        }
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result.map(|()| total)
+}
+
 fn update_seqs(h: &mut StableHasher, seqs: &[DnaSeq]) {
     h.update_u64(seqs.len() as u64);
     for s in seqs {
@@ -143,6 +168,41 @@ pub fn gst_key(store: &FragmentStore, config: &GstConfig) -> u64 {
     let mut h = StableHasher::new();
     h.update_str("gst");
     update_store(&mut h, store);
+    h.update_str(&format!("{config:?}"));
+    h.finish()
+}
+
+/// Cache key of the assembly stage's output: every input the
+/// per-cluster assembler reads — the (soft-masked) fragments, their
+/// quality tracks, the clustering partition — plus the assembler
+/// parameters (via `Debug`, so any new knob changes the key).
+pub fn contigs_key(
+    store: &FragmentStore,
+    quals: Option<&[pgasm_seq::QualityTrack]>,
+    clustering: &crate::clustering::Clustering,
+    config: &pgasm_assemble::AssemblyConfig,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.update_str("contigs");
+    update_store(&mut h, store);
+    match quals {
+        Some(qs) => {
+            h.update_u64(1 + qs.len() as u64);
+            for q in qs {
+                h.update_slice(q.values());
+            }
+        }
+        None => {
+            h.update_u64(0);
+        }
+    }
+    h.update_u64(clustering.clusters.len() as u64);
+    for members in &clustering.clusters {
+        h.update_u64(members.len() as u64);
+        for &m in members {
+            h.update_u64(m as u64);
+        }
+    }
     h.update_str(&format!("{config:?}"));
     h.finish()
 }
@@ -211,21 +271,7 @@ impl ArtifactCache {
         w.put_u64(payload.len() as u64);
         w.put_u64(fnv1a(payload));
         let header = w.finish();
-
-        let tmp = self.dir.join(format!(".{kind}-{key:016x}.tmp.{}", std::process::id()));
-        let total = (header.len() + payload.len()) as u64;
-        let result = (|| {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&header)?;
-            f.write_all(payload)?;
-            f.sync_all()?;
-            drop(f);
-            fs::rename(&tmp, self.entry_path(kind, key))
-        })();
-        if result.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        result.map(|()| total)
+        atomic_write(&self.entry_path(kind, key), &[&header, payload])
     }
 }
 

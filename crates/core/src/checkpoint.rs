@@ -1,0 +1,202 @@
+//! Master checkpoint snapshots and per-stage recovery knobs.
+//!
+//! The engine's master periodically persists its client's state (the
+//! Union–Find partition for clustering, the completed-assembly table
+//! for assembly) so a run killed mid-stage can restart from the last
+//! snapshot with `pgasm --resume` instead of from scratch. Workers hold
+//! no durable state: on resume they regenerate their tasks from the
+//! shared input and the restored master's selection dedup discards
+//! whatever the snapshot already absorbed, which keeps the final
+//! output byte-identical to a fault-free run.
+//!
+//! A checkpoint file is self-describing, mirroring the artifact cache
+//! container: magic, version, stage tag, payload length, FNV-1a payload
+//! checksum, payload. It is published with the cache's tmp + fsync +
+//! rename machinery ([`crate::cache::atomic_write`]), so a crash during
+//! a snapshot leaves the previous snapshot intact. Loading re-verifies
+//! everything; any mismatch reads as "no checkpoint" rather than a
+//! wrong restore.
+
+use crate::cache::{atomic_write, fnv1a};
+use pgasm_mpisim::{FaultPlan, FaultStage};
+use pgasm_seq::wire::{Reader, Writer};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File magic for checkpoint snapshots.
+pub const CKPT_MAGIC: [u8; 4] = *b"PGCK";
+
+/// Checkpoint container version; entries from any other version are
+/// rejected (workers regenerate, so an old snapshot is never required).
+pub const CKPT_VERSION: u32 = 1;
+
+/// Persist one snapshot of `stage`'s master state at `path`, atomically.
+/// Returns total bytes written.
+pub fn write_checkpoint(path: &Path, stage: &str, payload: &[u8]) -> std::io::Result<u64> {
+    let mut w = Writer::with_capacity(payload.len() + 64);
+    for m in CKPT_MAGIC {
+        w.put_u8(m);
+    }
+    w.put_u32(CKPT_VERSION);
+    w.put_str(stage);
+    w.put_u64(payload.len() as u64);
+    w.put_u64(fnv1a(payload));
+    let header = w.finish();
+    atomic_write(path, &[&header, payload])
+}
+
+/// Load the payload of a checkpoint written for `stage`. Returns `None`
+/// — never an error — when the file is absent, truncated, corrupted,
+/// from another container version, or snapshots a different stage.
+pub fn read_checkpoint(path: &Path, stage: &str) -> Option<Vec<u8>> {
+    let bytes = fs::read(path).ok()?;
+    let mut r = Reader::new(&bytes);
+    let mut magic = [0u8; 4];
+    for m in magic.iter_mut() {
+        *m = r.get_u8().ok()?;
+    }
+    if magic != CKPT_MAGIC || r.get_u32().ok()? != CKPT_VERSION || r.get_str().ok()? != stage {
+        return None;
+    }
+    let payload_len = r.get_u64().ok()? as usize;
+    let checksum = r.get_u64().ok()?;
+    if r.remaining() != payload_len {
+        return None;
+    }
+    let payload = r.get_raw(payload_len).ok()?.to_vec();
+    if fnv1a(&payload) != checksum {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Which stage a checkpoint file snapshots (its `stage` tag).
+pub const STAGE_CLUSTER: &str = "cluster";
+/// See [`STAGE_CLUSTER`].
+pub const STAGE_ASSEMBLE: &str = "assemble";
+
+/// Fault-tolerance knobs for one distributed stage run: what failures
+/// to inject, how the master detects silence, and where snapshots go.
+/// `Default` is a fully passive configuration — no injection, blocking
+/// receives, no checkpointing — under which the engine byte-matches its
+/// pre-fault-tolerance behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct StageRecovery {
+    /// Failures to inject (empty plan = none; the comm layer is not
+    /// even armed, so fault-free runs pay nothing).
+    pub faults: FaultPlan,
+    /// Master liveness: declare the least-responsive worker dead after
+    /// this many consecutive empty inbox polls. `None` blocks forever
+    /// (the pre-fault-tolerance behaviour).
+    pub stall_timeout: Option<u64>,
+    /// Snapshot the master after every this many absorbed result
+    /// reports; requires `checkpoint_path`.
+    pub checkpoint_every: Option<u64>,
+    /// Where snapshots are written (one file, overwritten atomically).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Restore master state from this snapshot before starting.
+    pub resume_from: Option<PathBuf>,
+}
+
+impl StageRecovery {
+    /// This stage's checkpoint cadence and target, when both are set.
+    pub fn ckpt_spec(&self) -> Option<(&Path, u64)> {
+        match (&self.checkpoint_path, self.checkpoint_every) {
+            (Some(path), Some(every)) if every > 0 => Some((path.as_path(), every)),
+            _ => None,
+        }
+    }
+
+    /// Narrow the fault plan to `stage`, keeping the other knobs.
+    pub fn for_stage(&self, stage: FaultStage) -> StageRecovery {
+        StageRecovery { faults: self.faults.for_stage(stage), ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgasm_mpisim::KillTarget;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!("pgasm-ckpt-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_verifies_stage() {
+        let tmp = TempDir::new("roundtrip");
+        let path = tmp.0.join("run.pgck");
+        let payload = b"master snapshot bytes".to_vec();
+        let written = write_checkpoint(&path, STAGE_CLUSTER, &payload).unwrap();
+        assert!(written > payload.len() as u64, "header must be accounted");
+        assert_eq!(read_checkpoint(&path, STAGE_CLUSTER), Some(payload));
+        assert!(read_checkpoint(&path, STAGE_ASSEMBLE).is_none(), "stage tag must match");
+        // No temp files left behind.
+        let stray: Vec<_> = fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp file leaked: {stray:?}");
+    }
+
+    #[test]
+    fn overwrite_keeps_latest_snapshot() {
+        let tmp = TempDir::new("overwrite");
+        let path = tmp.0.join("run.pgck");
+        write_checkpoint(&path, STAGE_ASSEMBLE, b"old").unwrap();
+        write_checkpoint(&path, STAGE_ASSEMBLE, b"newer state").unwrap();
+        assert_eq!(read_checkpoint(&path, STAGE_ASSEMBLE), Some(b"newer state".to_vec()));
+    }
+
+    #[test]
+    fn damaged_checkpoints_read_as_absent() {
+        let tmp = TempDir::new("damage");
+        let path = tmp.0.join("run.pgck");
+        write_checkpoint(&path, STAGE_CLUSTER, b"some serialized master state").unwrap();
+        let full = fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert!(read_checkpoint(&path, STAGE_CLUSTER).is_none(), "cut at {cut} loaded");
+        }
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        fs::write(&path, &flipped).unwrap();
+        assert!(read_checkpoint(&path, STAGE_CLUSTER).is_none(), "checksum must catch flips");
+        assert!(read_checkpoint(&tmp.0.join("missing.pgck"), STAGE_CLUSTER).is_none());
+    }
+
+    #[test]
+    fn recovery_defaults_are_passive_and_stage_filter_narrows() {
+        let r = StageRecovery::default();
+        assert!(r.faults.is_empty());
+        assert!(r.stall_timeout.is_none());
+        assert!(r.ckpt_spec().is_none());
+        // Cadence without a path (or vice versa) stays off.
+        let half = StageRecovery { checkpoint_every: Some(8), ..StageRecovery::default() };
+        assert!(half.ckpt_spec().is_none());
+
+        let plan = FaultPlan::default().with_kill(KillTarget::Rank(2), 100, FaultStage::Cluster).with_kill(
+            KillTarget::Rank(3),
+            50,
+            FaultStage::Assemble,
+        );
+        let r = StageRecovery { faults: plan, stall_timeout: Some(10), ..StageRecovery::default() };
+        let cluster = r.for_stage(FaultStage::Cluster);
+        assert_eq!(cluster.faults.kills.len(), 1);
+        assert_eq!(cluster.stall_timeout, Some(10), "other knobs survive the narrowing");
+    }
+}

@@ -32,27 +32,55 @@
 //! up-front with workers that never generate (a degenerate but fully
 //! legal instance of the same protocol).
 //!
+//! # Fault tolerance
+//!
+//! Every allocation is a *lease*: the master journals each non-empty
+//! batch it dispatches under a fresh lease id (carried on the `AW`
+//! message and echoed back on the matching `AR`), and retires the
+//! lease when the report arrives. A report whose lease is no longer
+//! journaled — a late or duplicate replay after recovery — is
+//! discarded whole, so every batch's results are absorbed **at most
+//! once**. When a worker's death notice arrives (or the optional
+//! [`EngineConfig::stall_timeout`] liveness check declares a silent
+//! worker dead), the master marks the rank dead, re-queues its
+//! outstanding leases to survivors, and — if the dead worker's task
+//! generator was still active — assigns its generator *scope* to the
+//! lowest live worker, which rebuilds it from scratch through
+//! [`TaskSink::adopt_scope`]. Regenerated duplicates are the client's
+//! problem by contract (idempotent absorption / selection dedup); the
+//! paper's clustering client gets this for free from its union–find
+//! and cluster-check skip. The run terminates cleanly at any survivor
+//! count ≥ 1; a killed master surfaces as
+//! [`MasterReport::killed`] / [`WorkerReport::master_died`] instead of
+//! a hang.
+//!
 //! The engine works over the `mpisim` rank model, so the coalescing
 //! layer, per-tag traffic accounting, and blocked-time attribution all
 //! apply to any client unchanged.
 
 use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
-use pgasm_mpisim::{Comm, Msg};
+use pgasm_mpisim::comm::Event;
+use pgasm_mpisim::{Comm, CommError, Msg};
 use pgasm_telemetry::names;
 use pgasm_telemetry::trace::{TraceCategory, Tracer};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
 
 /// Worker → master: computed results (the paper's `AR`). The body is
-/// entirely client-encoded ([`TaskSink::run_batch`] writes it,
-/// [`TaskSource::absorb_results`] reads it).
+/// the lease id of the computed batch (`0` for the unsolicited opening
+/// report) followed by the client-encoded report
+/// ([`TaskSink::run_batch`] writes it, [`TaskSource::absorb_results`]
+/// reads it).
 pub const TAG_W2M_AR: u32 = 1;
 /// Master → worker: flow-control grant `r` (paper's `R`); also carries
-/// the termination flag, so every master transmission starts here.
+/// the termination flag and the adoption list, so every master
+/// transmission starts here.
 pub const TAG_M2W_R: u32 = 2;
 /// Worker → master: newly generated tasks + generator status (paper's
 /// `NP`); doubles as the request for the next allocation.
 pub const TAG_W2M_NP: u32 = 3;
-/// Master → worker: the allocated task batch (paper's `AW`).
+/// Master → worker: the allocated task batch (paper's `AW`), prefixed
+/// by its lease id (`0` when the batch is empty).
 pub const TAG_M2W_AW: u32 = 4;
 
 /// Engine runtime knobs — the protocol-shape subset of what used to be
@@ -65,10 +93,20 @@ pub struct EngineConfig {
     /// Capacity of the master's pending-task buffer (flow-control
     /// target; the buffer itself degrades gracefully if exceeded).
     pub pending_cap: usize,
+    /// Liveness check: after this many consecutive empty inbox polls
+    /// the master declares the lowest worker with outstanding work
+    /// dead (fault plan armed) or aborts with a diagnostic dump of the
+    /// outstanding leases (no plan — a silent worker is then an engine
+    /// bug, not an injected fault). `None` keeps the master blocking
+    /// in `recv`, the zero-overhead default. The unit is poll events,
+    /// not wall time, so a given interleaving trips deterministically.
+    pub stall_timeout: Option<u64>,
 }
 
-/// A unit of work that can cross the simulated wire.
-pub trait Task: Sized {
+/// A unit of work that can cross the simulated wire. `Clone` because
+/// the master journals every dispatched batch until its result report
+/// retires the lease (the copy is what recovery re-queues).
+pub trait Task: Sized + Clone {
     /// Append this task's wire form to `e`.
     fn encode(&self, e: &mut Encoder);
     /// Decode one task (must consume exactly what [`Task::encode`]
@@ -86,10 +124,14 @@ pub trait TaskSource<T: Task> {
     /// Consume one worker's result report (the `AR` body this client's
     /// [`TaskSink::run_batch`] encoded). Called per message as the
     /// inbox drains, so client state is maximally fresh when batches
-    /// are cut.
+    /// are cut. Never called twice for the same lease: late/duplicate
+    /// replays are dropped by the engine before they reach here.
     fn absorb_results(&mut self, src: usize, d: &mut Decoder);
     /// A worker announced `task`; return `true` to queue it for
     /// dispatch. Called once per announced task, in arrival order.
+    /// After a generator-scope adoption the same task may be announced
+    /// again by the adopter — selection must treat re-announcement as
+    /// already-done (the clustering client's cluster-check does).
     fn select(&mut self, task: &T) -> bool;
 }
 
@@ -107,6 +149,14 @@ pub trait TaskSink<T: Task> {
     /// to generate returns `false` immediately and the engine parks the
     /// worker until the master finds it other ranks' work.
     fn generate(&mut self, tracer: &mut Tracer, r: usize, out: &mut Vec<T>) -> bool;
+    /// A worker died with its task generator still active and the
+    /// master chose this rank as the adopter: take over generating
+    /// `dead_rank`'s scope **from scratch**. The engine cannot know
+    /// how far the dead generator got, so regenerated duplicates must
+    /// be harmless to the client (idempotent absorption or selection
+    /// dedup). Sinks that never generate have nothing to adopt — the
+    /// default no-op.
+    fn adopt_scope(&mut self, _tracer: &mut Tracer, _dead_rank: usize) {}
     /// Feed workload-specific gauges after each computed batch. The
     /// engine calls this once per round with the rank's sampler (which
     /// rate-limits and no-ops when disabled); the default sink has no
@@ -128,6 +178,20 @@ pub struct MasterReport {
     pub batches_dispatched: u64,
     /// Deepest single drain of the inbox.
     pub inbox_drain_depth_max: u64,
+    /// Tasks recovered from dead workers' journaled leases and
+    /// re-queued to survivors.
+    pub recovered_tasks: u64,
+    /// Workers marked dead (death notice or liveness declaration).
+    pub dead_ranks: u64,
+    /// Result reports absorbed (the checkpoint cadence clock).
+    pub results_absorbed: u64,
+    /// Snapshots written by the checkpoint hook, and their total bytes.
+    pub ckpt_writes: u64,
+    /// Total bytes persisted by the checkpoint hook.
+    pub ckpt_bytes: u64,
+    /// The fault plan killed the master itself; the run is incomplete
+    /// and the caller should recover from the last checkpoint.
+    pub killed: bool,
 }
 
 /// Protocol-level tallies from one worker run.
@@ -137,6 +201,19 @@ pub struct WorkerReport {
     pub tasks_generated: u64,
     /// Report/grant round-trips completed.
     pub round_trips: u64,
+    /// Generator scopes this worker adopted from dead peers.
+    pub scopes_adopted: u64,
+    /// The fault plan killed this worker mid-run.
+    pub killed: bool,
+    /// The master died; this worker exited without termination.
+    pub master_died: bool,
+}
+
+/// One journaled allocation: which worker holds it and the tasks to
+/// re-queue if that worker dies before its report arrives.
+struct Lease<T> {
+    worker: usize,
+    tasks: Vec<T>,
 }
 
 /// The master's mutable protocol state, separated from the event loop
@@ -156,23 +233,63 @@ struct Master<'s, T, S> {
     parked: Vec<bool>,
     /// An allocation is in flight to this worker (a report will come).
     outstanding: Vec<bool>,
+    /// Worker is dead (death notice or liveness declaration): excluded
+    /// from dispatch, its messages discarded.
+    dead: Vec<bool>,
+    /// Dispatched-but-unacknowledged batches, keyed by lease id.
+    journal: BTreeMap<u64, Lease<T>>,
+    next_lease: u64,
+    /// Dead generator scopes assigned to a worker but not yet carried
+    /// on a grant.
+    pending_adoptions: Vec<Vec<usize>>,
+    /// Dead generator scopes a worker has been granted — reassigned
+    /// (rebuilt from scratch) if the adopter dies too.
+    adopted_scopes: Vec<Vec<usize>>,
     report: MasterReport,
 }
 
 impl<T: Task, S: TaskSource<T>> Master<'_, T, S> {
     /// Apply one worker message the moment it is drained — result
     /// absorption (AR) and task selection (NP) interleave with message
-    /// progress instead of waiting for a dispatch turn.
-    fn handle(&mut self, msg: &Msg) {
+    /// progress instead of waiting for a dispatch turn. Messages from
+    /// dead-declared ranks and reports whose lease is no longer
+    /// journaled are discarded whole: that is the replay dedup.
+    fn handle(&mut self, tracer: &mut Tracer, msg: &Msg) {
         let i = msg.src;
+        if self.dead[i] {
+            tracer.instant_args(
+                TraceCategory::Fault,
+                names::EV_STALE_MSG,
+                ("src", i as u64),
+                ("tag", msg.tag as u64),
+            );
+            return;
+        }
         let mut d = Decoder::new(msg.data.clone());
         match msg.tag {
-            TAG_W2M_AR => self.source.absorb_results(i, &mut d),
+            TAG_W2M_AR => {
+                let lease = d.get_u64();
+                if lease != 0 && self.journal.remove(&lease).is_none() {
+                    // Late or duplicate replay of an already-recovered
+                    // batch: absorbing it twice would double-count.
+                    tracer.instant_args(
+                        TraceCategory::Fault,
+                        names::EV_STALE_MSG,
+                        ("src", i as u64),
+                        ("lease", lease),
+                    );
+                    return;
+                }
+                self.source.absorb_results(i, &mut d);
+                self.report.results_absorbed += 1;
+            }
             TAG_W2M_NP => {
                 // Newly announced tasks: keep only those the source
                 // still wants *right now*.
                 let active = d.get_u32() == 1;
-                self.worker_active[i] = active;
+                // A worker that exhausted its own generator stays
+                // active while an adoption grant is queued for it.
+                self.worker_active[i] = active || !self.pending_adoptions[i].is_empty();
                 let np_count = d.get_u32();
                 for _ in 0..np_count {
                     let task = T::decode(&mut d);
@@ -193,10 +310,10 @@ impl<T: Task, S: TaskSource<T>> Master<'_, T, S> {
 
     /// Answer every worker whose round completed and feed parked
     /// workers from the pending buffer (Fig. 7's Idle_Workers service).
-    fn dispatch(&mut self, comm: &mut Comm) {
+    fn dispatch(&mut self, comm: &mut Comm) -> Result<(), CommError> {
         let p = self.worker_active.len();
         for i in 1..p {
-            if !self.need_reply[i] {
+            if self.dead[i] || !self.need_reply[i] {
                 continue;
             }
             self.need_reply[i] = false;
@@ -207,26 +324,56 @@ impl<T: Task, S: TaskSource<T>> Master<'_, T, S> {
                 // (the empty AW tells the worker to block).
                 self.parked[i] = true;
                 comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_PARK, "worker", i as u64);
-                send_grant(comm, i, r, &batch, false);
+                self.grant(comm, i, r, batch)?;
             } else {
-                if !batch.is_empty() {
-                    self.report.batches_dispatched += 1;
-                }
                 self.outstanding[i] = true;
-                send_grant(comm, i, r, &batch, false);
+                self.grant(comm, i, r, batch)?;
             }
         }
         for j in 1..p {
-            if self.parked[j] && !self.pending.is_empty() {
-                let batch = drain_batch(&mut self.pending, self.b);
-                let r = self.flow_control();
-                self.report.batches_dispatched += 1;
-                self.parked[j] = false;
-                self.outstanding[j] = true;
-                comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_UNPARK, "worker", j as u64);
-                send_grant(comm, j, r, &batch, false);
+            if self.dead[j] || !self.parked[j] {
+                continue;
             }
+            if self.pending.is_empty() && self.pending_adoptions[j].is_empty() {
+                continue;
+            }
+            let batch = drain_batch(&mut self.pending, self.b);
+            let r = self.flow_control();
+            self.parked[j] = false;
+            self.outstanding[j] = true;
+            comm.tracer_mut().instant_arg(TraceCategory::Master, names::EV_UNPARK, "worker", j as u64);
+            self.grant(comm, j, r, batch)?;
         }
+        Ok(())
+    }
+
+    /// Send one live allocation: journal the batch under a fresh lease
+    /// and attach any adoption scopes queued for this worker.
+    fn grant(&mut self, comm: &mut Comm, dest: usize, r: usize, batch: Vec<T>) -> Result<(), CommError> {
+        let lease = if batch.is_empty() {
+            0
+        } else {
+            self.report.batches_dispatched += 1;
+            let id = self.next_lease;
+            self.next_lease += 1;
+            self.journal.insert(id, Lease { worker: dest, tasks: batch.clone() });
+            id
+        };
+        let adopt = std::mem::take(&mut self.pending_adoptions[dest]);
+        if !adopt.is_empty() {
+            for &scope in &adopt {
+                comm.tracer_mut().instant_args(
+                    TraceCategory::Fault,
+                    names::EV_ADOPT_SCOPE,
+                    ("dead", scope as u64),
+                    ("adopter", dest as u64),
+                );
+            }
+            self.adopted_scopes[dest].extend(adopt.iter().copied());
+            // The adoption grant re-activates the worker's generator.
+            self.worker_active[dest] = true;
+        }
+        send_grant(comm, dest, r, lease, &batch, &adopt, false)
     }
 
     fn flow_control(&self) -> usize {
@@ -240,25 +387,163 @@ impl<T: Task, S: TaskSource<T>> Master<'_, T, S> {
         )
     }
 
-    /// Every worker passive and parked, nothing pending, nothing in
-    /// flight.
+    /// Every live worker passive and parked, nothing pending, no lease
+    /// unacknowledged, no adoption undelivered. The journal term is
+    /// what turns a dropped report into a detectable stall instead of
+    /// silent task loss.
     fn finished(&self) -> bool {
         let p = self.worker_active.len();
-        (1..p).all(|i| !self.worker_active[i] && self.parked[i] && !self.outstanding[i])
+        (1..p).all(|i| self.dead[i] || (!self.worker_active[i] && self.parked[i] && !self.outstanding[i]))
             && self.pending.is_empty()
+            && self.journal.is_empty()
+            && self.pending_adoptions.iter().all(Vec::is_empty)
     }
+
+    /// Mark a worker dead and recover everything it held: re-queue its
+    /// journaled leases to the pending buffer and hand its generator
+    /// scope (own + previously adopted) to the lowest live worker.
+    fn on_death(&mut self, comm: &mut Comm, i: usize) {
+        if i == 0 || self.dead[i] {
+            return;
+        }
+        self.dead[i] = true;
+        self.report.dead_ranks += 1;
+        self.need_reply[i] = false;
+        self.parked[i] = false;
+        self.outstanding[i] = false;
+        // Re-queue every batch the dead worker never acknowledged.
+        let ids: Vec<u64> = self.journal.iter().filter(|(_, l)| l.worker == i).map(|(&id, _)| id).collect();
+        let mut recovered = 0u64;
+        for id in ids {
+            let lease = self.journal.remove(&id).expect("id collected above");
+            recovered += lease.tasks.len() as u64;
+            self.pending.extend(lease.tasks);
+        }
+        if recovered > 0 {
+            self.report.recovered_tasks += recovered;
+            self.report.peak_queue_depth = self.report.peak_queue_depth.max(self.pending.len() as u64);
+            comm.tracer_mut().instant_args(
+                TraceCategory::Fault,
+                names::EV_RECOVER_LEASES,
+                ("worker", i as u64),
+                ("tasks", recovered),
+            );
+        }
+        // Generator scope: the dead worker's own (if still active) plus
+        // every scope it had adopted, all rebuilt from scratch by the
+        // new adopter.
+        let mut scopes = std::mem::take(&mut self.pending_adoptions[i]);
+        scopes.extend(std::mem::take(&mut self.adopted_scopes[i]));
+        if self.worker_active[i] {
+            scopes.push(i);
+        }
+        self.worker_active[i] = false;
+        let p = self.worker_active.len();
+        if !scopes.is_empty() {
+            let adopter = (1..p).find(|&j| !self.dead[j]).unwrap_or_else(|| {
+                panic!("rank {i} died with generator scope outstanding and no survivor to adopt it")
+            });
+            self.pending_adoptions[adopter].extend(scopes);
+            self.worker_active[adopter] = true;
+        }
+        if (1..p).all(|j| self.dead[j]) && !(self.pending.is_empty() && self.journal.is_empty()) {
+            panic!(
+                "every worker is dead with {} task(s) still pending — the fault plan left no survivors",
+                self.pending.len()
+            );
+        }
+    }
+
+    /// The stall timeout tripped: with a fault plan armed, declare the
+    /// lowest worker with outstanding work dead (it may be silently
+    /// killed, or its report was dropped on the wire — either way its
+    /// work is recoverable); without one, a stall is an engine bug and
+    /// the diagnostic dump is worth more than a hang.
+    fn on_stall(&mut self, comm: &mut Comm) {
+        let p = self.worker_active.len();
+        let victim = (1..p).find(|&i| {
+            !self.dead[i] && (self.outstanding[i] || self.journal.values().any(|l| l.worker == i))
+        });
+        match victim {
+            Some(i) if comm.has_fault_plan() => {
+                comm.tracer_mut().instant_arg(
+                    TraceCategory::Fault,
+                    names::EV_LIVENESS_DECLARE,
+                    "worker",
+                    i as u64,
+                );
+                self.on_death(comm, i);
+            }
+            _ => panic!("{}", self.stall_dump()),
+        }
+    }
+
+    /// Human-readable snapshot of the stalled protocol state.
+    fn stall_dump(&self) -> String {
+        let p = self.worker_active.len();
+        let mut s = String::from("engine stalled: no worker progress within stall_timeout\n");
+        let _ = writeln!(s, "  pending tasks: {}", self.pending.len());
+        for (id, lease) in &self.journal {
+            let _ = writeln!(
+                s,
+                "  lease {id}: worker {} holds {} task(s) unacknowledged",
+                lease.worker,
+                lease.tasks.len()
+            );
+        }
+        for i in 1..p {
+            let _ = writeln!(
+                s,
+                "  worker {i}: active={} need_reply={} parked={} outstanding={} dead={} adoptions_pending={}",
+                self.worker_active[i],
+                self.need_reply[i],
+                self.parked[i],
+                self.outstanding[i],
+                self.dead[i],
+                self.pending_adoptions[i].len(),
+            );
+        }
+        s
+    }
+}
+
+/// Periodic master checkpointing: the engine invokes `write` with the
+/// client source and the running protocol report after every `every`
+/// absorbed result reports; the callback owns serialization and
+/// persistence and returns the bytes written (for the `ckpt_bytes`
+/// counter and the checkpoint trace instant).
+pub struct CheckpointHook<'a, S> {
+    /// Persist one snapshot; returns bytes written. Takes the source
+    /// mutably so snapshotting may normalise internal state (e.g.
+    /// Union–Find path compression) without an extra copy.
+    pub write: &'a mut dyn FnMut(&mut S, &MasterReport) -> u64,
+    /// Snapshot after every this many absorbed result reports.
+    pub every: u64,
 }
 
 /// Run the master's event loop (paper Fig. 7) on rank 0. `seed_tasks`
 /// pre-loads the pending buffer for workloads where the master owns the
 /// whole task list (distributed assembly); task-generating workloads
 /// (clustering) pass an empty seed. Returns when every worker has been
-/// sent its termination grant.
+/// sent its termination grant — or, under an armed fault plan, when
+/// the plan kills the master ([`MasterReport::killed`]).
 pub fn run_master<T: Task, S: TaskSource<T>>(
     comm: &mut Comm,
     config: &EngineConfig,
     source: &mut S,
     seed_tasks: Vec<T>,
+) -> MasterReport {
+    run_master_ckpt(comm, config, source, seed_tasks, None)
+}
+
+/// [`run_master`] with an optional periodic [`CheckpointHook`]. A
+/// separate entry point so the common path carries no hook plumbing.
+pub fn run_master_ckpt<T: Task, S: TaskSource<T>>(
+    comm: &mut Comm,
+    config: &EngineConfig,
+    source: &mut S,
+    seed_tasks: Vec<T>,
+    checkpoint: Option<CheckpointHook<'_, S>>,
 ) -> MasterReport {
     let p = comm.size();
     let seeded = seed_tasks.len() as u64;
@@ -280,9 +565,32 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
             o[0] = false;
             o
         },
+        dead: vec![false; p],
+        journal: BTreeMap::new(),
+        next_lease: 1,
+        pending_adoptions: vec![Vec::new(); p],
+        adopted_scopes: vec![Vec::new(); p],
         report: MasterReport { peak_queue_depth: seeded, ..MasterReport::default() },
     };
+    if master_pump(comm, config, &mut m, checkpoint).is_err() {
+        // The fault plan killed this rank; workers observe the death
+        // notice and exit. The partial report lets the caller recover.
+        m.report.killed = true;
+    }
+    m.report
+}
+
+/// The master's event pump, fallible under an armed fault plan (the
+/// only error source is the plan killing rank 0).
+fn master_pump<T: Task, S: TaskSource<T>>(
+    comm: &mut Comm,
+    config: &EngineConfig,
+    m: &mut Master<'_, T, S>,
+    mut checkpoint: Option<CheckpointHook<'_, S>>,
+) -> Result<(), CommError> {
+    let p = comm.size();
     let mut drain_depth: u64 = 0;
+    let mut ckpt_marker: u64 = 0;
     // Protocol gauges: sampled (rate-limited) as the event pump turns,
     // so a time-series view shows queue pressure and worker occupancy
     // instead of only their peaks.
@@ -296,25 +604,50 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
         )
     };
 
-    loop {
+    'pump: loop {
         // Event pump: consume everything already queued before any
         // dispatch decision — results from fast workers land before
         // batches are cut for slow ones.
-        if let Some(msg) = comm.try_recv(None, None) {
-            drain_depth += 1;
-            note_handled(comm, &msg);
-            m.handle(&msg);
-            let pending = m.pending.len() as u64;
-            let s = comm.sampler_mut();
-            s.sample(g_pending, pending);
-            s.sample(g_inbox, drain_depth);
-            continue;
+        match comm.try_recv_ft(None, None)? {
+            Some(Event::Msg(msg)) => {
+                drain_depth += 1;
+                note_handled(comm, &msg);
+                m.handle(comm.tracer_mut(), &msg);
+                let pending = m.pending.len() as u64;
+                let s = comm.sampler_mut();
+                s.sample(g_pending, pending);
+                s.sample(g_inbox, drain_depth);
+                continue;
+            }
+            Some(Event::Death(i)) => {
+                m.on_death(comm, i);
+                continue;
+            }
+            None => {}
         }
         m.report.inbox_drain_depth_max = m.report.inbox_drain_depth_max.max(drain_depth);
 
+        // Checkpoint on the absorbed-results clock, at a quiescent point
+        // (inbox drained, no partial decode in flight) so the snapshot is
+        // a consistent cut of the client's master-side state.
+        if let Some(hook) = checkpoint.as_mut() {
+            if hook.every > 0 && m.report.results_absorbed >= ckpt_marker + hook.every {
+                ckpt_marker = m.report.results_absorbed;
+                let bytes = (hook.write)(&mut *m.source, &m.report);
+                m.report.ckpt_writes += 1;
+                m.report.ckpt_bytes += bytes;
+                comm.tracer_mut().instant_args(
+                    TraceCategory::Fault,
+                    names::EV_CHECKPOINT,
+                    ("bytes", bytes),
+                    ("absorbed", m.report.results_absorbed),
+                );
+            }
+        }
+
         // Inbox empty: answer completed rounds, revive parked workers.
         comm.tracer_mut().begin(TraceCategory::Master, names::EV_DISPATCH);
-        m.dispatch(comm);
+        m.dispatch(comm)?;
         comm.tracer_mut().end(TraceCategory::Master, names::EV_DISPATCH);
         if comm.sampler_mut().is_enabled() {
             // Occupancy counts are O(p); compute them only when a
@@ -329,9 +662,13 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
         }
 
         if m.finished() {
+            // Every rank gets a termination grant, the dead-declared
+            // included: a notice-dead peer's grant is a counted
+            // blackhole, while a merely *declared*-dead (stalled but
+            // alive) worker needs it to stop blocking and exit.
             for i in 1..p {
-                debug_assert!(m.parked[i], "at termination every worker is parked");
-                send_grant::<T>(comm, i, 0, &[], true);
+                debug_assert!(m.dead[i] || m.parked[i], "at termination every live worker is parked");
+                send_grant::<T>(comm, i, 0, 0, &[], &[], true)?;
             }
             // Replies may still sit in the coalescing queues; this rank
             // never blocks again, so push them out explicitly.
@@ -339,14 +676,44 @@ pub fn run_master<T: Task, S: TaskSource<T>>(
             break;
         }
 
-        // Nothing left to do until a worker reports: block (this also
-        // flushes the grants staged above).
-        let msg = comm.recv(None, None);
-        drain_depth = 1;
-        note_handled(comm, &msg);
-        m.handle(&msg);
+        // Nothing left to do until a worker reports: block — or, with
+        // a stall timeout configured, poll a bounded number of times
+        // so a silent worker cannot hang the run.
+        let ev = if let Some(limit) = config.stall_timeout {
+            // try_recv never flushes; push staged grants out before
+            // waiting on their answers.
+            comm.flush_all();
+            let mut polls: u64 = 0;
+            loop {
+                match comm.try_recv_ft(None, None)? {
+                    Some(ev) => break ev,
+                    None => {
+                        polls += 1;
+                        if polls >= limit {
+                            m.on_stall(comm);
+                            drain_depth = 0;
+                            continue 'pump;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        } else {
+            comm.recv_ft(None, None)?
+        };
+        match ev {
+            Event::Msg(msg) => {
+                drain_depth = 1;
+                note_handled(comm, &msg);
+                m.handle(comm.tracer_mut(), &msg);
+            }
+            Event::Death(i) => {
+                drain_depth = 0;
+                m.on_death(comm, i);
+            }
+        }
     }
-    m.report
+    Ok(())
 }
 
 /// Mark a drained worker report on the master's track, by message kind.
@@ -361,25 +728,38 @@ fn drain_batch<T>(pending: &mut VecDeque<T>, b: usize) -> Vec<T> {
 }
 
 /// Send one master→worker allocation: the `R` flow-control grant
-/// (termination flag + next request size) followed, for live grants, by
-/// the `AW` task batch. *Every* master transmission — round reply,
-/// unsolicited grant to a parked worker, termination — goes through
-/// here, so the M2W wire format has exactly one encoder and the worker
-/// exactly one decode path.
-fn send_grant<T: Task>(comm: &mut Comm, dest: usize, r: usize, batch: &[T], terminate: bool) {
-    let mut e = Encoder::with_capacity(8);
+/// (termination flag + next request size + adoption list) followed,
+/// for live grants, by the `AW` task batch under its lease id. *Every*
+/// master transmission — round reply, unsolicited grant to a parked
+/// worker, termination — goes through here, so the M2W wire format has
+/// exactly one encoder and the worker exactly one decode path.
+fn send_grant<T: Task>(
+    comm: &mut Comm,
+    dest: usize,
+    r: usize,
+    lease: u64,
+    batch: &[T],
+    adopt: &[usize],
+    terminate: bool,
+) -> Result<(), CommError> {
+    let mut e = Encoder::with_capacity(12 + 4 * adopt.len());
     e.put_u32(terminate as u32);
-    e.put_u32(r as u32);
-    comm.send(dest, TAG_M2W_R, e.finish());
     if terminate {
-        return;
+        return comm.send_ft(dest, TAG_M2W_R, e.finish());
     }
-    let mut e = Encoder::with_capacity(4 + batch.iter().map(Task::encoded_size_hint).sum::<usize>());
+    e.put_u32(r as u32);
+    e.put_u32(checked_len(adopt.len()));
+    for &scope in adopt {
+        e.put_u32(scope as u32);
+    }
+    comm.send_ft(dest, TAG_M2W_R, e.finish())?;
+    let mut e = Encoder::with_capacity(12 + batch.iter().map(Task::encoded_size_hint).sum::<usize>());
+    e.put_u64(lease);
     e.put_u32(checked_len(batch.len()));
     for task in batch {
         task.encode(&mut e);
     }
-    comm.send(dest, TAG_M2W_AW, e.finish());
+    comm.send_ft(dest, TAG_M2W_AW, e.finish())
 }
 
 /// The paper's flow-control rule (§7): request enough tasks that about
@@ -406,54 +786,105 @@ pub fn compute_r(
 /// Run a worker's event loop (paper Fig. 8) on ranks 1..p: compute the
 /// previously allocated batch, generate the `r` tasks the master asked
 /// for, report both, receive the next allocation — parking when passive
-/// and idle until the master finds work or terminates the run.
+/// and idle until the master finds work or terminates the run. Under an
+/// armed fault plan the loop also ends when the plan kills this rank
+/// ([`WorkerReport::killed`]) or the master's death notice arrives
+/// ([`WorkerReport::master_died`]).
 pub fn run_worker<T: Task, S: TaskSink<T>>(
     comm: &mut Comm,
     config: &EngineConfig,
     sink: &mut S,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
+    match worker_pump(comm, config, sink, &mut report) {
+        Ok(master_died) => report.master_died = master_died,
+        Err(_) => report.killed = true,
+    }
+    report
+}
+
+/// The worker's round loop; `Ok(true)` means the master died mid-run,
+/// `Err` that the fault plan killed this rank.
+fn worker_pump<T: Task, S: TaskSink<T>>(
+    comm: &mut Comm,
+    config: &EngineConfig,
+    sink: &mut S,
+    report: &mut WorkerReport,
+) -> Result<bool, CommError> {
     let mut r = config.batch;
     let mut aw: Vec<T> = Vec::new();
     let mut np: Vec<T> = Vec::new();
+    // Lease id of the batch in `aw`, echoed on its result report so
+    // the master can retire the journal entry (0 = opening report).
+    let mut lease: u64 = 0;
+    let mut active;
     loop {
         // Compute the tasks allocated last round, encoding the result
-        // report as the client defines it.
+        // report as the client defines it (after the engine's lease
+        // prefix).
         let mut e = Encoder::new();
+        e.put_u64(lease);
         sink.run_batch(comm.tracer_mut(), &mut aw, &mut e);
         aw.clear();
         sink.sample_gauges(comm.sampler_mut());
         let ar = e.finish();
         // Generate the requested number of new tasks.
         np.clear();
-        let active = sink.generate(comm.tracer_mut(), r, &mut np);
+        active = sink.generate(comm.tracer_mut(), r, &mut np);
         report.tasks_generated += np.len() as u64;
         // Report: results (AR) and new tasks (NP) travel as two
         // fine-grained messages so the coalescing layer can fold them —
         // plus whatever other rounds are queued — into one envelope
         // toward the master.
-        comm.send(0, TAG_W2M_AR, ar);
+        comm.send_ft(0, TAG_W2M_AR, ar)?;
         let mut e = Encoder::with_capacity(8 + np.iter().map(Task::encoded_size_hint).sum::<usize>());
         e.put_u32(active as u32);
         e.put_u32(checked_len(np.len()));
         for task in &np {
             task.encode(&mut e);
         }
-        comm.send(0, TAG_W2M_NP, e.finish());
+        comm.send_ft(0, TAG_W2M_NP, e.finish())?;
         report.round_trips += 1;
         // Receive the next grant (possibly parking idle first). The R
         // message always arrives; a live grant is followed by its AW
-        // batch.
+        // batch. Peer-worker deaths are the master's business, not
+        // ours — skip their notices; the master's own death ends the
+        // run.
         loop {
-            let m = comm.recv(Some(0), Some(TAG_M2W_R));
-            let mut d = Decoder::new(m.data);
+            let msg = match comm.recv_ft(Some(0), Some(TAG_M2W_R))? {
+                Event::Death(0) => return Ok(true),
+                Event::Death(_) => continue,
+                Event::Msg(m) => m,
+            };
+            let mut d = Decoder::new(msg.data);
             let terminate = d.get_u32() == 1;
             if terminate {
-                return report;
+                return Ok(false);
             }
             r = d.get_u32() as usize;
-            let m = comm.recv(Some(0), Some(TAG_M2W_AW));
-            let mut d = Decoder::new(m.data);
+            let adopt_count = d.get_u32();
+            for _ in 0..adopt_count {
+                let dead_rank = d.get_u32() as usize;
+                comm.tracer_mut().instant_arg(
+                    TraceCategory::Fault,
+                    names::EV_ADOPT_SCOPE,
+                    "dead",
+                    dead_rank as u64,
+                );
+                sink.adopt_scope(comm.tracer_mut(), dead_rank);
+                report.scopes_adopted += 1;
+                // The adopted scope makes this generator live again.
+                active = true;
+            }
+            let msg = loop {
+                match comm.recv_ft(Some(0), Some(TAG_M2W_AW))? {
+                    Event::Death(0) => return Ok(true),
+                    Event::Death(_) => continue,
+                    Event::Msg(m) => break m,
+                }
+            };
+            let mut d = Decoder::new(msg.data);
+            lease = d.get_u64();
             let count = d.get_u32();
             aw = (0..count).map(|_| T::decode(&mut d)).collect();
             if aw.is_empty() && !active {
@@ -470,6 +901,9 @@ pub fn run_worker<T: Task, S: TaskSink<T>>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgasm_mpisim::faults::FaultStage;
+    use pgasm_mpisim::{FaultPlan, KillTarget};
+    use std::collections::HashSet;
 
     /// Toy client: tasks are plain integers, workers square them.
     /// Exercises the protocol shell with no domain logic at all.
@@ -489,6 +923,15 @@ mod tests {
         sum: u64,
         results: u64,
         seen: Vec<u32>,
+        /// Selection dedup (the cluster-check analog): with faults and
+        /// scope adoption, the same task may be announced twice.
+        selected: HashSet<u32>,
+    }
+
+    impl SumSource {
+        fn new() -> Self {
+            SumSource { sum: 0, results: 0, seen: Vec::new(), selected: HashSet::new() }
+        }
     }
 
     impl TaskSource<u32> for SumSource {
@@ -503,7 +946,7 @@ mod tests {
             self.seen.push(*task);
             // Odd numbers are "already done" — mimics the cluster-check
             // skip so selection is exercised.
-            task.is_multiple_of(2)
+            task.is_multiple_of(2) && self.selected.insert(*task)
         }
     }
 
@@ -511,6 +954,10 @@ mod tests {
         next: u32,
         stop: u32,
         computed: u64,
+        /// Scope table for adoption: worker rank → (start, stop).
+        per_worker: u32,
+        /// Ranges adopted from dead peers, drained after our own.
+        adopted: std::collections::VecDeque<(u32, u32)>,
     }
 
     impl TaskSink<u32> for RangeSink {
@@ -524,26 +971,52 @@ mod tests {
         fn generate(&mut self, _tracer: &mut Tracer, r: usize, out: &mut Vec<u32>) -> bool {
             for _ in 0..r {
                 if self.next >= self.stop {
-                    break;
+                    match self.adopted.pop_front() {
+                        Some((next, stop)) => (self.next, self.stop) = (next, stop),
+                        None => break,
+                    }
+                    continue;
                 }
                 out.push(self.next);
                 self.next += 1;
             }
-            self.next < self.stop
+            self.next < self.stop || !self.adopted.is_empty()
         }
+        fn adopt_scope(&mut self, _tracer: &mut Tracer, dead_rank: usize) {
+            // Rebuild the dead worker's scope from scratch — *behind*
+            // our own remaining range, not in place of it. The master's
+            // selection dedup swallows anything it already generated.
+            let base = (dead_rank as u32 - 1) * self.per_worker;
+            self.adopted.push_back((base, base + self.per_worker));
+        }
+    }
+
+    fn toy_sink(rank: usize, per_worker: u32) -> RangeSink {
+        let base = (rank as u32 - 1) * per_worker;
+        RangeSink {
+            next: base,
+            stop: base + per_worker,
+            computed: 0,
+            per_worker,
+            adopted: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn expected_sum(workers: u32, per_worker: u32) -> u64 {
+        let n = workers * per_worker;
+        (0..n).filter(|t| t % 2 == 0).map(|t| t as u64 * t as u64).sum()
     }
 
     fn run_toy(p: usize, per_worker: u32, batch: usize, cap: usize) -> (u64, u64, MasterReport) {
         let outcomes = pgasm_mpisim::run(p, move |comm| {
-            let cfg = EngineConfig { batch, pending_cap: cap };
+            let cfg = EngineConfig { batch, pending_cap: cap, stall_timeout: None };
             if comm.rank() == 0 {
-                let mut source = SumSource { sum: 0, results: 0, seen: Vec::new() };
+                let mut source = SumSource::new();
                 let report = run_master(comm, &cfg, &mut source, Vec::new());
                 assert_eq!(report.tasks_announced as usize, source.seen.len());
                 Some((source.sum, source.results, report))
             } else {
-                let base = (comm.rank() as u32 - 1) * per_worker;
-                let mut sink = RangeSink { next: base, stop: base + per_worker, computed: 0 };
+                let mut sink = toy_sink(comm.rank(), per_worker);
                 run_worker(comm, &cfg, &mut sink);
                 None
             }
@@ -557,12 +1030,15 @@ mod tests {
             let per_worker = 40;
             let (sum, results, report) = run_toy(p, per_worker, 4, 64);
             let n = (p as u32 - 1) * per_worker;
-            let expected: u64 = (0..n).filter(|t| t % 2 == 0).map(|t| t as u64 * t as u64).sum();
+            let expected = expected_sum(p as u32 - 1, per_worker);
             assert_eq!(sum, expected, "p = {p}");
             assert_eq!(results as u32, n.div_ceil(2), "p = {p}");
             assert_eq!(report.tasks_announced, n as u64);
             assert_eq!(report.tasks_selected as u32, n.div_ceil(2));
             assert!(report.batches_dispatched >= 1);
+            assert_eq!(report.dead_ranks, 0);
+            assert_eq!(report.recovered_tasks, 0);
+            assert!(!report.killed);
         }
     }
 
@@ -573,16 +1049,22 @@ mod tests {
         let seed: Vec<u32> = (0..30).map(|i| i * 2).collect();
         let expected: u64 = seed.iter().map(|&t| t as u64 * t as u64).sum();
         let (sum, computed) = pgasm_mpisim::run(4, move |comm| {
-            let cfg = EngineConfig { batch: 1, pending_cap: 64 };
+            let cfg = EngineConfig { batch: 1, pending_cap: 64, stall_timeout: None };
             if comm.rank() == 0 {
-                let mut source = SumSource { sum: 0, results: 0, seen: Vec::new() };
+                let mut source = SumSource::new();
                 let report = run_master(comm, &cfg, &mut source, seed.clone());
                 assert_eq!(report.tasks_announced, 0, "passive workers announce nothing");
                 assert_eq!(report.peak_queue_depth, seed.len() as u64);
                 assert_eq!(source.results, seed.len() as u64);
                 (source.sum, 0)
             } else {
-                let mut sink = RangeSink { next: 0, stop: 0, computed: 0 };
+                let mut sink = RangeSink {
+                    next: 0,
+                    stop: 0,
+                    computed: 0,
+                    per_worker: 0,
+                    adopted: std::collections::VecDeque::new(),
+                };
                 run_worker(comm, &cfg, &mut sink);
                 (0, sink.computed)
             }
@@ -598,15 +1080,15 @@ mod tests {
         use pgasm_telemetry::trace::TraceSpec;
         let spec = TraceSpec::with_capacity(4096);
         let series = pgasm_mpisim::run(3, move |comm| {
-            let cfg = EngineConfig { batch: 4, pending_cap: 64 };
+            let cfg = EngineConfig { batch: 4, pending_cap: 64, stall_timeout: None };
             let mut sampler = spec.sampler(comm.rank(), if comm.rank() == 0 { "master" } else { "worker" });
             sampler.set_interval_ns(0); // sample every pump turn
             comm.set_sampler(sampler);
             if comm.rank() == 0 {
-                let mut source = SumSource { sum: 0, results: 0, seen: Vec::new() };
+                let mut source = SumSource::new();
                 run_master(comm, &cfg, &mut source, Vec::new());
             } else {
-                let mut sink = RangeSink { next: 0, stop: 40, computed: 0 };
+                let mut sink = toy_sink(comm.rank(), 40);
                 run_worker(comm, &cfg, &mut sink);
             }
             comm.take_series()
@@ -631,8 +1113,213 @@ mod tests {
         // Backpressure regression for the generic shell: cap < batch
         // once livelocked the clustering client (the r >= 1 clamp).
         let (sum, _, _) = run_toy(3, 25, 8, 2);
-        let n = 2 * 25u32;
-        let expected: u64 = (0..n).filter(|t| t % 2 == 0).map(|t| t as u64 * t as u64).sum();
+        let expected = expected_sum(2, 25);
         assert_eq!(sum, expected);
+    }
+
+    /// Run the toy workload with a fault plan armed on every rank;
+    /// returns (master sum, master report, per-rank worker reports).
+    fn run_toy_faulty(
+        p: usize,
+        per_worker: u32,
+        plan: FaultPlan,
+        stall_timeout: Option<u64>,
+    ) -> (u64, MasterReport, Vec<WorkerReport>) {
+        let outcomes = pgasm_mpisim::run(p, move |comm| {
+            comm.set_fault_plan(&plan);
+            let cfg = EngineConfig { batch: 4, pending_cap: 64, stall_timeout };
+            if comm.rank() == 0 {
+                let mut source = SumSource::new();
+                let report = run_master(comm, &cfg, &mut source, Vec::new());
+                (Some((source.sum, report)), None)
+            } else {
+                let mut sink = toy_sink(comm.rank(), per_worker);
+                (None, Some(run_worker(comm, &cfg, &mut sink)))
+            }
+        });
+        let mut master = None;
+        let mut workers = Vec::new();
+        for (m, w) in outcomes {
+            if let Some(m) = m {
+                master = Some(m);
+            }
+            if let Some(w) = w {
+                workers.push(w);
+            }
+        }
+        let (sum, report) = master.expect("master outcome");
+        (sum, report, workers)
+    }
+
+    #[test]
+    fn killed_worker_recovers_to_exact_sum() {
+        // Kill each worker in turn, at an event count deep enough that
+        // it holds an unacknowledged lease; the run must finish with
+        // the exact fault-free sum every time.
+        for victim in 1..4usize {
+            let plan = FaultPlan::default().with_kill(KillTarget::Rank(victim), 9, FaultStage::Any);
+            let (sum, report, workers) = run_toy_faulty(4, 40, plan, None);
+            assert_eq!(sum, expected_sum(3, 40), "victim = {victim}");
+            assert_eq!(report.dead_ranks, 1, "victim = {victim}");
+            assert!(report.recovered_tasks > 0, "victim = {victim}: kill at an AR entry leaves a lease");
+            assert!(!report.killed);
+            assert_eq!(workers.iter().filter(|w| w.killed).count(), 1);
+            assert!(workers.iter().any(|w| w.scopes_adopted == 1), "the dead generator was adopted");
+        }
+    }
+
+    #[test]
+    fn killed_passive_worker_in_seeded_run_recovers() {
+        // The distributed-assembly shape: master-seeded queue, passive
+        // workers. A worker death re-queues its leased slots.
+        let seed: Vec<u32> = (0..60).map(|i| i * 2).collect();
+        let expected: u64 = seed.iter().map(|&t| t as u64 * t as u64).sum();
+        let plan = FaultPlan::default().with_kill(KillTarget::Rank(2), 9, FaultStage::Any);
+        let (sum, report) = pgasm_mpisim::run(4, move |comm| {
+            comm.set_fault_plan(&plan);
+            let cfg = EngineConfig { batch: 2, pending_cap: 64, stall_timeout: None };
+            if comm.rank() == 0 {
+                let mut source = SumSource::new();
+                let report = run_master(comm, &cfg, &mut source, seed.clone());
+                Some((source.sum, report))
+            } else {
+                let mut sink = RangeSink {
+                    next: 0,
+                    stop: 0,
+                    computed: 0,
+                    per_worker: 0,
+                    adopted: std::collections::VecDeque::new(),
+                };
+                run_worker(comm, &cfg, &mut sink);
+                None
+            }
+        })
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("master outcome");
+        assert_eq!(sum, expected);
+        assert_eq!(report.dead_ranks, 1);
+        assert!(report.recovered_tasks > 0);
+    }
+
+    #[test]
+    fn dropped_report_trips_liveness_and_recovers() {
+        // Worker 1's second result report vanishes on the wire: its
+        // lease can never be retired, so the master's stall timeout
+        // declares it dead, re-queues the batch, and the run still
+        // produces the exact sum. The falsely-declared worker is
+        // released by the termination grant (no killed flag set).
+        let plan = FaultPlan::default().with_drop(1, 0, TAG_W2M_AR, 2, FaultStage::Any);
+        let (sum, report, workers) = run_toy_faulty(3, 30, plan, Some(50_000));
+        assert_eq!(sum, expected_sum(2, 30));
+        assert_eq!(report.dead_ranks, 1, "liveness declared the silent worker dead");
+        assert!(report.recovered_tasks > 0);
+        assert!(workers.iter().all(|w| !w.killed), "nobody was actually killed");
+    }
+
+    #[test]
+    fn delayed_report_is_absorbed_late_not_twice() {
+        // Worker 1's second result report is held back a few of its own
+        // events and overtaken by later traffic; the lease journal
+        // still retires it exactly once and the sum stays exact.
+        let plan = FaultPlan::default().with_delay(1, 0, TAG_W2M_AR, 2, 3, FaultStage::Any);
+        let (sum, report, _) = run_toy_faulty(3, 30, plan, None);
+        assert_eq!(sum, expected_sum(2, 30));
+        assert_eq!(report.dead_ranks, 0);
+    }
+
+    #[test]
+    fn killed_master_surfaces_cleanly_on_every_rank() {
+        let plan = FaultPlan::default().with_kill(KillTarget::Rank(0), 7, FaultStage::Any);
+        let outcomes = pgasm_mpisim::run(3, move |comm| {
+            comm.set_fault_plan(&plan);
+            let cfg = EngineConfig { batch: 4, pending_cap: 64, stall_timeout: None };
+            if comm.rank() == 0 {
+                let mut source = SumSource::new();
+                let report = run_master(comm, &cfg, &mut source, Vec::new());
+                (report.killed, false)
+            } else {
+                let mut sink = toy_sink(comm.rank(), 40);
+                let report = run_worker(comm, &cfg, &mut sink);
+                (false, report.master_died)
+            }
+        });
+        assert!(outcomes[0].0, "master reports its own kill");
+        assert!(outcomes[1..].iter().all(|&(_, md)| md), "every worker observes the master's death");
+    }
+
+    #[test]
+    fn stale_report_with_unknown_lease_is_discarded() {
+        // Unit-level dedup check: a result report whose lease is no
+        // longer journaled must not reach the source.
+        let mut source = SumSource::new();
+        let mut m = Master {
+            source: &mut source,
+            b: 4,
+            pending_cap: 64,
+            pending: VecDeque::new(),
+            worker_active: vec![true; 3],
+            need_reply: vec![false; 3],
+            parked: vec![false; 3],
+            outstanding: vec![false; 3],
+            dead: vec![false; 3],
+            journal: BTreeMap::new(),
+            next_lease: 1,
+            pending_adoptions: vec![Vec::new(); 3],
+            adopted_scopes: vec![Vec::new(); 3],
+            report: MasterReport::default(),
+        };
+        m.journal.insert(7, Lease { worker: 1, tasks: vec![2u32, 4] });
+        let ar = |lease: u64, value: u64| {
+            let mut e = Encoder::new();
+            e.put_u64(lease);
+            e.put_u32(1);
+            e.put_u64(value);
+            Msg { src: 1, tag: TAG_W2M_AR, data: e.finish() }
+        };
+        let mut tracer = Tracer::disabled();
+        // Live lease: absorbed, journal retired.
+        m.handle(&mut tracer, &ar(7, 10));
+        assert_eq!(m.source.sum, 10);
+        assert!(m.journal.is_empty());
+        // Replay of the same lease: dropped whole.
+        m.handle(&mut tracer, &ar(7, 10));
+        assert_eq!(m.source.sum, 10, "duplicate replay absorbed twice");
+        // Unknown lease: dropped. Lease 0 (opening report): absorbed.
+        m.handle(&mut tracer, &ar(99, 5));
+        assert_eq!(m.source.sum, 10);
+        m.handle(&mut tracer, &ar(0, 3));
+        assert_eq!(m.source.sum, 13);
+        // Messages from a dead-declared rank are dropped before decode.
+        m.dead[1] = true;
+        m.handle(&mut tracer, &ar(0, 100));
+        assert_eq!(m.source.sum, 13);
+    }
+
+    #[test]
+    fn stall_dump_names_the_outstanding_lease() {
+        let mut source = SumSource::new();
+        let mut m = Master {
+            source: &mut source,
+            b: 4,
+            pending_cap: 64,
+            pending: VecDeque::new(),
+            worker_active: vec![false; 3],
+            need_reply: vec![false; 3],
+            parked: vec![false, true, true],
+            outstanding: vec![false; 3],
+            dead: vec![false; 3],
+            journal: BTreeMap::new(),
+            next_lease: 2,
+            pending_adoptions: vec![Vec::new(); 3],
+            adopted_scopes: vec![Vec::new(); 3],
+            report: MasterReport::default(),
+        };
+        m.journal.insert(1, Lease { worker: 2, tasks: vec![6u32, 8, 10] });
+        assert!(!m.finished(), "an unacknowledged lease blocks termination");
+        let dump = m.stall_dump();
+        assert!(dump.contains("lease 1: worker 2 holds 3 task(s)"), "{dump}");
+        assert!(dump.contains("worker 2:"), "{dump}");
     }
 }

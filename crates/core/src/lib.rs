@@ -36,6 +36,10 @@
 //! - [`cache`] — content-addressed per-stage artifact cache: repeated
 //!   runs over identical inputs and parameters reload the preprocess
 //!   output and the serial GST from disk instead of recomputing them.
+//! - [`checkpoint`] — fault tolerance: per-stage recovery knobs
+//!   ([`checkpoint::StageRecovery`]) and atomic master checkpoint
+//!   snapshots so `pgasm --resume` can restart a killed run from the
+//!   last consistent master state.
 //! - [`geometry`] — the §10 future-work extension implemented:
 //!   orientation/offset-aware Union–Find that refuses geometrically
 //!   inconsistent overlaps during cluster formation.
@@ -45,6 +49,7 @@
 
 pub mod assemble_dist;
 pub mod cache;
+pub mod checkpoint;
 pub mod clustering;
 pub mod engine;
 pub mod geometry;
@@ -54,14 +59,17 @@ pub mod pipeline;
 pub mod unionfind;
 pub mod validation;
 
-pub use assemble_dist::{assemble_parallel, assemble_parallel_traced, AssignPolicy, DistAssembleReport};
+pub use assemble_dist::{
+    assemble_parallel, assemble_parallel_ft, assemble_parallel_traced, AssignPolicy, DistAssembleReport,
+};
 pub use cache::{ArtifactCache, StableHasher};
+pub use checkpoint::StageRecovery;
 pub use clustering::{
     cluster_exhaustive, cluster_serial, cluster_serial_with_gst, ClusterParams, ClusterStats, Clustering,
 };
 pub use engine::{EngineConfig, MasterReport, Task, TaskSink, TaskSource, WorkerReport};
 pub use master_worker::{
-    cluster_parallel, cluster_parallel_traced, MasterWorkerConfig, ParallelClusterReport,
+    cluster_parallel, cluster_parallel_ft, cluster_parallel_traced, MasterWorkerConfig, ParallelClusterReport,
 };
 pub use parallel_gst::{build_distributed_gst, DistributedGstReport};
 pub use pgasm_align::{AlignKernel, AlignScratch};

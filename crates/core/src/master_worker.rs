@@ -31,24 +31,25 @@
 //! measured here, and fragment-byte movement is accounted once in the
 //! GST construction phase.
 
+use crate::checkpoint::{self as ckpt, StageRecovery};
 use crate::clustering::{
     canonical_skip, same_fragment_skip, ClusterParams, ClusterStats, Clustering, PairDecider,
 };
 use crate::engine::{
-    run_master, run_worker, EngineConfig, Task, TaskSink, TaskSource, TAG_M2W_AW, TAG_M2W_R, TAG_W2M_AR,
-    TAG_W2M_NP,
+    run_master, run_master_ckpt, run_worker, CheckpointHook, EngineConfig, MasterReport, Task, TaskSink,
+    TaskSource, TAG_M2W_AW, TAG_M2W_R, TAG_W2M_AR, TAG_W2M_NP,
 };
-use crate::parallel_gst::{compute_owners, rank_build_gst, RankGstReport};
+use crate::parallel_gst::{bucket_owner, compute_owners, rank_build_gst, RankGstReport};
 use crate::unionfind::UnionFind;
 use pgasm_align::AlignScratch;
-use pgasm_gst::{PairGenerator, PromisingPair};
+use pgasm_gst::{bucket_suffixes, GenMode, Gst, GstConfig, PairGenerator, PromisingPair, Suffix};
 use pgasm_mpisim::codec::{checked_len, Decoder, Encoder};
 use pgasm_mpisim::{thread_cpu_seconds, CoalescePolicy, Comm, CommStats, CostModel};
 use pgasm_seq::{FragmentStore, SeqId};
 use pgasm_telemetry::trace::{RankTrace, TraceCategory, TraceSpec, Tracer};
 use pgasm_telemetry::{names, GaugeSampler, RankReport, RankSeries};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 /// Master–worker *runtime* configuration: protocol knobs only. What to
@@ -77,9 +78,10 @@ impl Default for MasterWorkerConfig {
 
 impl MasterWorkerConfig {
     /// The engine-facing subset (coalescing stays with this module,
-    /// which owns the `Comm` setup).
-    fn engine(&self) -> EngineConfig {
-        EngineConfig { batch: self.batch, pending_cap: self.pending_cap }
+    /// which owns the `Comm` setup; the stall timeout arrives with the
+    /// per-run [`StageRecovery`], not this serialisable config).
+    fn engine(&self, stall_timeout: Option<u64>) -> EngineConfig {
+        EngineConfig { batch: self.batch, pending_cap: self.pending_cap, stall_timeout }
     }
 }
 
@@ -118,6 +120,16 @@ pub struct ParallelClusterReport {
     /// Per-rank gauge time series (queue depths, worker occupancy,
     /// coalesce staging, align scratch); empty when tracing was off.
     pub series: Vec<RankSeries>,
+    /// Tasks re-queued from dead workers' leases (0 in fault-free runs).
+    #[serde(default)]
+    pub recovered_tasks: u64,
+    /// Worker ranks the master marked dead during the run.
+    #[serde(default)]
+    pub dead_ranks: u64,
+    /// The fault plan killed the master: the clustering above is
+    /// partial and the run should resume from the last checkpoint.
+    #[serde(default)]
+    pub killed: bool,
 }
 
 struct RankOutcome {
@@ -132,6 +144,9 @@ struct RankOutcome {
     rank_report: RankReport,
     trace: RankTrace,
     series: RankSeries,
+    recovered_tasks: u64,
+    dead_ranks: u64,
+    killed: bool,
 }
 
 /// A promising pair travels as five `u32`s (the engine's default
@@ -177,6 +192,21 @@ pub fn cluster_parallel_traced(
     config: &MasterWorkerConfig,
     trace: TraceSpec,
 ) -> ParallelClusterReport {
+    cluster_parallel_ft(store, p, params, config, trace, &StageRecovery::default())
+}
+
+/// [`cluster_parallel_traced`] under a [`StageRecovery`]: scripted
+/// fault injection, master liveness timeout, and checkpoint/resume.
+/// The default recovery makes this byte-identical to the plain run —
+/// the comm layer is not even armed.
+pub fn cluster_parallel_ft(
+    store: &FragmentStore,
+    p: usize,
+    params: &ClusterParams,
+    config: &MasterWorkerConfig,
+    trace: TraceSpec,
+    recovery: &StageRecovery,
+) -> ParallelClusterReport {
     assert!(p >= 2, "master–worker needs at least 2 ranks");
     assert!(!store.is_double_stranded(), "pass the original single-stranded fragments");
     let n = store.num_fragments();
@@ -190,6 +220,13 @@ pub fn cluster_parallel_traced(
         let role = if comm.rank() == 0 { "master" } else { "worker" };
         comm.set_tracer(trace.tracer(comm.rank(), role));
         comm.set_sampler(trace.sampler(comm.rank(), role));
+        // Arm scripted failures before any traffic. Kills only trip in
+        // the engine's fault-aware ops, so the GST collectives below
+        // stay plain and a scripted kill lands inside the protocol
+        // phase — after the last barrier any rank will ever pass.
+        if !recovery.faults.is_empty() {
+            comm.set_fault_plan(&recovery.faults);
+        }
         // Phase 1: distributed GST over worker ranks.
         let gst_t0 = Instant::now();
         let (gst, _text, gst_report) = rank_build_gst(comm, ds, owner, params.gst, 1);
@@ -206,9 +243,9 @@ pub fn cluster_parallel_traced(
         let t0 = Instant::now();
         let mut outcome = if comm.rank() == 0 {
             drop(gst);
-            master_loop(comm, ds, n, &params, &config)
+            master_loop(comm, ds, n, &params, &config, recovery)
         } else {
-            worker_loop(comm, ds, gst, &params, &config)
+            worker_loop(comm, ds, gst, &params, &config, recovery)
         };
         let wall = t0.elapsed().as_secs_f64();
         let cpu = thread_cpu_seconds() - cpu0;
@@ -257,6 +294,23 @@ pub fn cluster_parallel_traced(
         ] {
             outcome.counters.insert(name.to_string(), value);
         }
+        // Injected-fault tallies: only under an armed plan, and only the
+        // nonzero ones — fault-free runs keep byte-identical reports.
+        if comm.has_fault_plan() {
+            let fs = comm.fault_stats();
+            for (name, value) in [
+                (names::FAULT_KILLS, fs.kills),
+                (names::FAULT_MSGS_DROPPED, fs.msgs_dropped),
+                (names::FAULT_MSGS_DELAYED, fs.msgs_delayed),
+                (names::FAULT_DEATH_NOTICES, fs.death_notices),
+                (names::FAULT_MSGS_LOST, fs.msgs_lost),
+                (names::FAULT_EVENTS, fs.events),
+            ] {
+                if value > 0 {
+                    outcome.counters.insert(name.to_string(), value);
+                }
+            }
+        }
         outcome.rank_report = RankReport {
             rank: comm.rank(),
             role: role.to_string(),
@@ -284,6 +338,9 @@ pub fn cluster_parallel_traced(
         ranks: outcomes.iter().map(|o| o.rank_report.clone()).collect(),
         traces: outcomes.iter().map(|o| o.trace.clone()).collect(),
         series: outcomes.iter().map(|o| o.series.clone()).collect(),
+        recovered_tasks: master.recovered_tasks,
+        dead_ranks: master.dead_ranks,
+        killed: master.killed,
         gst_reports: outcomes.into_iter().map(|o| o.gst_report).collect(),
     }
 }
@@ -335,6 +392,104 @@ impl TaskSource<PromisingPair> for ClusterSource<'_> {
     }
 }
 
+impl ClusterSource<'_> {
+    /// Serialize the master's durable state: the work statistics and
+    /// the cluster store (Union–Find roots, or the buffered geometric
+    /// edges). Engine counters ride along for forensics. Workers hold
+    /// nothing durable — on resume they regenerate their pairs and the
+    /// restored cluster-check discards what is already merged — so this
+    /// is the complete resume state of the clustering stage.
+    fn snapshot(&mut self, rep: &MasterReport) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(rep.tasks_announced)
+            .put_u64(rep.tasks_selected)
+            .put_u64(rep.recovered_tasks)
+            .put_u64(rep.results_absorbed);
+        for v in [
+            self.stats.generated,
+            self.stats.aligned,
+            self.stats.accepted,
+            self.stats.merges,
+            self.stats.dp_cells,
+            self.stats.dp_cells_phase1,
+            self.stats.dp_cells_phase2,
+            self.stats.early_exits,
+            self.stats.tracebacks_skipped,
+            self.stats.inconsistent,
+            self.stats.cells_saved_adaptive,
+            self.stats.band_rows_shrunk,
+        ] {
+            e.put_u64(v);
+        }
+        match &mut self.clusters {
+            MasterClusters::Plain(uf) => {
+                let n = uf.len();
+                e.put_u32(0).put_u32(checked_len(n));
+                for i in 0..n as u32 {
+                    e.put_u32(uf.find(i));
+                }
+            }
+            MasterClusters::Geometric { n, edges, tol } => {
+                e.put_u32(1).put_u32(checked_len(*n)).put_u64(*tol as u64);
+                e.put_u32(checked_len(edges.len()));
+                for (fa, fb, map, overlap_len) in edges.iter() {
+                    e.put_u32(*fa).put_u32(*fb);
+                    e.put_u64(map.s as i64 as u64).put_u64(map.t as u64);
+                    e.put_u32(*overlap_len);
+                }
+            }
+        }
+        e.finish().to_vec()
+    }
+
+    /// Restore the state [`Self::snapshot`] captured. The checkpoint's
+    /// stage tag and checksum were already verified by the loader.
+    fn restore(&mut self, payload: &[u8]) {
+        let mut d = Decoder::new(payload.to_vec().into());
+        // Engine counters are diagnostic only; the resumed run tallies
+        // its own protocol work.
+        for _ in 0..4 {
+            d.get_u64();
+        }
+        self.stats.generated = d.get_u64();
+        self.stats.aligned = d.get_u64();
+        self.stats.accepted = d.get_u64();
+        self.stats.merges = d.get_u64();
+        self.stats.dp_cells = d.get_u64();
+        self.stats.dp_cells_phase1 = d.get_u64();
+        self.stats.dp_cells_phase2 = d.get_u64();
+        self.stats.early_exits = d.get_u64();
+        self.stats.tracebacks_skipped = d.get_u64();
+        self.stats.inconsistent = d.get_u64();
+        self.stats.cells_saved_adaptive = d.get_u64();
+        self.stats.band_rows_shrunk = d.get_u64();
+        match d.get_u32() {
+            0 => {
+                let n = d.get_u32() as usize;
+                let mut uf = UnionFind::new(n);
+                for i in 0..n as u32 {
+                    uf.union(i, d.get_u32());
+                }
+                self.clusters = MasterClusters::Plain(uf);
+            }
+            _ => {
+                let n = d.get_u32() as usize;
+                let tol = d.get_u64() as i64;
+                let count = d.get_u32();
+                let mut edges = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (fa, fb) = (d.get_u32(), d.get_u32());
+                    let s = d.get_u64() as i64 as i8;
+                    let t = d.get_u64() as i64;
+                    let overlap_len = d.get_u32();
+                    edges.push((fa, fb, crate::geometry::AffineMap { s, t }, overlap_len));
+                }
+                self.clusters = MasterClusters::Geometric { n, edges, tol };
+            }
+        }
+    }
+}
+
 /// The master's side of the run: host the engine's event loop with a
 /// [`ClusterSource`], then fold protocol tallies and cluster statistics
 /// into the rank counters.
@@ -344,14 +499,46 @@ fn master_loop(
     n: usize,
     params: &ClusterParams,
     config: &MasterWorkerConfig,
+    recovery: &StageRecovery,
 ) -> RankOutcome {
     let mut source =
         ClusterSource { ds, clusters: MasterClusters::new(n, params), stats: ClusterStats::default() };
-    let em = run_master(comm, &config.engine(), &mut source, Vec::new());
+    let resumed = match &recovery.resume_from {
+        Some(path) => match ckpt::read_checkpoint(path, ckpt::STAGE_CLUSTER) {
+            Some(payload) => {
+                source.restore(&payload);
+                true
+            }
+            None => false,
+        },
+        None => false,
+    };
+    let engine_cfg = config.engine(recovery.stall_timeout);
+    let em = match recovery.ckpt_spec() {
+        Some((path, every)) => {
+            let mut write = |src: &mut ClusterSource, rep: &MasterReport| {
+                let payload = src.snapshot(rep);
+                ckpt::write_checkpoint(path, ckpt::STAGE_CLUSTER, &payload).unwrap_or(0)
+            };
+            run_master_ckpt(
+                comm,
+                &engine_cfg,
+                &mut source,
+                Vec::new(),
+                Some(CheckpointHook { write: &mut write, every }),
+            )
+        }
+        None => run_master(comm, &engine_cfg, &mut source, Vec::new()),
+    };
     let ClusterSource { clusters, mut stats, .. } = source;
     // The engine counts announced tasks; for clustering that *is* the
     // generated-pairs total (every NP pair is announced exactly once).
-    stats.generated = em.tasks_announced;
+    // A resumed run keeps the snapshot's tally and adds its own.
+    if resumed {
+        stats.generated += em.tasks_announced;
+    } else {
+        stats.generated = em.tasks_announced;
+    }
     let counters = BTreeMap::from([
         (names::PAIRS_GENERATED.to_string(), stats.generated),
         (names::PAIRS_ALIGNED.to_string(), stats.aligned),
@@ -367,6 +554,19 @@ fn master_loop(
         (names::ALIGN_CELLS_SAVED_ADAPTIVE.to_string(), stats.cells_saved_adaptive),
         (names::ALIGN_BAND_ROWS_SHRUNK.to_string(), stats.band_rows_shrunk),
     ]);
+    let mut counters = counters;
+    // Recovery tallies: only when something actually happened, so the
+    // fault-free counter set stays byte-identical.
+    for (name, value) in [
+        (names::RECOVERED_TASKS, em.recovered_tasks),
+        (names::DEAD_RANKS, em.dead_ranks),
+        (names::CKPT_WRITES, em.ckpt_writes),
+        (names::CKPT_BYTES, em.ckpt_bytes),
+    ] {
+        if value > 0 {
+            counters.insert(name.to_string(), value);
+        }
+    }
     RankOutcome {
         clustering: Some(clusters.finish(&mut stats)),
         stats: Some(stats),
@@ -379,8 +579,15 @@ fn master_loop(
         rank_report: RankReport::default(),
         trace: RankTrace::default(),
         series: RankSeries::default(),
+        recovered_tasks: em.recovered_tasks,
+        dead_ranks: em.dead_ranks,
+        killed: em.killed,
     }
 }
+
+/// A pair generator rebuilt for an adopted scope — the dedup closure
+/// has to be boxed because each rebuilt generator captures its own.
+type AdoptedGenerator = PairGenerator<Box<dyn FnMut(SeqId, SeqId) -> bool>>;
 
 /// Worker-side clustering client: computes allocated alignment batches
 /// with the two-phase kernel (reusing one pre-sized scratch — the
@@ -390,6 +597,15 @@ struct ClusterSink<'a, F: FnMut(SeqId, SeqId) -> bool> {
     gen: PairGenerator<F>,
     decider: PairDecider<'a>,
     scratch: AlignScratch,
+    // Adoption state: the double-stranded store and enough of the run's
+    // shape to rebuild a dead peer's GST portion on demand, plus the
+    // chain of generators rebuilt so far (drained FIFO after `gen`).
+    store: &'a FragmentStore,
+    world: usize,
+    gst_config: GstConfig,
+    mode: GenMode,
+    canonical: bool,
+    adopted: VecDeque<AdoptedGenerator>,
     results: Vec<(PromisingPair, bool, u32, u32, u32)>,
     // Per-round work-accounting deltas (reset after each AR report)...
     cells1_delta: u64,
@@ -468,8 +684,43 @@ impl<F: FnMut(SeqId, SeqId) -> bool> TaskSink<PromisingPair> for ClusterSink<'_,
     fn generate(&mut self, tracer: &mut Tracer, r: usize, out: &mut Vec<PromisingPair>) -> bool {
         tracer.begin_arg(TraceCategory::Worker, names::EV_GENERATE, "requested", r as u64);
         self.gen.next_batch(r, out);
+        // Top up from adopted scopes once the rank's own generator runs
+        // dry for this request.
+        while out.len() < r {
+            let Some(front) = self.adopted.front_mut() else { break };
+            front.next_batch(r - out.len(), out);
+            if front.is_exhausted() {
+                self.adopted.pop_front();
+            } else {
+                break;
+            }
+        }
         tracer.end(TraceCategory::Worker, names::EV_GENERATE);
-        !self.gen.is_exhausted()
+        !self.gen.is_exhausted() || !self.adopted.is_empty()
+    }
+
+    fn adopt_scope(&mut self, tracer: &mut Tracer, dead_rank: usize) {
+        tracer.begin_arg(TraceCategory::Fault, names::EV_ADOPT_REBUILD, "dead", dead_rank as u64);
+        // Bucket ownership is a pure hash of the bucket key, so this
+        // rank can recompute exactly which buckets the dead rank owned
+        // and rebuild its GST portion from the shared fragment store.
+        // In-bucket suffix order may differ from the redistributed
+        // build's, which permutes pair order within the scope — the
+        // master's cluster-check absorbs reordering and duplicates, so
+        // the final partition is unchanged.
+        let builders = self.world - 1;
+        let mut keyed: Vec<(u64, Vec<Suffix>)> = bucket_suffixes(self.store, self.gst_config.w)
+            .into_iter()
+            .filter(|(key, _)| bucket_owner(*key, builders, 1) == dead_rank)
+            .collect();
+        keyed.sort_by_key(|(key, _)| *key);
+        let buckets: Vec<Vec<Suffix>> = keyed.into_iter().map(|(_, b)| b).collect();
+        let gst = Gst::build_from_buckets(self.store, buckets, self.gst_config);
+        let canonical = self.canonical;
+        let skip: Box<dyn FnMut(SeqId, SeqId) -> bool> =
+            Box::new(move |a, b| same_fragment_skip(a, b) || (canonical && canonical_skip(a, b)));
+        self.adopted.push_back(PairGenerator::new(gst, self.mode, skip));
+        tracer.end(TraceCategory::Fault, names::EV_ADOPT_REBUILD);
     }
 
     fn sample_gauges(&mut self, sampler: &mut GaugeSampler) {
@@ -488,6 +739,7 @@ fn worker_loop(
     gst: pgasm_gst::Gst,
     params: &ClusterParams,
     config: &MasterWorkerConfig,
+    recovery: &StageRecovery,
 ) -> RankOutcome {
     let params = *params;
     let canonical = params.canonical_strands;
@@ -503,6 +755,12 @@ fn worker_loop(
         gen,
         decider,
         scratch,
+        store: ds,
+        world: comm.size(),
+        gst_config: params.gst,
+        mode: params.mode,
+        canonical,
+        adopted: VecDeque::new(),
         results: Vec::new(),
         cells1_delta: 0,
         cells2_delta: 0,
@@ -519,8 +777,8 @@ fn worker_loop(
         pairs_aligned: 0,
         pairs_accepted: 0,
     };
-    let ew = run_worker(comm, &config.engine(), &mut sink);
-    worker_outcome(BTreeMap::from([
+    let ew = run_worker(comm, &config.engine(recovery.stall_timeout), &mut sink);
+    let mut counters = BTreeMap::from([
         (names::PAIRS_GENERATED.to_string(), ew.tasks_generated),
         (names::PAIRS_ALIGNED.to_string(), sink.pairs_aligned),
         (names::PAIRS_ACCEPTED.to_string(), sink.pairs_accepted),
@@ -534,7 +792,13 @@ fn worker_loop(
         (names::SIMD_LANES.to_string(), pgasm_align::simd::effective_lanes()),
         (names::ALIGN_SCRATCH_BYTES_PEAK.to_string(), sink.scratch.high_water_bytes()),
         (names::ALIGN_SCRATCH_GROWS.to_string(), sink.scratch.grow_events()),
-    ]))
+    ]);
+    if ew.scopes_adopted > 0 {
+        counters.insert(names::SCOPES_ADOPTED.to_string(), ew.scopes_adopted);
+    }
+    let mut outcome = worker_outcome(counters);
+    outcome.killed = ew.killed;
+    outcome
 }
 
 /// The master's cluster store: plain Union–Find, or the §10
@@ -623,6 +887,9 @@ fn worker_outcome(counters: BTreeMap<String, u64>) -> RankOutcome {
         rank_report: RankReport::default(),
         trace: RankTrace::default(),
         series: RankSeries::default(),
+        recovered_tasks: 0,
+        dead_ranks: 0,
+        killed: false,
     }
 }
 
@@ -864,5 +1131,132 @@ mod tests {
     fn requires_two_ranks() {
         let store = FragmentStore::from_seqs(vec![DnaSeq::from("ACGT")]);
         cluster_parallel(&store, 1, &params(), &config());
+    }
+
+    use pgasm_mpisim::{FaultPlan, FaultStage, KillTarget};
+
+    /// Measure each rank's fault-clock depth with an armed plan that
+    /// never fires, so kill events can be aimed mid-protocol instead of
+    /// guessed. (Arrival order varies run to run, but the midpoint of a
+    /// measured depth is comfortably inside every run.)
+    fn probe_events(store: &FragmentStore, p: usize) -> Vec<u64> {
+        let armed = StageRecovery {
+            faults: FaultPlan::default().with_kill(KillTarget::Rank(0), u64::MAX, FaultStage::Any),
+            ..StageRecovery::default()
+        };
+        let report = cluster_parallel_ft(store, p, &params(), &config(), TraceSpec::off(), &armed);
+        report.ranks.iter().map(|r| r.counter(names::FAULT_EVENTS)).collect()
+    }
+
+    /// The worker round is four fault-aware calls (send AR, send NP,
+    /// recv R, recv AW); events ≡ 1 (mod 4) land at the entry of an AR
+    /// send, when the rank holds an unacknowledged lease.
+    fn ar_send_event_near(mid: u64) -> u64 {
+        (mid.saturating_sub(mid % 4) + 1).max(5)
+    }
+
+    #[test]
+    fn default_recovery_matches_plain_run() {
+        // The fault-tolerance entry point under a passive recovery must
+        // not perturb the run: same partition, no fault bookkeeping
+        // anywhere in the report. (Counter *values* are timing-dependent
+        // run to run, so the zero-drift claim is about which counters
+        // exist, checked here, plus the deterministic partition.)
+        let store = test_store();
+        let plain = cluster_parallel(&store, 3, &params(), &config());
+        let ft =
+            cluster_parallel_ft(&store, 3, &params(), &config(), TraceSpec::off(), &StageRecovery::default());
+        assert_eq!(ft.clustering, plain.clustering);
+        assert_eq!(ft.recovered_tasks, 0);
+        assert_eq!(ft.dead_ranks, 0);
+        assert!(!ft.killed);
+        for r in &ft.ranks {
+            let stray: Vec<_> = r
+                .counters
+                .keys()
+                .filter(|k| {
+                    k.starts_with("fault_")
+                        || k.as_str() == names::RECOVERED_TASKS
+                        || k.as_str() == names::DEAD_RANKS
+                        || k.as_str() == names::SCOPES_ADOPTED
+                        || k.as_str() == names::CKPT_WRITES
+                        || k.as_str() == names::CKPT_BYTES
+                })
+                .collect();
+            assert!(stray.is_empty(), "rank {}: fault counters in a fault-free run: {stray:?}", r.rank);
+        }
+    }
+
+    #[test]
+    fn killed_worker_yields_identical_partition() {
+        // Kill each worker in turn mid-protocol while it holds a lease
+        // and require the exact serial partition plus a lease recovery
+        // and a scope adoption.
+        let store = test_store();
+        let (serial, _) = cluster_serial(&store, &params());
+        let depths = probe_events(&store, 4);
+        for (victim, &depth) in depths.iter().enumerate().skip(1) {
+            let at = ar_send_event_near(depth / 2);
+            let recovery = StageRecovery {
+                faults: FaultPlan::default().with_kill(KillTarget::Rank(victim), at, FaultStage::Any),
+                ..StageRecovery::default()
+            };
+            let report = cluster_parallel_ft(&store, 4, &params(), &config(), TraceSpec::off(), &recovery);
+            assert_eq!(report.clustering, serial, "victim {victim} (killed at event {at})");
+            assert_eq!(report.dead_ranks, 1, "victim {victim} (killed at event {at})");
+            assert!(report.recovered_tasks > 0, "victim {victim} died holding a lease (event {at})");
+            assert!(!report.killed);
+            assert_eq!(report.ranks[0].counter(names::DEAD_RANKS), 1);
+        }
+    }
+
+    #[test]
+    fn early_kill_makes_a_survivor_adopt_the_generator_scope() {
+        // Event 5 is the victim's second AR send: it has announced one
+        // round of pairs but its generator is nowhere near exhausted, so
+        // the master must hand its GST scope to exactly one survivor —
+        // and the partition must still match the serial one.
+        let store = test_store();
+        let (serial, _) = cluster_serial(&store, &params());
+        let recovery = StageRecovery {
+            faults: FaultPlan::default().with_kill(KillTarget::Rank(1), 5, FaultStage::Any),
+            ..StageRecovery::default()
+        };
+        let report = cluster_parallel_ft(&store, 4, &params(), &config(), TraceSpec::off(), &recovery);
+        assert_eq!(report.clustering, serial);
+        assert_eq!(report.dead_ranks, 1);
+        let adopters: u64 = report.ranks[1..].iter().map(|r| r.counter(names::SCOPES_ADOPTED)).sum();
+        assert_eq!(adopters, 1, "exactly one survivor adopts the dead generator's scope");
+    }
+
+    #[test]
+    fn master_kill_checkpoint_resume_reproduces_partition() {
+        let store = test_store();
+        let (serial, _) = cluster_serial(&store, &params());
+        let depths = probe_events(&store, 3);
+        let dir = std::env::temp_dir().join(format!("pgasm-mw-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cluster.pgck");
+        let faulty = StageRecovery {
+            faults: FaultPlan::default().with_kill(
+                KillTarget::Rank(0),
+                (depths[0] / 2).max(8),
+                FaultStage::Any,
+            ),
+            checkpoint_every: Some(1),
+            checkpoint_path: Some(path.clone()),
+            ..StageRecovery::default()
+        };
+        let r1 = cluster_parallel_ft(&store, 3, &params(), &config(), TraceSpec::off(), &faulty);
+        assert!(r1.killed, "the plan kills the master mid-protocol");
+        assert!(path.exists(), "a checkpoint landed before the kill");
+        assert!(r1.ranks[0].counter(names::CKPT_WRITES) > 0);
+        // Resume from the snapshot, fault-free: identical partition.
+        let resume = StageRecovery { resume_from: Some(path.clone()), ..StageRecovery::default() };
+        let r2 = cluster_parallel_ft(&store, 3, &params(), &config(), TraceSpec::off(), &resume);
+        assert_eq!(r2.clustering, serial);
+        assert!(!r2.killed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,19 +6,22 @@
 //! [`Pipeline::run_with_context`]; [`Pipeline::run`] wraps it with a
 //! private context for the common case.
 
-use crate::assemble_dist::{assemble_parallel_traced, AssignPolicy};
+use crate::assemble_dist::{assemble_parallel_ft, AssignPolicy};
 use crate::cache::{self, ArtifactCache};
+use crate::checkpoint::StageRecovery;
 use crate::clustering::{cluster_serial, cluster_serial_with_gst, ClusterParams, ClusterStats, Clustering};
-use crate::master_worker::{cluster_parallel_traced, MasterWorkerConfig};
-use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig};
+use crate::master_worker::{cluster_parallel_ft, MasterWorkerConfig};
+use pgasm_assemble::{assemble_with_quality, Assembly, AssemblyConfig, Contig, Placement};
 use pgasm_gst::{Gst, GST_CODEC_SCHEMA};
+use pgasm_mpisim::FaultStage;
 use pgasm_preprocess::pipeline::PreprocessOutput;
 use pgasm_preprocess::{PreprocessConfig, PreprocessStats, Preprocessor, PREPROCESS_CODEC_SCHEMA};
+use pgasm_seq::wire::{Reader, Writer};
 use pgasm_seq::QualityTrack;
 use pgasm_seq::{DnaSeq, FragmentStore, SeqId};
 use pgasm_simgen::ReadSet;
 use pgasm_telemetry::trace::{TraceCategory, TraceSpec};
-use pgasm_telemetry::{names, RunContext, Span};
+use pgasm_telemetry::{names, RankReport, RunContext, Span};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration.
@@ -44,9 +47,17 @@ pub struct PipelineConfig {
     pub trace: TraceSpec,
     /// Directory for the content-addressed artifact cache; `None`
     /// disables caching. Repeated runs over identical inputs and
-    /// parameters reload the preprocess output and (serial runs) the
-    /// GST from here instead of recomputing them.
+    /// parameters reload the preprocess output, (serial runs) the GST,
+    /// and the assembled contigs from here instead of recomputing them.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Fault-tolerance knobs for the distributed stages: failures to
+    /// inject, the master's stall timeout, checkpoint cadence, and the
+    /// snapshot to resume from. The `checkpoint_path` / `resume_from`
+    /// paths are treated as a *base*: each stage derives its own file
+    /// (`<base>.cluster.pgck`, `<base>.assemble.pgck`), so one
+    /// `--checkpoint` flag covers both engine clients. Passive by
+    /// default.
+    pub recovery: StageRecovery,
 }
 
 impl Default for PipelineConfig {
@@ -60,6 +71,42 @@ impl Default for PipelineConfig {
             assembly_threads: 4,
             trace: TraceSpec::off(),
             cache_dir: None,
+            recovery: StageRecovery::default(),
+        }
+    }
+}
+
+/// The recovery knobs for one distributed stage: the fault plan
+/// narrowed to that stage, checkpoint/resume paths pointed at the
+/// stage's own snapshot file.
+fn stage_recovery(base: &StageRecovery, stage: FaultStage, name: &str) -> StageRecovery {
+    let derive = |p: &std::path::Path| {
+        let mut s = p.as_os_str().to_os_string();
+        s.push(format!(".{name}.pgck"));
+        std::path::PathBuf::from(s)
+    };
+    let mut r = base.for_stage(stage);
+    r.checkpoint_path = r.checkpoint_path.as_deref().map(derive);
+    r.resume_from = r.resume_from.as_deref().map(derive);
+    r
+}
+
+/// Fold one distributed stage's fault/recovery tallies into the run's
+/// counter map (nonzero only, so clean runs keep byte-identical
+/// reports and the schema-v4 `faults` section stays absent).
+fn fold_fault_counters(ctx: &mut RunContext, ranks: &[RankReport], recovered: u64, dead: u64) {
+    let sum = |name: &str| ranks.iter().map(|r| r.counter(name)).sum::<u64>();
+    for (name, value) in [
+        (names::RECOVERED_TASKS, recovered),
+        (names::DEAD_RANKS, dead),
+        (names::FAULT_KILLS, sum(names::FAULT_KILLS)),
+        (names::FAULT_MSGS_DROPPED, sum(names::FAULT_MSGS_DROPPED)),
+        (names::FAULT_MSGS_DELAYED, sum(names::FAULT_MSGS_DELAYED)),
+        (names::CKPT_WRITES, sum(names::CKPT_WRITES)),
+        (names::CKPT_BYTES, sum(names::CKPT_BYTES)),
+    ] {
+        if value > 0 {
+            ctx.add(name, value);
         }
     }
 }
@@ -84,6 +131,12 @@ pub struct PipelineReport {
     pub cluster_seconds: f64,
     /// Seconds in the assembly phase.
     pub assembly_seconds: f64,
+    /// Name of the stage whose master the fault plan killed, when one
+    /// was. The run stopped there — later stages did not execute and
+    /// this report's artifacts are partial; restart with `--resume` to
+    /// finish from the last checkpoint.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub interrupted: Option<String>,
 }
 
 impl PipelineReport {
@@ -139,6 +192,10 @@ pub struct StageState<'r> {
     /// Artifact cache for the run (`None` = caching disabled, or the
     /// cache directory could not be created — degrade to a cold run).
     pub cache: Option<ArtifactCache>,
+    /// Set by a stage whose master the fault plan killed: the pipeline
+    /// stops after that stage instead of feeding partial artifacts
+    /// forward.
+    pub interrupted: Option<String>,
 }
 
 impl<'r> StageState<'r> {
@@ -157,6 +214,7 @@ impl<'r> StageState<'r> {
             assemblies: Vec::new(),
             stage_seconds: Vec::new(),
             cache: None,
+            interrupted: None,
         }
     }
 
@@ -270,13 +328,19 @@ impl Stage for ClusterStage<'_> {
         let store = state.store.as_ref().expect("preprocess stage ran");
         let (clustering, stats) = match self.config.parallel_ranks {
             Some(p) => {
-                let report = cluster_parallel_traced(
+                let recovery = stage_recovery(&self.config.recovery, FaultStage::Cluster, "cluster");
+                let report = cluster_parallel_ft(
                     store,
                     p,
                     &self.config.cluster,
                     &self.config.master_worker,
                     self.config.trace,
+                    &recovery,
                 );
+                fold_fault_counters(ctx, &report.ranks, report.recovered_tasks, report.dead_ranks);
+                if report.killed {
+                    state.interrupted = Some(self.name().to_string());
+                }
                 ctx.record_span(Span {
                     name: "gst_build".to_string(),
                     wall_seconds: report.gst_seconds,
@@ -389,9 +453,22 @@ impl Stage for AssembleStage<'_> {
         let clustering = state.clustering.as_ref().expect("cluster stage ran");
         let masked = state.store.as_ref().expect("preprocess stage ran");
         let assembly_store = state.store_unmasked.as_ref().unwrap_or(masked);
+        // A fully warm cache skips the whole stage: the contigs are a
+        // pure function of the assembly store, qualities, clustering,
+        // and assembler parameters — all folded into the key.
+        let key = state.cache.as_ref().map(|_| {
+            cache::contigs_key(assembly_store, Some(&state.quals), clustering, &self.config.assembly)
+        });
+        if let Some(assemblies) = self.load_cached(state, ctx, key) {
+            state.assemblies = assemblies;
+            ctx.set(names::ASSEMBLED_CLUSTERS, state.assemblies.len() as u64);
+            ctx.set(names::CONTIGS, state.assemblies.iter().map(|a| a.num_contigs() as u64).sum());
+            return;
+        }
         state.assemblies = match self.config.parallel_ranks {
             Some(p) => {
-                let report = assemble_parallel_traced(
+                let recovery = stage_recovery(&self.config.recovery, FaultStage::Assemble, "assemble");
+                let report = assemble_parallel_ft(
                     assembly_store,
                     Some(&state.quals),
                     clustering,
@@ -399,7 +476,12 @@ impl Stage for AssembleStage<'_> {
                     p,
                     AssignPolicy::Lpt,
                     self.config.trace,
+                    &recovery,
                 );
+                fold_fault_counters(ctx, &report.ranks, report.recovered_tasks, report.dead_ranks);
+                if report.killed {
+                    state.interrupted = Some(self.name().to_string());
+                }
                 ctx.record_span(Span {
                     name: "dist_assemble".to_string(),
                     wall_seconds: report.assemble_seconds,
@@ -427,9 +509,104 @@ impl Stage for AssembleStage<'_> {
                 self.config.assembly_threads,
             ),
         };
+        // A killed assembly master leaves placeholder slots — never
+        // cache those as the real contigs.
+        if state.interrupted.is_none() {
+            if let (Some(cache), Some(key)) = (&state.cache, key) {
+                ctx.push("cache");
+                if let Ok(n) =
+                    cache.store("contigs", CONTIGS_CODEC_SCHEMA, key, &encode_assemblies(&state.assemblies))
+                {
+                    ctx.add(names::CACHE_BYTES_WRITTEN, n);
+                }
+                ctx.pop();
+            }
+        }
         ctx.set(names::ASSEMBLED_CLUSTERS, state.assemblies.len() as u64);
         ctx.set(names::CONTIGS, state.assemblies.iter().map(|a| a.num_contigs() as u64).sum());
     }
+}
+
+impl AssembleStage<'_> {
+    /// Try the artifact cache for the stage's whole output. Any failure
+    /// — absent entry, corrupt frame, malformed payload — is a miss.
+    fn load_cached(
+        &self,
+        state: &StageState<'_>,
+        ctx: &mut RunContext,
+        key: Option<u64>,
+    ) -> Option<Vec<Assembly>> {
+        let (cache, key) = (state.cache.as_ref()?, key?);
+        ctx.push("cache");
+        let out = cache
+            .load("contigs", CONTIGS_CODEC_SCHEMA, key)
+            .and_then(|payload| decode_assemblies(&payload).map(|a| (payload.len(), a)));
+        match &out {
+            Some((bytes, _)) => {
+                ctx.add(names::CACHE_HIT, 1);
+                ctx.add(names::CACHE_BYTES_READ, *bytes as u64);
+            }
+            None => ctx.add(names::CACHE_MISS, 1),
+        }
+        ctx.pop();
+        out.map(|(_, a)| a)
+    }
+}
+
+/// Artifact codec schema of the `contigs` cache kind; bump on any
+/// layout change so stale entries read as misses.
+pub const CONTIGS_CODEC_SCHEMA: u32 = 1;
+
+/// Serialize the assemble stage's output for the artifact cache.
+fn encode_assemblies(assemblies: &[Assembly]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 * assemblies.len() + 16);
+    w.put_u32(assemblies.len() as u32);
+    for a in assemblies {
+        w.put_u32(a.contigs.len() as u32);
+        for c in &a.contigs {
+            w.put_bytes(&c.seq.to_ascii());
+            w.put_u32(c.placements.len() as u32);
+            for p in &c.placements {
+                w.put_u64(p.read as u64);
+                w.put_u64(p.offset as u64);
+                w.put_u8(p.flipped as u8);
+            }
+        }
+        let singletons: Vec<u32> = a.singletons.iter().map(|&s| s as u32).collect();
+        w.put_u32_slice(&singletons);
+        w.put_u64(a.inconsistent_edges as u64);
+    }
+    w.finish()
+}
+
+/// Inverse of [`encode_assemblies`]; `None` — never a panic — on any
+/// truncated or malformed payload, so a damaged entry is just a miss.
+fn decode_assemblies(payload: &[u8]) -> Option<Vec<Assembly>> {
+    let mut r = Reader::new(payload);
+    let n = r.get_u32().ok()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let n_contigs = r.get_u32().ok()?;
+        let mut contigs = Vec::new();
+        for _ in 0..n_contigs {
+            let seq = DnaSeq::from_ascii(r.get_bytes().ok()?);
+            let n_placements = r.get_u32().ok()?;
+            let mut placements = Vec::new();
+            for _ in 0..n_placements {
+                placements.push(Placement {
+                    read: r.get_u64().ok()? as usize,
+                    offset: r.get_u64().ok()? as usize,
+                    flipped: r.get_u8().ok()? == 1,
+                });
+            }
+            contigs.push(Contig { seq, placements });
+        }
+        let singletons = r.get_u32_slice().ok()?.into_iter().map(|s| s as usize).collect();
+        let inconsistent_edges = r.get_u64().ok()? as usize;
+        out.push(Assembly { contigs, singletons, inconsistent_edges });
+    }
+    r.expect_end().ok()?;
+    Some(out)
 }
 
 /// The pipeline runner: a fixed stage graph executed over one
@@ -492,6 +669,12 @@ impl Pipeline {
                 ctx.counter(names::CACHE_BYTES_READ) + ctx.counter(names::CACHE_BYTES_WRITTEN),
             );
             state.stage_seconds.push((stage.name(), wall));
+            if state.interrupted.is_some() {
+                // The fault plan killed this stage's master: stop here
+                // rather than feed partial artifacts forward. The
+                // caller resumes from the stage's last checkpoint.
+                break;
+            }
         }
         if self.config.trace.enabled {
             ctx.add_trace(tracer.finish());
@@ -509,6 +692,7 @@ impl Pipeline {
             preprocess_seconds,
             cluster_seconds,
             assembly_seconds,
+            interrupted: state.interrupted,
         }
     }
 }
@@ -613,6 +797,7 @@ mod tests {
             assembly_threads: 2,
             trace: TraceSpec::off(),
             cache_dir: None,
+            recovery: StageRecovery::default(),
         }
     }
 

@@ -2,6 +2,7 @@
 //! small-message coalescing.
 
 use crate::codec::{Decoder, Encoder};
+use crate::faults::{CommError, FaultPlan, FaultRuntime, FaultStats, Verdict};
 use crate::model::{CommStats, CostModel};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -21,6 +22,10 @@ const TAG_ALLTOALL: u32 = RESERVED_TAG_BASE + 2;
 const TAG_ALLTOALL_P2P: u32 = RESERVED_TAG_BASE + 3;
 const TAG_REDUCE: u32 = RESERVED_TAG_BASE + 4;
 const TAG_COALESCED: u32 = RESERVED_TAG_BASE + 5;
+/// Death notice a dying rank broadcasts to every peer (empty payload).
+/// Intercepted on ingest — application receives never see it; the
+/// fault-aware receives surface it as [`Event::Death`].
+const TAG_DEATH: u32 = RESERVED_TAG_BASE + 6;
 
 /// Human-readable name for a tag: collectives get their primitive's
 /// name, application tags render as `"tag<N>"` (callers owning an
@@ -33,6 +38,7 @@ pub fn tag_label(tag: u32) -> String {
         TAG_ALLTOALL_P2P => "alltoall_p2p".to_string(),
         TAG_REDUCE => "reduce".to_string(),
         TAG_COALESCED => "coalesced".to_string(),
+        TAG_DEATH => names::TAG_DEATH.to_string(),
         t => format!("tag{t}"),
     }
 }
@@ -116,6 +122,18 @@ pub struct Msg {
     pub data: Bytes,
 }
 
+/// What a fault-aware receive delivered: an application message, or the
+/// observation that a peer died. Death events are surfaced regardless
+/// of the receive's src/tag filter — a failure is never something a
+/// caller can opt out of seeing.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// An application message matching the receive's filter.
+    Msg(Msg),
+    /// The given peer rank broadcast its death notice.
+    Death(usize),
+}
+
 /// A rank's communicator handle. All methods take `&mut self`: a rank is
 /// single-threaded, exactly like an MPI process.
 pub struct Comm {
@@ -136,6 +154,15 @@ pub struct Comm {
     /// Bytes currently staged across all destination queues (feeds the
     /// coalesce-queue gauge without re-summing per sample).
     staged_bytes: usize,
+    /// Armed fault plan for this rank (`None` = fault-free run; the
+    /// fault-aware operations then behave exactly like their plain
+    /// counterparts).
+    faults: Option<FaultRuntime>,
+    /// Peers whose death notice this rank has ingested.
+    dead_peers: Vec<bool>,
+    /// Deaths ingested but not yet surfaced through a fault-aware
+    /// receive.
+    pending_deaths: VecDeque<usize>,
 }
 
 impl Comm {
@@ -234,6 +261,198 @@ impl Comm {
     /// sampler behind. Call at the end of the rank body.
     pub fn take_series(&mut self) -> RankSeries {
         self.sampler.take()
+    }
+
+    /// Arm `plan` on this rank. Every rank of the world must arm the
+    /// same (stage-filtered) plan for consistent semantics: arming
+    /// switches the rank's fault-aware operations from pass-through to
+    /// injected mode and makes a vanished peer a counted loss instead
+    /// of a panic.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultRuntime::new(plan, self.rank, self.size));
+    }
+
+    /// Whether a fault plan is armed on this rank.
+    pub fn has_fault_plan(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Snapshot of this rank's fault-layer counters (all zero when no
+    /// plan is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Peers whose death notice this rank has observed.
+    pub fn dead_peers(&self) -> &[bool] {
+        &self.dead_peers
+    }
+
+    /// Advance this rank's fault clock by one event: trip a scripted
+    /// kill (entry of every fault-aware call, *before* any transmission
+    /// — a killed rank's current round never reaches the wire) and
+    /// release any held-back messages that have come due.
+    fn fault_tick(&mut self) -> Result<(), CommError> {
+        let Some(f) = &mut self.faults else { return Ok(()) };
+        if f.dead {
+            return Err(f.killed_error());
+        }
+        let (killed, released) = f.tick();
+        if killed {
+            return Err(self.die());
+        }
+        for (dest, tag, data) in released {
+            if self.dead_peers[dest] {
+                if let Some(f) = &mut self.faults {
+                    f.stats.msgs_lost += 1;
+                }
+            } else {
+                self.send_raw(dest, tag, data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Crash this rank: staged (coalesced) messages are lost with it,
+    /// and every peer gets a death notice so survivors observe the
+    /// failure instead of hanging.
+    fn die(&mut self) -> CommError {
+        for q in &mut self.queues {
+            q.msgs.clear();
+            q.bytes = 0;
+        }
+        self.staged_bytes = 0;
+        let err = self.faults.as_ref().expect("die() only under an armed plan").killed_error();
+        let event = match err {
+            CommError::Killed { event, .. } => event,
+            CommError::Disconnected => 0,
+        };
+        self.tracer.instant_arg(TraceCategory::Fault, names::EV_FAULT_KILL, "event", event);
+        for peer in 0..self.size {
+            if peer == self.rank {
+                continue;
+            }
+            self.stats.msgs_sent += 1;
+            self.tag_traffic.entry(TAG_DEATH).or_default().msgs_sent += 1;
+            let _ = self.senders[peer].send(Msg { src: self.rank, tag: TAG_DEATH, data: Bytes::new() });
+            if let Some(f) = &mut self.faults {
+                f.stats.death_notices += 1;
+            }
+        }
+        err
+    }
+
+    /// Fault-aware send: like [`Comm::send`], but scripted faults apply
+    /// (the plan may kill this rank at the call's entry, or drop/delay
+    /// this message), sends to known-dead peers are counted losses
+    /// instead of deliveries, and a tripped kill surfaces as
+    /// `Err(CommError::Killed)`. Without an armed plan this is exactly
+    /// `send`.
+    pub fn send_ft(&mut self, dest: usize, tag: u32, data: Bytes) -> Result<(), CommError> {
+        self.fault_tick()?;
+        match self.faults.as_mut().map(|f| f.filter(dest, tag)) {
+            Some(Verdict::Drop) => {
+                self.tracer.instant_args(
+                    TraceCategory::Fault,
+                    names::EV_FAULT_DROP,
+                    ("dst", dest as u64),
+                    ("tag", tag as u64),
+                );
+                return Ok(());
+            }
+            Some(Verdict::Delay(release_at)) => {
+                self.tracer.instant_args(
+                    TraceCategory::Fault,
+                    names::EV_FAULT_DELAY,
+                    ("dst", dest as u64),
+                    ("tag", tag as u64),
+                );
+                self.faults.as_mut().expect("armed").hold(release_at, dest, tag, data);
+                return Ok(());
+            }
+            _ => {}
+        }
+        if let Some(faults) = self.faults.as_mut() {
+            if self.dead_peers[dest] {
+                faults.stats.msgs_lost += 1;
+                return Ok(());
+            }
+        }
+        self.send(dest, tag, data);
+        Ok(())
+    }
+
+    /// Fault-aware blocking receive. Like [`Comm::recv`], but a peer's
+    /// death notice is delivered as [`Event::Death`] — regardless of
+    /// the src/tag filter — the scripted kill of *this* rank surfaces
+    /// as `Err(CommError::Killed)`, and a fully-exited world returns
+    /// `Err(CommError::Disconnected)` instead of panicking. Without an
+    /// armed plan only `Event::Msg` values are ever produced.
+    pub fn recv_ft(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<Event, CommError> {
+        self.fault_tick()?;
+        if let Some(d) = self.pending_deaths.pop_front() {
+            return Ok(Event::Death(d));
+        }
+        if let Some(i) = self.backlog_find(src, tag) {
+            let m = self.backlog.remove(i).expect("index valid");
+            self.note_recv(&m);
+            return Ok(Event::Msg(m));
+        }
+        self.flush_before_block();
+        loop {
+            let m = match self.receiver.try_recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    self.tracer.begin(TraceCategory::Comm, names::EV_WAIT);
+                    let start = Instant::now();
+                    let res = self.receiver.recv();
+                    self.stats.wait_ns += start.elapsed().as_nanos() as u64;
+                    self.tracer.end(TraceCategory::Comm, names::EV_WAIT);
+                    match res {
+                        Ok(m) => m,
+                        Err(_) => return Err(CommError::Disconnected),
+                    }
+                }
+            };
+            let first_new = self.backlog.len();
+            self.ingest(m);
+            if let Some(d) = self.pending_deaths.pop_front() {
+                return Ok(Event::Death(d));
+            }
+            if let Some(i) = (first_new..self.backlog.len()).find(|&i| matches(&self.backlog[i], src, tag)) {
+                let m = self.backlog.remove(i).expect("index valid");
+                self.note_recv(&m);
+                return Ok(Event::Msg(m));
+            }
+        }
+    }
+
+    /// Fault-aware non-blocking receive; `Ok(None)` when nothing
+    /// matching (and no death notice) is queued. Never flushes staged
+    /// sends, like [`Comm::try_recv`].
+    pub fn try_recv_ft(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<Option<Event>, CommError> {
+        self.fault_tick()?;
+        if let Some(d) = self.pending_deaths.pop_front() {
+            return Ok(Some(Event::Death(d)));
+        }
+        if let Some(i) = self.backlog_find(src, tag) {
+            let m = self.backlog.remove(i).expect("index valid");
+            self.note_recv(&m);
+            return Ok(Some(Event::Msg(m)));
+        }
+        while let Ok(m) = self.receiver.try_recv() {
+            let first_new = self.backlog.len();
+            self.ingest(m);
+            if let Some(d) = self.pending_deaths.pop_front() {
+                return Ok(Some(Event::Death(d)));
+            }
+            if let Some(i) = (first_new..self.backlog.len()).find(|&i| matches(&self.backlog[i], src, tag)) {
+                let m = self.backlog.remove(i).expect("index valid");
+                self.note_recv(&m);
+                return Ok(Some(Event::Msg(m)));
+            }
+        }
+        Ok(None)
     }
 
     /// Asynchronous send (like `MPI_Isend` with unbounded buffering).
@@ -369,8 +588,14 @@ impl Comm {
             // panics), its channel disconnects and a blocked `recv`
             // fails fast instead of deadlocking the scope join.
             self.backlog.push_back(msg);
-        } else {
-            self.senders[dest].send(msg).expect("receiving rank exited before communication completed");
+        } else if self.senders[dest].send(msg).is_err() {
+            // With fault tolerance armed a dead peer is an expected
+            // condition: the message is lost, the run continues. In a
+            // fault-free run a vanished peer is a bug worth failing on.
+            match &mut self.faults {
+                Some(f) => f.stats.msgs_lost += 1,
+                None => panic!("receiving rank exited before communication completed"),
+            }
         }
     }
 
@@ -441,6 +666,19 @@ impl Comm {
     /// coalesced envelopes back into their constituent messages in send
     /// order (per-sender FIFO is preserved end to end).
     fn ingest(&mut self, m: Msg) {
+        if m.tag == TAG_DEATH {
+            // A peer's death notice: record it, queue it for the next
+            // fault-aware receive, and keep it out of the application
+            // backlog — plain receives never observe the fault layer.
+            self.stats.msgs_recv += 1;
+            self.tag_traffic.entry(TAG_DEATH).or_default().msgs_recv += 1;
+            if !self.dead_peers[m.src] {
+                self.dead_peers[m.src] = true;
+                self.pending_deaths.push_back(m.src);
+                self.tracer.instant_arg(TraceCategory::Fault, names::EV_RANK_DEAD, "peer", m.src as u64);
+            }
+            return;
+        }
         if m.tag == TAG_COALESCED {
             let src = m.src;
             let mut d = Decoder::new(m.data);
@@ -651,6 +889,9 @@ where
                 sampler: GaugeSampler::disabled(),
                 g_coalesce: GaugeSampler::disabled().register(names::GAUGE_COALESCE_QUEUE_BYTES),
                 staged_bytes: 0,
+                faults: None,
+                dead_peers: vec![false; p],
+                pending_deaths: VecDeque::new(),
             }
         })
         .collect();
@@ -1039,6 +1280,153 @@ mod tests {
         assert_eq!(receiver.msgs_recv, 1);
         let total: f64 = rows.iter().flatten().map(|t| t.modelled_seconds).sum();
         assert!((total - expect).abs() < 1e-15, "cross-rank sum prices the message once");
+    }
+
+    #[test]
+    fn ft_ops_without_a_plan_are_plain_ops() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send_ft(1, 3, Bytes::from_static(b"hi")).unwrap();
+                assert!(!c.has_fault_plan());
+                assert_eq!(c.fault_stats(), crate::faults::FaultStats::default());
+                0
+            } else {
+                match c.recv_ft(Some(0), Some(3)).unwrap() {
+                    Event::Msg(m) => m.data.len(),
+                    Event::Death(_) => unreachable!("no plan, no deaths"),
+                }
+            }
+        });
+        assert_eq!(out, vec![0, 2]);
+    }
+
+    #[test]
+    fn scripted_kill_surfaces_error_and_death_notices() {
+        use crate::faults::{FaultStage, KillTarget};
+        let plan = FaultPlan::default().with_kill(KillTarget::Rank(1), 2, FaultStage::Any);
+        let out = run(3, move |c| {
+            c.set_fault_plan(&plan);
+            match c.rank() {
+                1 => {
+                    // First op passes, second trips the kill.
+                    c.send_ft(0, 5, Bytes::from_static(b"one")).unwrap();
+                    let err = c.send_ft(0, 5, Bytes::from_static(b"two")).unwrap_err();
+                    assert_eq!(err, CommError::Killed { rank: 1, event: 2 });
+                    // Every later op keeps failing.
+                    assert!(c.recv_ft(None, None).is_err());
+                    assert_eq!(c.fault_stats().kills, 1);
+                    assert_eq!(c.fault_stats().death_notices, 2);
+                    "killed"
+                }
+                0 => {
+                    // The message sent before death arrives; the death is
+                    // observed as an event.
+                    let mut got_msg = false;
+                    let mut got_death = false;
+                    while !(got_msg && got_death) {
+                        match c.recv_ft(None, None).unwrap() {
+                            Event::Msg(m) => {
+                                assert_eq!(&m.data[..], b"one");
+                                got_msg = true;
+                            }
+                            Event::Death(peer) => {
+                                assert_eq!(peer, 1);
+                                got_death = true;
+                            }
+                        }
+                    }
+                    assert!(c.dead_peers()[1]);
+                    // Sends to the dead peer blackhole instead of panic.
+                    c.send_ft(1, 9, Bytes::from_static(b"into the void")).unwrap();
+                    assert_eq!(c.fault_stats().msgs_lost, 1);
+                    "survivor"
+                }
+                _ => match c.recv_ft(None, None).unwrap() {
+                    Event::Death(1) => "observed",
+                    e => panic!("expected death of rank 1, got {e:?}"),
+                },
+            }
+        });
+        assert_eq!(out, vec!["survivor", "killed", "observed"]);
+    }
+
+    #[test]
+    fn scripted_drop_discards_exactly_the_nth_match() {
+        use crate::faults::FaultStage;
+        let plan = FaultPlan::default().with_drop(0, 1, 4, 2, FaultStage::Any);
+        run(2, move |c| {
+            c.set_fault_plan(&plan);
+            if c.rank() == 0 {
+                c.send_ft(1, 4, Bytes::from_static(b"a")).unwrap();
+                c.send_ft(1, 4, Bytes::from_static(b"b")).unwrap(); // dropped
+                c.send_ft(1, 4, Bytes::from_static(b"c")).unwrap();
+                assert_eq!(c.fault_stats().msgs_dropped, 1);
+            } else {
+                let first = match c.recv_ft(Some(0), Some(4)).unwrap() {
+                    Event::Msg(m) => m.data,
+                    e => panic!("{e:?}"),
+                };
+                let second = match c.recv_ft(Some(0), Some(4)).unwrap() {
+                    Event::Msg(m) => m.data,
+                    e => panic!("{e:?}"),
+                };
+                assert_eq!(&first[..], b"a");
+                assert_eq!(&second[..], b"c", "the 'b' message was dropped on the wire");
+            }
+        });
+    }
+
+    #[test]
+    fn scripted_delay_reorders_past_later_traffic() {
+        use crate::faults::FaultStage;
+        // Hold the first tag-6 message for 2 sender events: the second
+        // message overtakes it.
+        let plan = FaultPlan::default().with_delay(0, 1, 6, 1, 2, FaultStage::Any);
+        run(2, move |c| {
+            c.set_fault_plan(&plan);
+            if c.rank() == 0 {
+                c.send_ft(1, 6, Bytes::from_static(b"early")).unwrap(); // held
+                c.send_ft(1, 6, Bytes::from_static(b"later")).unwrap();
+                // Two more events release the held message.
+                c.send_ft(1, 7, Bytes::from_static(b"tick")).unwrap();
+                c.send_ft(1, 7, Bytes::from_static(b"tick")).unwrap();
+                assert_eq!(c.fault_stats().msgs_delayed, 1);
+            } else {
+                let order: Vec<Bytes> = (0..2)
+                    .map(|_| match c.recv_ft(Some(0), Some(6)).unwrap() {
+                        Event::Msg(m) => m.data,
+                        e => panic!("{e:?}"),
+                    })
+                    .collect();
+                assert_eq!(&order[0][..], b"later", "delayed message arrives out of order");
+                assert_eq!(&order[1][..], b"early");
+            }
+        });
+    }
+
+    #[test]
+    fn dying_rank_loses_its_staged_envelopes() {
+        use crate::faults::{FaultStage, KillTarget};
+        // Rank 1 stages two messages under coalescing, then its third
+        // fault event kills it: the staged envelope must be lost (crash
+        // semantics), leaving rank 0 only the death notice.
+        let plan = FaultPlan::default().with_kill(KillTarget::Rank(1), 3, FaultStage::Any);
+        run(2, move |c| {
+            c.set_fault_plan(&plan);
+            if c.rank() == 1 {
+                c.set_coalesce(Some(CoalescePolicy::default()));
+                c.send_ft(0, 2, Bytes::from_static(b"staged")).unwrap();
+                c.send_ft(0, 2, Bytes::from_static(b"also staged")).unwrap();
+                assert_eq!(c.stats().msgs_sent, 0, "both staged, nothing on the wire");
+                assert!(c.send_ft(0, 2, Bytes::from_static(b"never")).is_err());
+            } else {
+                match c.recv_ft(None, None).unwrap() {
+                    Event::Death(1) => {}
+                    e => panic!("expected only the death notice, got {e:?}"),
+                }
+                assert!(c.try_recv_ft(None, None).unwrap().is_none(), "staged messages died with the rank");
+            }
+        });
     }
 
     #[test]

@@ -23,10 +23,17 @@
 //!   experiments can report *modelled* network time next to measured
 //!   compute time, reproducing the communication/computation breakdown
 //!   of the paper's Fig. 5.
+//! - [`faults`] — deterministic, seeded failure injection: a
+//!   [`FaultPlan`] can kill a rank at a scripted event count or
+//!   drop/delay specific messages; failures surface to callers as
+//!   recoverable [`CommError`]s through the fault-aware
+//!   `send_ft`/`recv_ft`/`try_recv_ft` operations instead of hangs.
 
 pub mod codec;
 pub mod comm;
+pub mod faults;
 pub mod model;
 
-pub use comm::{run, tag_label, CoalescePolicy, CoalesceStats, Comm, Msg};
+pub use comm::{run, tag_label, CoalescePolicy, CoalesceStats, Comm, Event, Msg};
+pub use faults::{CommError, FaultPlan, FaultStage, FaultStats, KillTarget};
 pub use model::{thread_cpu_seconds, CommStats, CostModel};

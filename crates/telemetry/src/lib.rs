@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use cpu::thread_cpu_seconds;
 pub use json::{Json, JsonError};
-pub use report::{RankReport, RunReport, TagStat, TraceSummary, SCHEMA_VERSION};
+pub use report::{FaultSummary, RankReport, RunReport, TagStat, TraceSummary, SCHEMA_VERSION};
 pub use series::{GaugeId, GaugeSampler, GaugeSeries, RankSeries};
 pub use span::{RunContext, Span};
 pub use trace::{

@@ -86,6 +86,35 @@ pub const ASM_PEAK_QUEUE_DEPTH: &str = "asm_peak_queue_depth";
 /// Assemble-phase non-empty task batches the master dispatched.
 pub const ASM_BATCHES_DISPATCHED: &str = "asm_batches_dispatched";
 
+// ---- fault-injection / recovery counters ----------------------------------
+
+/// Ranks the fault plan killed in this run.
+pub const FAULT_KILLS: &str = "fault_kills";
+/// Messages the fault plan discarded at the sender.
+pub const FAULT_MSGS_DROPPED: &str = "fault_msgs_dropped";
+/// Messages the fault plan held back and delivered late.
+pub const FAULT_MSGS_DELAYED: &str = "fault_msgs_delayed";
+/// Death notices a dying rank broadcast to its peers.
+pub const FAULT_DEATH_NOTICES: &str = "fault_death_notices";
+/// Sends blackholed because the destination rank was already dead.
+pub const FAULT_MSGS_LOST: &str = "fault_msgs_lost";
+/// This rank's fault-clock reading at exit (fault-aware calls made) —
+/// the coordinate system `kill:…,event=` clauses aim at. Only present
+/// when a plan is armed.
+pub const FAULT_EVENTS: &str = "fault_events";
+/// Tasks re-queued from dead workers' outstanding leases and
+/// re-executed by survivors.
+pub const RECOVERED_TASKS: &str = "recovered_tasks";
+/// Worker ranks the master marked dead (death notice or liveness
+/// timeout) during the run.
+pub const DEAD_RANKS: &str = "dead_ranks";
+/// Bytes of master checkpoint snapshots written this run.
+pub const CKPT_BYTES: &str = "ckpt_bytes";
+/// Master checkpoint snapshots written this run.
+pub const CKPT_WRITES: &str = "ckpt_writes";
+/// Generator scopes this worker adopted from dead peers.
+pub const SCOPES_ADOPTED: &str = "scopes_adopted";
+
 // ---- master–worker protocol counters -------------------------------------
 
 /// Peak depth of the master's pending-work buffer.
@@ -137,6 +166,8 @@ pub const TAG_ASM_W2M_RDY: &str = "asm_w2m_rdy";
 pub const TAG_ASM_M2W_GRANT: &str = "asm_m2w_grant";
 /// Master → worker cluster-task batch (its `AW`).
 pub const TAG_ASM_M2W_TASK: &str = "asm_m2w_task";
+/// Death notice a dying rank broadcasts to every peer.
+pub const TAG_DEATH: &str = "death";
 
 // ---- gauge (time-series) names --------------------------------------------
 
@@ -196,3 +227,36 @@ pub const EV_ASSEMBLE_CLUSTER: &str = "assemble_cluster";
 /// Worker encoding one cluster's contigs for shipment (instant,
 /// category `assemble`; arg bytes).
 pub const EV_ASSEMBLE_SHIP: &str = "assemble_ship";
+
+// ---- fault / recovery trace event names ------------------------------------
+
+/// The fault plan killed this rank (instant, category `fault`; arg
+/// event = the rank-local event count it tripped at).
+pub const EV_FAULT_KILL: &str = "fault_kill";
+/// The fault plan discarded a message at the sender (instant,
+/// category `fault`; args dst/tag).
+pub const EV_FAULT_DROP: &str = "fault_drop";
+/// The fault plan held a message back (instant, category `fault`;
+/// args dst/tag).
+pub const EV_FAULT_DELAY: &str = "fault_delay";
+/// A peer's death notice arrived (instant, category `fault`; arg peer).
+pub const EV_RANK_DEAD: &str = "rank_dead";
+/// Master re-queued a dead worker's outstanding leases (instant,
+/// category `fault`; args worker/tasks).
+pub const EV_RECOVER_LEASES: &str = "recover_leases";
+/// Master assigned a dead worker's generator scope to a survivor
+/// (instant, category `fault`; args dead/adopter).
+pub const EV_ADOPT_SCOPE: &str = "adopt_scope";
+/// Master declared a silent worker dead via the stall-timeout
+/// liveness check (instant, category `fault`; arg worker).
+pub const EV_LIVENESS_DECLARE: &str = "liveness_declare";
+/// Master wrote a checkpoint snapshot (instant, category `fault`;
+/// arg bytes).
+pub const EV_CHECKPOINT: &str = "checkpoint";
+/// Master discarded a message from a dead-declared rank or a result
+/// report whose lease is no longer outstanding — the replay dedup
+/// (instant, category `fault`; args src/tag or src/lease).
+pub const EV_STALE_MSG: &str = "stale_msg";
+/// Worker rebuilt a dead peer's generator scope from the shared input
+/// (span, category `fault`; arg dead rank).
+pub const EV_ADOPT_REBUILD: &str = "adopt_rebuild";

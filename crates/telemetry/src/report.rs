@@ -14,9 +14,12 @@ use std::collections::BTreeMap;
 /// 2 = adds `schema_version`, per-rank `idle_gaps`, and the run-level
 /// `trace` summary; 3 = adds the top-level `series` array of per-rank
 /// gauge time series (absent ⇒ no sampling — v2 documents parse with
-/// an empty list). Parsers accept any version ≥ 1 and ignore fields
-/// they don't know (forward compatibility is tested).
-pub const SCHEMA_VERSION: u32 = 3;
+/// an empty list); 4 = adds the optional top-level `faults` section
+/// (absent ⇒ the run saw no fault injection, recovery, or
+/// checkpointing — v3 documents parse with `faults: None`). Parsers
+/// accept any version ≥ 1 and ignore fields they don't know (forward
+/// compatibility is tested).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Traffic and modelled cost for one message tag on one rank.
 ///
@@ -171,6 +174,58 @@ impl TraceSummary {
     }
 }
 
+/// Fault-injection and recovery digest for one run (schema v4).
+/// Present only when the run injected faults, recovered leases, or
+/// wrote checkpoints — a clean run omits the section entirely, so
+/// fault-free reports are byte-identical to what a v3 writer produced
+/// modulo the version number.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Ranks the fault plan killed.
+    pub kills_injected: u64,
+    /// Worker ranks the master marked dead (notice or liveness).
+    pub dead_ranks: u64,
+    /// Tasks re-queued from dead workers' leases and re-executed.
+    pub recovered_tasks: u64,
+    /// Messages the fault plan discarded at the sender.
+    pub msgs_dropped: u64,
+    /// Messages the fault plan held back and delivered late.
+    pub msgs_delayed: u64,
+    /// Bytes of master checkpoint snapshots written.
+    pub ckpt_bytes: u64,
+}
+
+impl FaultSummary {
+    /// True when nothing fault-related happened — the report omits the
+    /// section.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kills_injected", Json::Num(self.kills_injected as f64)),
+            ("dead_ranks", Json::Num(self.dead_ranks as f64)),
+            ("recovered_tasks", Json::Num(self.recovered_tasks as f64)),
+            ("msgs_dropped", Json::Num(self.msgs_dropped as f64)),
+            ("msgs_delayed", Json::Num(self.msgs_delayed as f64)),
+            ("ckpt_bytes", Json::Num(self.ckpt_bytes as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> FaultSummary {
+        let n = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        FaultSummary {
+            kills_injected: n("kills_injected"),
+            dead_ranks: n("dead_ranks"),
+            recovered_tasks: n("recovered_tasks"),
+            msgs_dropped: n("msgs_dropped"),
+            msgs_delayed: n("msgs_delayed"),
+            ckpt_bytes: n("ckpt_bytes"),
+        }
+    }
+}
+
 fn counters_to_json(counters: &BTreeMap<String, u64>) -> Json {
     Json::Obj(counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect())
 }
@@ -210,6 +265,9 @@ pub struct RunReport {
     /// Per-rank gauge time series (schema v3; empty when the run
     /// sampled nothing — and for every pre-v3 document).
     pub series: Vec<crate::series::RankSeries>,
+    /// Fault-injection / recovery digest (schema v4); absent for clean
+    /// runs and for every pre-v4 document.
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -266,6 +324,9 @@ impl RunReport {
                 Json::Arr(self.series.iter().map(crate::series::RankSeries::to_json).collect()),
             ));
         }
+        if let Some(f) = &self.faults {
+            fields.push(("faults", f.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -313,6 +374,7 @@ impl RunReport {
                 .iter()
                 .map(crate::series::RankSeries::from_json)
                 .collect(),
+            faults: v.get("faults").map(FaultSummary::from_json),
         })
     }
 
@@ -386,6 +448,14 @@ mod tests {
                     dropped: 1,
                 }],
             }],
+            faults: Some(FaultSummary {
+                kills_injected: 1,
+                dead_ranks: 1,
+                recovered_tasks: 12,
+                msgs_dropped: 2,
+                msgs_delayed: 1,
+                ckpt_bytes: 4096,
+            }),
         }
     }
 
@@ -446,7 +516,7 @@ mod tests {
     fn v3_series_round_trips_exactly() {
         let report = sample();
         let back = RunReport::from_json_str(&report.to_json_string()).unwrap();
-        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.series, report.series);
         let g = back.series[0].gauge(crate::names::GAUGE_ALIGN_SCRATCH_BYTES).unwrap();
         assert_eq!(g.samples, vec![(10, 4096), (1_010, 8192)]);
@@ -457,6 +527,40 @@ mod tests {
         bare.series.clear();
         assert!(!bare.to_json_string().contains("\"series\""));
         assert!(RunReport::from_json_str(&bare.to_json_string()).unwrap().series.is_empty());
+    }
+
+    #[test]
+    fn v4_faults_section_round_trips_and_v3_documents_still_parse() {
+        // v4 round trip: the section survives encode → decode exactly.
+        let report = sample();
+        let back = RunReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back.schema_version, 4);
+        assert_eq!(back.faults, report.faults);
+        let f = back.faults.as_ref().unwrap();
+        assert_eq!(f.dead_ranks, 1);
+        assert_eq!(f.recovered_tasks, 12);
+        assert_eq!(f.ckpt_bytes, 4096);
+        // A clean run writes no `faults` key at all.
+        let mut clean = sample();
+        clean.faults = None;
+        assert!(!clean.to_json_string().contains("\"faults\""));
+        assert!(RunReport::from_json_str(&clean.to_json_string()).unwrap().faults.is_none());
+        // A v3-era document (no faults section) parses with None and
+        // keeps everything else — the back-compat contract.
+        let v3 = concat!(
+            "{\"format\": \"pgasm.run_report\", \"schema_version\": 3, \"version\": 3, ",
+            "\"label\": \"v3\", \"counters\": {\"merges\": 5}, ",
+            "\"series\": [{\"rank\": 0, \"label\": \"master\", \"overhead_ns\": 1, \"gauges\": []}]}"
+        );
+        let old = RunReport::from_json_str(v3).unwrap();
+        assert_eq!(old.schema_version, 3);
+        assert_eq!(old.counter("merges"), 5);
+        assert_eq!(old.series.len(), 1);
+        assert!(old.faults.is_none(), "pre-v4 documents have no faults section");
+        // And a v3 document re-encoded by this writer still parses as
+        // its own round trip (field set preserved, faults still absent).
+        let re = RunReport::from_json_str(&old.to_json_string()).unwrap();
+        assert_eq!(re, old);
     }
 
     #[test]

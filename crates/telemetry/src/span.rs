@@ -278,6 +278,18 @@ impl RunContext {
         };
         let mut series = self.series;
         series.sort_by_key(|s| s.rank);
+        // The v4 faults section is derived from the canonical fault
+        // counters, so any run that tallied them reports the digest
+        // without extra plumbing; a clean run omits the section.
+        let c = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let faults = crate::FaultSummary {
+            kills_injected: c(crate::names::FAULT_KILLS),
+            dead_ranks: c(crate::names::DEAD_RANKS),
+            recovered_tasks: c(crate::names::RECOVERED_TASKS),
+            msgs_dropped: c(crate::names::FAULT_MSGS_DROPPED),
+            msgs_delayed: c(crate::names::FAULT_MSGS_DELAYED),
+            ckpt_bytes: c(crate::names::CKPT_BYTES),
+        };
         crate::RunReport {
             schema_version: crate::SCHEMA_VERSION,
             label: self.label,
@@ -286,6 +298,7 @@ impl RunContext {
             ranks,
             trace,
             series,
+            faults: if faults.is_empty() { None } else { Some(faults) },
         }
     }
 }

@@ -42,6 +42,9 @@ pub enum TraceCategory {
     Align,
     /// Per-cluster assembly work in the distributed assemble stage.
     Assemble,
+    /// Fault injection and recovery (kills, death notices, lease
+    /// re-queues, checkpoints).
+    Fault,
 }
 
 impl TraceCategory {
@@ -55,6 +58,7 @@ impl TraceCategory {
             TraceCategory::Gst => "gst",
             TraceCategory::Align => "align",
             TraceCategory::Assemble => "assemble",
+            TraceCategory::Fault => "fault",
         }
     }
 }

@@ -67,6 +67,9 @@ USAGE:
                  [--no-preprocess] [--metrics-json <report.json>]
                  [--trace-json <out.trace.json>]
                  [--cache-dir <dir>] [--no-cache]
+                 [--fault-plan <spec>] [--stall-timeout <events>]
+                 [--checkpoint-every <n> --checkpoint <base>]
+                 [--resume <base>]
   pgasm assemble --reads <reads.fastq> --out <contigs.fasta>
                  [--assembly-threads <n>] [same options]
   pgasm analyze  --trace-json <run.trace.json> [--metrics-json <report.json>]
@@ -92,6 +95,25 @@ parameters reloads the preprocess output and (serial runs) the GST from
 cache_bytes_* counters in --metrics-json show what happened; any change
 to inputs or parameters recomputes, and a corrupted cache file safely
 degrades to a cold run. --no-cache ignores --cache-dir for this run.
+--fault-plan <spec> arms deterministic failure injection in the simulated
+communicator (needs --ranks): a semicolon-separated list of clauses, e.g.
+'seed:42; kill:rank=2,event=500; drop:src=1,dst=0,tag=3,nth=2;
+delay:src=0,dst=2,tag=5,nth=1,by=3' — kill removes a rank when its local
+fault clock reaches <event> (kill:any picks a seeded worker), drop loses
+the nth matching message, delay re-delivers it <by> receives later.
+Clauses take stage=cluster|assemble|any (default cluster). Workers hold
+leases on tasks, so the engine detects the death, re-queues the lease,
+and a survivor finishes the work — the final clustering and contigs are
+byte-identical to a fault-free run; the faults: line and the metrics-json
+faults section report dead_ranks / recovered_tasks / drops / delays.
+--stall-timeout <events> overrides the death-detection horizon (master
+events with no progress before a silent rank is declared dead).
+--checkpoint-every <n> --checkpoint <base> makes the master snapshot its
+task state every n completions to <base>.cluster.pgck /
+<base>.assemble.pgck (atomic tmp+rename). If a fault plan kills the
+master mid-stage, pgasm exits nonzero and tells you to rerun with
+--resume <base>, which reloads the snapshot and finishes only the
+remaining work — output identical to an uninterrupted run.
 --kernel selects the pairwise overlap aligner: the legacy single-pass
 banded kernel, the two-phase (score-only + gated traceback) kernel, or
 the vectorised phase-1 kernel (default). --band <n> sets the half-width
@@ -255,6 +277,30 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
     } else {
         opts.get("cache-dir").map(std::path::PathBuf::from)
     };
+    let mut recovery = pgasm::cluster::StageRecovery::default();
+    if let Some(spec) = opts.get("fault-plan") {
+        recovery.faults = pgasm::mpisim::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+    }
+    if let Some(t) = opts.get("stall-timeout") {
+        let t: u64 = t.parse().map_err(|_| format!("--stall-timeout: cannot parse '{t}'"))?;
+        recovery.stall_timeout = Some(t);
+    }
+    if let Some(n) = opts.get("checkpoint-every") {
+        let n: u64 = n.parse().map_err(|_| format!("--checkpoint-every: cannot parse '{n}'"))?;
+        recovery.checkpoint_every = Some(n);
+        let base = opts.require("checkpoint")?;
+        recovery.checkpoint_path = Some(std::path::PathBuf::from(base));
+    }
+    if let Some(base) = opts.get("resume") {
+        recovery.resume_from = Some(std::path::PathBuf::from(base));
+    }
+    if (!recovery.faults.is_empty() || recovery.checkpoint_every.is_some() || recovery.resume_from.is_some())
+        && ranks < 2
+    {
+        return Err("--fault-plan / --checkpoint-every / --resume need --ranks <p> (p >= 2): \
+                    fault tolerance lives in the distributed engine"
+            .to_string());
+    }
     Ok(PipelineConfig {
         preprocess,
         cluster,
@@ -266,6 +312,7 @@ fn pipeline_config(opts: &Opts) -> Result<PipelineConfig, String> {
         } else {
             pgasm::telemetry::trace::TraceSpec::off()
         },
+        recovery,
         ..Default::default()
     })
 }
@@ -287,6 +334,20 @@ fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineRep
             ctx.counter(names::CACHE_BYTES_READ)
         );
     }
+    {
+        use pgasm::telemetry::names;
+        let dead = ctx.counter(names::DEAD_RANKS);
+        let recovered = ctx.counter(names::RECOVERED_TASKS);
+        if dead > 0 || recovered > 0 {
+            println!(
+                "faults: {dead} dead rank(s), {recovered} task(s) recovered, \
+                 {} message(s) dropped, {} delayed, {} checkpoint byte(s)",
+                ctx.counter(names::FAULT_MSGS_DROPPED),
+                ctx.counter(names::FAULT_MSGS_DELAYED),
+                ctx.counter(names::CKPT_BYTES)
+            );
+        }
+    }
     if let Some(path) = opts.get("trace-json") {
         let doc = ctx.trace_document();
         doc.write_chrome_json(std::path::Path::new(path)).map_err(|e| format!("write {path}: {e}"))?;
@@ -307,6 +368,13 @@ fn run_pipeline(opts: &Opts, label: &str) -> Result<(pgasm::cluster::PipelineRep
         let run_report = ctx.finish();
         run_report.write_json(std::path::Path::new(path)).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote run report to {path}");
+    }
+    if let Some(stage) = &report.interrupted {
+        return Err(format!(
+            "stage '{stage}' was interrupted by a master kill before it completed; \
+             rerun with --resume <base> (the base passed to --checkpoint) to finish \
+             from the last checkpoint"
+        ));
     }
     Ok((report, reads))
 }

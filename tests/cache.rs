@@ -88,17 +88,17 @@ fn warm_run_hits_cache_with_byte_identical_contigs() {
     let (reads, genome) = fixture_reads(7);
 
     let (cold, cold_run) = run(cached_config(&dir.0), &reads, &genome);
-    // Cold: both stages miss, then persist their artifacts.
+    // Cold: all three artifacts miss, then persist.
     assert_eq!(cold_run.counter(names::CACHE_HIT), 0);
-    assert_eq!(cold_run.counter(names::CACHE_MISS), 2);
+    assert_eq!(cold_run.counter(names::CACHE_MISS), 3);
     assert!(cold_run.counter(names::CACHE_BYTES_WRITTEN) > 0);
     // Cold cache-enabled serial runs expose the GST build as a span.
     assert!(cold_run.span("cluster").unwrap().find("cluster/gst_build").is_some());
 
     let (warm, warm_run) = run(cached_config(&dir.0), &reads, &genome);
-    // Warm: preprocess + GST both load; nothing is recomputed or
-    // rewritten.
-    assert_eq!(warm_run.counter(names::CACHE_HIT), 2);
+    // Warm: preprocess + GST + contigs all load; nothing is recomputed
+    // or rewritten — the assemble stage is skipped outright.
+    assert_eq!(warm_run.counter(names::CACHE_HIT), 3);
     assert_eq!(warm_run.counter(names::CACHE_MISS), 0);
     assert_eq!(warm_run.counter(names::CACHE_BYTES_WRITTEN), 0);
     assert!(warm_run.counter(names::CACHE_BYTES_READ) > 0);
@@ -119,11 +119,12 @@ fn unrelated_flag_change_still_hits() {
     let (reads, genome) = fixture_reads(8);
     let (cold, _) = run(cached_config(&dir.0), &reads, &genome);
 
-    // assembly_threads affects neither preprocess nor GST keys.
+    // assembly_threads affects no artifact key — not even the contigs
+    // (the thread count never changes the output bytes).
     let mut config = cached_config(&dir.0);
     config.assembly_threads = 7;
     let (warm, warm_run) = run(config, &reads, &genome);
-    assert_eq!(warm_run.counter(names::CACHE_HIT), 2);
+    assert_eq!(warm_run.counter(names::CACHE_HIT), 3);
     assert_eq!(warm_run.counter(names::CACHE_MISS), 0);
     assert_eq!(contig_bytes(&warm), contig_bytes(&cold));
 }
@@ -133,7 +134,7 @@ fn params_change_recomputes_affected_stage() {
     let dir = CacheDir::new("params");
     let (reads, genome) = fixture_reads(9);
     let (_, cold_run) = run(cached_config(&dir.0), &reads, &genome);
-    assert_eq!(cold_run.counter(names::CACHE_MISS), 2);
+    assert_eq!(cold_run.counter(names::CACHE_MISS), 3);
 
     // A GST parameter change invalidates the GST entry only: the
     // preprocess artifact still hits.
@@ -141,7 +142,10 @@ fn params_change_recomputes_affected_stage() {
     config.cluster.gst.psi = 22;
     let (_, run1) = run(config, &reads, &genome);
     assert_eq!(run1.counter(names::CACHE_HIT), 1, "preprocess should still hit");
-    assert_eq!(run1.counter(names::CACHE_MISS), 1, "gst must recompute");
+    // The psi change cascades past the GST: the clustering it yields
+    // differs, so the contigs entry (keyed on the clustering) misses
+    // along with the tree.
+    assert_eq!(run1.counter(names::CACHE_MISS), 2, "gst and contigs must recompute");
 
     // A preprocess parameter change always invalidates the preprocess
     // entry. The GST entry is content-addressed on the preprocess
@@ -153,7 +157,7 @@ fn params_change_recomputes_affected_stage() {
         Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 60, ..Default::default() });
     let (rep2, run2) = run(config, &reads, &genome);
     assert_eq!(run2.counter(names::CACHE_MISS), 1, "preprocess must recompute");
-    assert_eq!(run2.counter(names::CACHE_HIT), 1, "unchanged output keeps the GST warm");
+    assert_eq!(run2.counter(names::CACHE_HIT), 2, "unchanged output keeps the GST and contigs warm");
 
     // A preprocess change that *does* alter the surviving set cascades:
     // the GST keys off a different fragment digest and recomputes too.
@@ -168,7 +172,7 @@ fn params_change_recomputes_affected_stage() {
         rep2.origin.len()
     );
     assert_eq!(run3.counter(names::CACHE_HIT), 0);
-    assert_eq!(run3.counter(names::CACHE_MISS), 2);
+    assert_eq!(run3.counter(names::CACHE_MISS), 3);
 }
 
 #[test]
@@ -185,19 +189,19 @@ fn truncated_cache_files_degrade_to_cold_run() {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         entries += 1;
     }
-    assert_eq!(entries, 2, "expected a preprocess and a gst entry");
+    assert_eq!(entries, 3, "expected preprocess, gst, and contigs entries");
 
     // The run must neither panic nor trust the damaged entries — full
     // recompute, identical results, and repaired cache files.
     let (recovered, rec_run) = run(cached_config(&dir.0), &reads, &genome);
     assert_eq!(rec_run.counter(names::CACHE_HIT), 0);
-    assert_eq!(rec_run.counter(names::CACHE_MISS), 2);
+    assert_eq!(rec_run.counter(names::CACHE_MISS), 3);
     assert!(rec_run.counter(names::CACHE_BYTES_WRITTEN) > 0, "entries must be rewritten");
     assert_eq!(contig_bytes(&recovered), contig_bytes(&cold));
 
     // And the rewrite healed the cache: the next run is warm again.
     let (_, healed_run) = run(cached_config(&dir.0), &reads, &genome);
-    assert_eq!(healed_run.counter(names::CACHE_HIT), 2);
+    assert_eq!(healed_run.counter(names::CACHE_HIT), 3);
     assert_eq!(healed_run.counter(names::CACHE_MISS), 0);
 }
 

@@ -1,0 +1,284 @@
+//! Fault-tolerance integration matrix: killing any single worker during
+//! clustering or assembly leaves the final contigs byte-identical to a
+//! fault-free run, dropped/late result reports are deduplicated by the
+//! lease journal, and a master kill under checkpointing resumes to the
+//! exact same output.
+//!
+//! Kill events are *self-aiming*: a probe run with an armed
+//! never-firing plan reads each rank's `fault_events` clock depth for
+//! the stage under test, and the real kill targets the midpoint of the
+//! victim's lifetime, rounded to an AR-send round entry (events are
+//! 1 mod 4 there, so the victim holds an unacknowledged lease and the
+//! master must recover it).
+
+use pgasm::align::AcceptCriteria;
+use pgasm::cluster::{ClusterParams, Pipeline, PipelineConfig, PipelineReport, StageRecovery};
+use pgasm::gst::GstConfig;
+use pgasm::mpisim::{FaultPlan, FaultStage, KillTarget};
+use pgasm::preprocess::PreprocessConfig;
+use pgasm::seq::DnaSeq;
+use pgasm::simgen::genome::{Genome, GenomeSpec};
+use pgasm::simgen::sampler::{Sampler, SamplerConfig};
+use pgasm::simgen::vector::VECTOR_SEQ;
+use pgasm::simgen::{ReadKind, ReadSet};
+use pgasm::telemetry::{RunContext, RunReport};
+use std::path::PathBuf;
+
+fn fixture_reads(seed: u64) -> (ReadSet, Genome) {
+    let genome = Genome::generate(
+        &GenomeSpec {
+            length: 10_000,
+            repeat_fraction: 0.2,
+            repeat_families: 2,
+            repeat_len: (120, 300),
+            repeat_identity: 0.99,
+            islands: 3,
+            island_len: (900, 1_500),
+        },
+        seed,
+    );
+    let mut cfg = SamplerConfig::default_scaled();
+    cfg.island_bias = 1.0;
+    let mut sampler = Sampler::new(&genome, cfg, seed + 1);
+    (sampler.enriched(80, ReadKind::Hc), genome)
+}
+
+fn config(p: usize, recovery: StageRecovery) -> PipelineConfig {
+    PipelineConfig {
+        preprocess: Some(PreprocessConfig { stat_repeats: None, min_unmasked_run: 40, ..Default::default() }),
+        cluster: ClusterParams {
+            gst: GstConfig { w: 10, psi: 18 },
+            criteria: AcceptCriteria { min_identity: 0.9, min_overlap: 35 },
+            ..Default::default()
+        },
+        parallel_ranks: Some(p),
+        assembly_threads: 2,
+        recovery,
+        ..Default::default()
+    }
+}
+
+fn run(config: PipelineConfig, reads: &ReadSet, genome: &Genome) -> (PipelineReport, RunReport) {
+    let mut ctx = RunContext::new("fault-tolerance-test");
+    let report = Pipeline::new(config).run_with_context(
+        reads,
+        &[DnaSeq::from(VECTOR_SEQ)],
+        &genome.repeat_library,
+        &mut ctx,
+    );
+    (report, ctx.finish())
+}
+
+/// Every contig of every assembly, as raw ASCII — byte-level equality.
+fn contig_bytes(report: &PipelineReport) -> Vec<Vec<u8>> {
+    report.assemblies.iter().flat_map(|a| a.contigs.iter().map(|c| c.seq.to_ascii())).collect()
+}
+
+/// Per-rank fault-clock depth for `stage`, measured by a probe run whose
+/// plan is armed in that stage only but can never fire. Because the
+/// `fault_events` counter is folded only by the armed stage, the merged
+/// per-rank channels report exactly that stage's clock.
+fn probe_depths(p: usize, stage: FaultStage, reads: &ReadSet, genome: &Genome) -> Vec<u64> {
+    let recovery = StageRecovery {
+        faults: FaultPlan::default().with_kill(KillTarget::Rank(0), u64::MAX, stage),
+        ..StageRecovery::default()
+    };
+    let (_, run_report) = run(config(p, recovery), reads, genome);
+    run_report.ranks.iter().map(|r| r.counter(pgasm::telemetry::names::FAULT_EVENTS)).collect()
+}
+
+/// Round `mid` down to an AR-send round entry (events are 1 mod 4
+/// there); floor 5 so at least one full round completed first.
+fn ar_send_event_near(mid: u64) -> u64 {
+    (mid.saturating_sub(mid % 4) + 1).max(5)
+}
+
+/// Kill each worker in turn during `stage` and require byte-identical
+/// contigs, exactly one dead rank, and (across the victims) recovered
+/// leases.
+fn kill_matrix(stage: FaultStage, seed: u64) {
+    let (reads, genome) = fixture_reads(seed);
+    for p in [4usize, 8] {
+        let (baseline, base_run) = run(config(p, StageRecovery::default()), &reads, &genome);
+        assert!(base_run.faults.is_none(), "fault-free run must omit the faults section");
+        let expected = contig_bytes(&baseline);
+        assert!(!expected.is_empty(), "fixture must assemble something");
+        let depths = probe_depths(p, stage, &reads, &genome);
+        let mut recovered_any = false;
+        for (victim, &depth) in depths.iter().enumerate().skip(1) {
+            let at = ar_send_event_near(depth / 2);
+            assert!(depth >= at, "victim {victim} at p={p} only reaches event {depth} in {stage:?}");
+            let recovery = StageRecovery {
+                faults: FaultPlan::default().with_kill(KillTarget::Rank(victim), at, stage),
+                ..StageRecovery::default()
+            };
+            let (report, run_report) = run(config(p, recovery), &reads, &genome);
+            assert!(report.interrupted.is_none(), "a worker kill must not interrupt the run");
+            assert_eq!(
+                contig_bytes(&report),
+                expected,
+                "contigs changed after killing worker {victim} at event {at} (p={p}, {stage:?})"
+            );
+            let faults = run_report.faults.expect("armed run must report a faults section");
+            assert_eq!(faults.kills_injected, 1);
+            assert_eq!(faults.dead_ranks, 1, "victim {victim} at p={p} was not detected");
+            recovered_any |= faults.recovered_tasks > 0;
+        }
+        assert!(recovered_any, "no kill at p={p} recovered a lease in {stage:?}");
+    }
+}
+
+// The two full victim × rank-count matrices below are ~26 pipeline
+// runs; `ci.sh` runs them in release (`--include-ignored`), where the
+// whole matrix takes seconds instead of minutes.
+#[test]
+#[ignore = "full kill matrix is heavy under the dev profile; ci.sh runs it in release"]
+fn killing_any_worker_during_clustering_preserves_the_contigs() {
+    kill_matrix(FaultStage::Cluster, 7);
+}
+
+#[test]
+#[ignore = "full kill matrix is heavy under the dev profile; ci.sh runs it in release"]
+fn killing_any_worker_during_assembly_preserves_the_contigs() {
+    kill_matrix(FaultStage::Assemble, 9);
+}
+
+/// Always-on slice of the kill matrix: one seeded victim per stage at
+/// p = 4, cheap enough for the dev-profile workspace test run.
+#[test]
+fn killing_a_worker_in_each_stage_preserves_the_contigs() {
+    let (reads, genome) = fixture_reads(21);
+    let p = 4;
+    let (baseline, _) = run(config(p, StageRecovery::default()), &reads, &genome);
+    let expected = contig_bytes(&baseline);
+    assert!(!expected.is_empty(), "fixture must assemble something");
+    let mut recovered_any = false;
+    for stage in [FaultStage::Cluster, FaultStage::Assemble] {
+        let depths = probe_depths(p, stage, &reads, &genome);
+        let victim = 1 + (depths.iter().sum::<u64>() as usize % (p - 1));
+        let at = ar_send_event_near(depths[victim] / 2);
+        let recovery = StageRecovery {
+            faults: FaultPlan::default().with_kill(KillTarget::Rank(victim), at, stage),
+            ..StageRecovery::default()
+        };
+        let (report, run_report) = run(config(p, recovery), &reads, &genome);
+        assert_eq!(contig_bytes(&report), expected, "contigs changed ({stage:?}, victim {victim})");
+        let faults = run_report.faults.expect("faults section");
+        assert_eq!(faults.dead_ranks, 1);
+        recovered_any |= faults.recovered_tasks > 0;
+    }
+    assert!(recovered_any, "no kill recovered a lease");
+}
+
+#[test]
+fn dropped_result_report_trips_liveness_and_recovers() {
+    let (reads, genome) = fixture_reads(11);
+    let p = 4;
+    let (baseline, _) = run(config(p, StageRecovery::default()), &reads, &genome);
+
+    // Worker 1's second result report (tag 1 = W2M AR) vanishes on the
+    // wire. Its lease can never be retired, so the stall timeout
+    // declares the silent worker dead and a survivor redoes the batch.
+    // The plan goes through the CLI grammar on purpose.
+    let recovery = StageRecovery {
+        faults: FaultPlan::parse("drop:src=1,dst=0,tag=1,nth=2").expect("grammar"),
+        stall_timeout: Some(50_000),
+        ..StageRecovery::default()
+    };
+    let (report, run_report) = run(config(p, recovery), &reads, &genome);
+    assert_eq!(contig_bytes(&report), contig_bytes(&baseline));
+    let faults = run_report.faults.expect("faults section");
+    assert_eq!(faults.msgs_dropped, 1);
+    assert_eq!(faults.kills_injected, 0, "nobody was actually killed");
+    assert_eq!(faults.dead_ranks, 1, "liveness must declare the silent worker dead");
+    assert!(faults.recovered_tasks > 0);
+}
+
+#[test]
+fn delayed_result_report_is_absorbed_once_not_twice() {
+    let (reads, genome) = fixture_reads(13);
+    let p = 4;
+    let (baseline, _) = run(config(p, StageRecovery::default()), &reads, &genome);
+
+    // Worker 1's second result report is overtaken by three later
+    // deliveries; the lease journal retires it exactly once.
+    let recovery = StageRecovery {
+        faults: FaultPlan::parse("delay:src=1,dst=0,tag=1,nth=2,by=3").expect("grammar"),
+        ..StageRecovery::default()
+    };
+    let (report, run_report) = run(config(p, recovery), &reads, &genome);
+    assert_eq!(contig_bytes(&report), contig_bytes(&baseline));
+    let faults = run_report.faults.expect("faults section");
+    assert_eq!(faults.msgs_delayed, 1);
+    assert_eq!(faults.dead_ranks, 0);
+}
+
+/// Scratch directory for checkpoint files, removed on drop.
+struct CkptDir(PathBuf);
+
+impl CkptDir {
+    fn new(tag: &str) -> CkptDir {
+        let dir = std::env::temp_dir().join(format!("pgasm-test-ft-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        CkptDir(dir)
+    }
+}
+
+impl Drop for CkptDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kill the master mid-`stage` with checkpointing armed, then resume
+/// from the snapshot base and require byte-identical contigs.
+fn checkpoint_resume(stage: FaultStage, stage_name: &str, seed: u64, tag: &str) {
+    let (reads, genome) = fixture_reads(seed);
+    let p = 4;
+    let dir = CkptDir::new(tag);
+    let base = dir.0.join("run");
+
+    let (baseline, _) = run(config(p, StageRecovery::default()), &reads, &genome);
+    let depths = probe_depths(p, stage, &reads, &genome);
+    let at = (depths[0] / 2).max(8);
+
+    let interrupted = StageRecovery {
+        faults: FaultPlan::default().with_kill(KillTarget::Rank(0), at, stage),
+        checkpoint_every: Some(1),
+        checkpoint_path: Some(base.clone()),
+        ..StageRecovery::default()
+    };
+    let (r1, run1) = run(config(p, interrupted), &reads, &genome);
+    assert_eq!(
+        r1.interrupted.as_deref(),
+        Some(stage_name),
+        "master kill at event {at} must interrupt the {stage_name} stage"
+    );
+    let snapshot: PathBuf = {
+        let mut s = base.as_os_str().to_os_string();
+        s.push(format!(".{stage_name}.pgck"));
+        PathBuf::from(s)
+    };
+    assert!(snapshot.exists(), "master must have snapshotted before dying");
+    assert!(run1.faults.expect("faults section").ckpt_bytes > 0);
+
+    // Resume, fault-free: stages before the snapshot recompute
+    // deterministically, the interrupted stage reloads the journal and
+    // finishes only the remaining work.
+    let resume = StageRecovery { resume_from: Some(base), ..StageRecovery::default() };
+    let (r2, run2) = run(config(p, resume), &reads, &genome);
+    assert!(r2.interrupted.is_none());
+    assert_eq!(contig_bytes(&r2), contig_bytes(&baseline), "resumed contigs differ from a clean run");
+    assert!(run2.faults.is_none(), "the resumed run itself is fault-free");
+}
+
+#[test]
+fn master_kill_during_clustering_resumes_to_identical_contigs() {
+    checkpoint_resume(FaultStage::Cluster, "cluster", 17, "ck-cluster");
+}
+
+#[test]
+fn master_kill_during_assembly_resumes_to_identical_contigs() {
+    checkpoint_resume(FaultStage::Assemble, "assemble", 19, "ck-assemble");
+}
